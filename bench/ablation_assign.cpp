@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation study of the assignment algorithm's ingredients (beyond
+ * the paper's coarse four variants): starting from the full
+ * Heuristic-Iterative configuration, each row disables exactly one
+ * mechanism -- SCC-first ordering with swing traversal, the SCC
+ * cluster-affinity selection, the PCR/MRC copy-space prediction, the
+ * within-II restarts -- on the two-cluster machine of Figure 12.
+ */
+
+#include "bench/common.hh"
+#include "machine/configs.hh"
+
+int
+main()
+{
+    using namespace cams;
+    const MachineDesc machine = busedGpMachine(2, 2, 1);
+
+    struct Row
+    {
+        const char *label;
+        void (*tweak)(AssignOptions &);
+    };
+    const Row rows[] = {
+        {"full algorithm", [](AssignOptions &) {}},
+        {"- swing order (id order)",
+         [](AssignOptions &o) { o.useSwingOrder = false; }},
+        {"- scc affinity",
+         [](AssignOptions &o) { o.useSccAffinity = false; }},
+        {"- pcr prediction",
+         [](AssignOptions &o) { o.usePcrPrediction = false; }},
+        {"- restarts (1 try/II)",
+         [](AssignOptions &o) { o.restartsPerIi = 1; }},
+        {"- iteration",
+         [](AssignOptions &o) { o.iterative = false; }},
+        {"- everything (simple)",
+         [](AssignOptions &o) {
+             o.iterative = false;
+             o.fullHeuristic = false;
+         }},
+    };
+
+    std::vector<DeviationSeries> series;
+    for (const Row &row : rows) {
+        CompileOptions options;
+        row.tweak(options.assign);
+        series.push_back(
+            benchutil::runSeries(row.label, machine, options));
+    }
+    benchutil::printFigure(
+        "Ablation: assignment ingredients on 2 clusters x 4 GP, "
+        "2 buses, 1 port",
+        series);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared plumbing for the experiment binaries: the cached loop suite,
+ * per-unified-machine baseline caching, and figure printing.
+ *
+ * Every figure/table binary runs the full 1327-loop suite by default;
+ * set CAMS_SUITE_SIZE=<n> to subsample for a quick look (results are
+ * then computed over the first n loops).
+ */
+
+#ifndef CAMS_BENCH_COMMON_HH
+#define CAMS_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "pipeline/driver.hh"
+#include "report/deviation.hh"
+#include "report/table.hh"
+#include "workload/suite.hh"
+
+namespace cams
+{
+namespace benchutil
+{
+
+inline int
+suiteSize()
+{
+    if (const char *env = std::getenv("CAMS_SUITE_SIZE")) {
+        const int size = std::atoi(env);
+        if (size > 0)
+            return size;
+    }
+    return 1327;
+}
+
+inline const std::vector<Dfg> &
+sharedSuite()
+{
+    static const std::vector<Dfg> suite = buildSuite(suiteSize());
+    return suite;
+}
+
+/** Baseline IIs, cached per unified machine identity. */
+inline const std::vector<int> &
+baselineFor(const MachineDesc &clustered, const CompileOptions &options)
+{
+    static std::map<std::string, std::vector<int>> cache;
+    const MachineDesc unified = clustered.unifiedEquivalent();
+    const std::string key =
+        unified.name + "/" +
+        (options.scheduler == SchedulerKind::Swing ? "sms" : "ims");
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(key, unifiedBaseline(sharedSuite(), unified,
+                                               options))
+                 .first;
+    }
+    return it->second;
+}
+
+/** Runs one series of a figure over the shared suite. */
+inline DeviationSeries
+runSeries(const std::string &label, const MachineDesc &machine,
+          const CompileOptions &options = {})
+{
+    std::cerr << "running " << label << " (" << sharedSuite().size()
+              << " loops on " << machine.name << ")..." << std::endl;
+    return runClusteredSeries(sharedSuite(), machine,
+                              baselineFor(machine, options), options,
+                              label);
+}
+
+inline void
+printFigure(const std::string &title,
+            const std::vector<DeviationSeries> &series)
+{
+    std::cout << renderDeviationFigure(title, series) << std::endl;
+    // Set CAMS_CSV=1 to additionally dump machine-readable data for
+    // external plotting.
+    if (std::getenv("CAMS_CSV"))
+        std::cout << renderDeviationCsv(series) << std::endl;
+}
+
+} // namespace benchutil
+} // namespace cams
+
+#endif // CAMS_BENCH_COMMON_HH

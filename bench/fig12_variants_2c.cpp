@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Figure 12: the four assignment variants on the
+ * two-cluster machine (2 buses, 4 GP units per cluster, 1 port).
+ *
+ * Paper shape: Heuristic-Iterative dominates with ~99% of loops at
+ * x = 0; dropping iteration costs 2-11%, dropping the heuristic
+ * costs 1-9%.
+ */
+
+#include "bench/common.hh"
+#include "machine/configs.hh"
+
+int
+main()
+{
+    using namespace cams;
+    const MachineDesc machine = busedGpMachine(2, 2, 1);
+
+    std::vector<DeviationSeries> series;
+    struct Variant
+    {
+        const char *label;
+        bool iterative;
+        bool heuristic;
+    };
+    const Variant variants[] = {
+        {"heuristic-iterative", true, true},
+        {"simple-iterative", true, false},
+        {"heuristic", false, true},
+        {"simple", false, false},
+    };
+    for (const Variant &variant : variants) {
+        CompileOptions options;
+        options.assign.iterative = variant.iterative;
+        options.assign.fullHeuristic = variant.heuristic;
+        series.push_back(
+            benchutil::runSeries(variant.label, machine, options));
+    }
+    benchutil::printFigure(
+        "Figure 12: assignment variants, 2 clusters x 4 GP, 2 buses, "
+        "1 port",
+        series);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces Figure 13: the four assignment variants on the
+ * four-cluster machine (4 buses, 4 GP units per cluster, 2 ports).
+ */
+
+#include "bench/common.hh"
+#include "machine/configs.hh"
+
+int
+main()
+{
+    using namespace cams;
+    const MachineDesc machine = busedGpMachine(4, 4, 2);
+
+    std::vector<DeviationSeries> series;
+    struct Variant
+    {
+        const char *label;
+        bool iterative;
+        bool heuristic;
+    };
+    const Variant variants[] = {
+        {"heuristic-iterative", true, true},
+        {"simple-iterative", true, false},
+        {"heuristic", false, true},
+        {"simple", false, false},
+    };
+    for (const Variant &variant : variants) {
+        CompileOptions options;
+        options.assign.iterative = variant.iterative;
+        options.assign.fullHeuristic = variant.heuristic;
+        series.push_back(
+            benchutil::runSeries(variant.label, machine, options));
+    }
+    benchutil::printFigure(
+        "Figure 13: assignment variants, 4 clusters x 4 GP, 4 buses, "
+        "2 ports",
+        series);
+    return 0;
+}

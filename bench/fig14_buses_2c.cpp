@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduces Figure 14: bus-count sweep {1, 2, 4} on the two-cluster
+ * GP machine (1 port). Paper shape: one bus hurts ~4% of loops; two
+ * buses suffice; four add nothing.
+ */
+
+#include "bench/common.hh"
+#include "machine/configs.hh"
+
+int
+main()
+{
+    using namespace cams;
+    std::vector<DeviationSeries> series;
+    for (int buses : {1, 2, 4}) {
+        series.push_back(benchutil::runSeries(
+            std::to_string(buses) + " bus(es)",
+            busedGpMachine(2, buses, 1)));
+    }
+    benchutil::printFigure(
+        "Figure 14: varying buses, 2 clusters x 4 GP, 1 port", series);
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduces Figure 15: port-count sweep {1, 2} on the two-cluster
+ * GP machine with 2 buses. Paper shape: one port is enough; the
+ * second improves only ~0.1% of loops.
+ */
+
+#include "bench/common.hh"
+#include "machine/configs.hh"
+
+int
+main()
+{
+    using namespace cams;
+    std::vector<DeviationSeries> series;
+    for (int ports : {1, 2}) {
+        series.push_back(benchutil::runSeries(
+            std::to_string(ports) + " port(s)",
+            busedGpMachine(2, 2, ports)));
+    }
+    benchutil::printFigure(
+        "Figure 15: varying ports, 2 clusters x 4 GP, 2 buses", series);
+    return 0;
+}

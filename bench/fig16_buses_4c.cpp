@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduces Figure 16: bus-count sweep {2, 4, 8} on the four-cluster
+ * GP machine (2 ports). Paper shape: two buses hurt >10% of loops;
+ * four are the knee; eight add ~3%.
+ */
+
+#include "bench/common.hh"
+#include "machine/configs.hh"
+
+int
+main()
+{
+    using namespace cams;
+    std::vector<DeviationSeries> series;
+    for (int buses : {2, 4, 8}) {
+        series.push_back(benchutil::runSeries(
+            std::to_string(buses) + " buses",
+            busedGpMachine(4, buses, 2)));
+    }
+    benchutil::printFigure(
+        "Figure 16: varying buses, 4 clusters x 4 GP, 2 ports", series);
+    return 0;
+}

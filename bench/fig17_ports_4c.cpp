@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduces Figure 17: port-count sweep {1, 2, 4} on the
+ * four-cluster GP machine with 4 buses. Paper shape: one port hurts
+ * ~12% of loops, two are the knee, four are marginal.
+ */
+
+#include "bench/common.hh"
+#include "machine/configs.hh"
+
+int
+main()
+{
+    using namespace cams;
+    std::vector<DeviationSeries> series;
+    for (int ports : {1, 2, 4}) {
+        series.push_back(benchutil::runSeries(
+            std::to_string(ports) + " port(s)",
+            busedGpMachine(4, 4, ports)));
+    }
+    benchutil::printFigure(
+        "Figure 17: varying ports, 4 clusters x 4 GP, 4 buses", series);
+    return 0;
+}

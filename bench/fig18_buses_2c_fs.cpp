@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduces Figure 18: bus sweep on the two-cluster machine with
+ * four fully-specialized units per cluster (1 mem, 2 int, 1 FP),
+ * 1 port. Paper shape: ~95% of loops match the unified II at 2 buses.
+ */
+
+#include "bench/common.hh"
+#include "machine/configs.hh"
+
+int
+main()
+{
+    using namespace cams;
+    std::vector<DeviationSeries> series;
+    for (int buses : {1, 2, 4}) {
+        series.push_back(benchutil::runSeries(
+            std::to_string(buses) + " bus(es)",
+            busedFsMachine(2, buses, 1)));
+    }
+    benchutil::printFigure(
+        "Figure 18: varying buses, 2 clusters x 4 FS, 1 port", series);
+    return 0;
+}

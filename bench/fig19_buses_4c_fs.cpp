@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduces Figure 19: bus sweep on the four-cluster machine with
+ * four fully-specialized units per cluster, 2 ports. Paper shape:
+ * ~94% of loops match the unified II at 4 buses.
+ */
+
+#include "bench/common.hh"
+#include "machine/configs.hh"
+
+int
+main()
+{
+    using namespace cams;
+    std::vector<DeviationSeries> series;
+    for (int buses : {2, 4, 8}) {
+        series.push_back(benchutil::runSeries(
+            std::to_string(buses) + " buses",
+            busedFsMachine(4, buses, 2)));
+    }
+    benchutil::printFigure(
+        "Figure 19: varying buses, 4 clusters x 4 FS, 2 ports", series);
+    return 0;
+}

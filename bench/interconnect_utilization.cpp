@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Interconnect occupancy behind the bus/port sweeps: average bus,
+ * link and port utilization of the compiled kernels on each machine
+ * of Figures 14-17 plus the grid. The knees in those figures appear
+ * exactly where average utilization drops away from saturation.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "machine/configs.hh"
+#include "report/interconnect.hh"
+#include "support/stats.hh"
+#include "support/str.hh"
+
+int
+main()
+{
+    using namespace cams;
+
+    const std::vector<MachineDesc> machines = {
+        busedGpMachine(2, 1, 1), busedGpMachine(2, 2, 1),
+        busedGpMachine(2, 4, 1), busedGpMachine(4, 2, 2),
+        busedGpMachine(4, 4, 2), busedGpMachine(4, 8, 2),
+        gridMachine(),
+    };
+
+    TextTable table({"machine", "avg bus/link util", "max", "avg rd "
+                     "port util", "avg wr port util", "avg copies"});
+    for (const MachineDesc &machine : machines) {
+        const ResourceModel model(machine);
+        RunningStat channel;
+        RunningStat read_ports;
+        RunningStat write_ports;
+        RunningStat copies;
+        for (const Dfg &loop : benchutil::sharedSuite()) {
+            const CompileResult result = compileClustered(loop, machine);
+            if (!result.success)
+                continue;
+            const InterconnectStats stats = computeInterconnectStats(
+                result.loop, result.schedule, model);
+            if (machine.broadcast()) {
+                channel.add(stats.busUtilization);
+            } else {
+                for (double link : stats.linkUtilization)
+                    channel.add(link);
+            }
+            read_ports.add(stats.readPortUtilization);
+            write_ports.add(stats.writePortUtilization);
+            copies.add(stats.copies);
+        }
+        table.addRow({machine.name, formatFixed(channel.mean(), 3),
+                      formatFixed(channel.max(), 2),
+                      formatFixed(read_ports.mean(), 3),
+                      formatFixed(write_ports.mean(), 3),
+                      formatFixed(copies.mean(), 2)});
+    }
+    std::cout << "== Interconnect utilization across the suite ==\n"
+              << table.render();
+    return 0;
+}

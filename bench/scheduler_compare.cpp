@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Phase-2 scheduler comparison: the iterative Swing scheduler (the
+ * paper's choice) against Rau's IMS, on the unified 8-wide machine
+ * and on the clustered 2x4-GP machine over the full suite. Reports
+ * how often each reaches the MII (unified) or the unified baseline II
+ * (clustered), plus the average achieved II.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "machine/configs.hh"
+#include "sched/mii.hh"
+#include "support/stats.hh"
+#include "support/str.hh"
+
+int
+main()
+{
+    using namespace cams;
+    const MachineDesc clustered = busedGpMachine(2, 2, 1);
+    const MachineDesc unified = clustered.unifiedEquivalent();
+
+    TextTable table({"scheduler", "unified: %II=MII", "avg II/MII",
+                     "clustered: %match", "avg deviation"});
+
+    for (SchedulerKind kind :
+         {SchedulerKind::Swing, SchedulerKind::Iterative}) {
+        CompileOptions options;
+        options.scheduler = kind;
+
+        long at_mii = 0;
+        long total = 0;
+        RunningStat ratio;
+        for (const Dfg &loop : benchutil::sharedSuite()) {
+            const CompileResult result =
+                compileUnified(loop, unified, options);
+            if (!result.success)
+                continue;
+            ++total;
+            if (result.ii == result.mii.mii)
+                ++at_mii;
+            ratio.add(static_cast<double>(result.ii) / result.mii.mii);
+        }
+
+        const DeviationSeries series = benchutil::runSeries(
+            kind == SchedulerKind::Swing ? "sms" : "ims", clustered,
+            options);
+        RunningStat deviation;
+        for (const auto &[value, count] : series.deviations.bins()) {
+            for (uint64_t i = 0; i < count; ++i)
+                deviation.add(static_cast<double>(value));
+        }
+
+        table.addRow({
+            kind == SchedulerKind::Swing ? "swing (iterative)" : "ims",
+            formatFixed(100.0 * at_mii / std::max(1L, total), 1),
+            formatFixed(ratio.mean(), 3),
+            formatFixed(series.percentAt(0), 1),
+            formatFixed(deviation.mean(), 3),
+        });
+    }
+
+    std::cout << "== Scheduler comparison (suite of "
+              << benchutil::sharedSuite().size() << " loops) ==\n"
+              << table.render();
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces Table 3: for 2/4/6/8 clusters of 4 GP units at the
+ * paper's knee bus/port counts, the percentage of loops whose II
+ * matches the equally wide unified machine.
+ *
+ * Paper: 2c/2b/1p 99.7%; 4c/4b/2p 97.5%; 6c/6b/3p 96.5%;
+ * 8c/7b/3p 99.5%.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "machine/configs.hh"
+#include "support/str.hh"
+
+int
+main()
+{
+    using namespace cams;
+    struct Config
+    {
+        int clusters;
+        int buses;
+        int ports;
+        const char *paper;
+    };
+    const Config configs[] = {
+        {2, 2, 1, "99.7"},
+        {4, 4, 2, "97.5"},
+        {6, 6, 3, "96.5"},
+        {8, 7, 3, "99.5"},
+    };
+
+    TextTable table({"clusters", "buses", "ports", "% of unified",
+                     "paper %", "copies", "fail"});
+    for (const Config &config : configs) {
+        const MachineDesc machine =
+            busedGpMachine(config.clusters, config.buses, config.ports);
+        const DeviationSeries series =
+            benchutil::runSeries(machine.name, machine);
+        table.addRow({std::to_string(config.clusters),
+                      std::to_string(config.buses),
+                      std::to_string(config.ports),
+                      formatFixed(series.percentAt(0), 1), config.paper,
+                      std::to_string(series.totalCopies),
+                      std::to_string(series.failures)});
+    }
+    std::cout << "== Table 3: bus/port resource comparisons ==\n"
+              << table.render();
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Building a custom machine: a 2x2 point-to-point grid, plus a
+ * user-defined ring machine, compiled against a text-format loop.
+ * Demonstrates the machine-description API, copy routing over links
+ * (multi-hop chains to non-neighbors), and the text loop format.
+ */
+
+#include <iostream>
+
+#include "graph/textio.hh"
+#include "machine/configs.hh"
+#include "pipeline/driver.hh"
+
+int
+main()
+{
+    using namespace cams;
+
+    // A loop in the text format (this could come from a file).
+    const std::string source = R"(
+        loop smooth
+        # x[i] = (a[i-1] + a[i] + a[i+1]) / 3 with a running sum
+        node ld0 ld
+        node ld1 ld
+        node ld2 ld
+        node add0 fadd
+        node add1 fadd
+        node scale fmul
+        node acc fadd
+        node st st
+        node cnt add
+        node br br
+        edge ld0 add0
+        edge ld1 add0
+        edge add0 add1
+        edge ld2 add1
+        edge add1 scale
+        edge scale st
+        edge scale acc
+        edge acc acc dist=1
+        edge cnt br
+    )";
+
+    Dfg loop;
+    std::string error;
+    if (!parseDfg(source, loop, error)) {
+        std::cerr << "parse error: " << error << "\n";
+        return 1;
+    }
+
+    // The paper's grid (Figure 4): 4 clusters of 1 mem + 1 int + 1 FP
+    // unit, links along the square's sides only.
+    const MachineDesc grid = gridMachine();
+
+    // A custom 4-cluster ring: same clusters, different topology.
+    MachineDesc ring = grid;
+    ring.name = "4c-ring-2p";
+    ring.links = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+    ring.validate();
+
+    const CompileResult base =
+        compileUnified(loop, grid.unifiedEquivalent());
+    std::cout << "unified (4m/4i/4f): II = " << base.ii << "\n";
+
+    for (const MachineDesc &machine : {grid, ring}) {
+        const CompileResult result = compileClustered(loop, machine);
+        std::cout << machine.name << ": ";
+        if (!result.success) {
+            std::cout << "failed\n";
+            continue;
+        }
+        std::cout << "II = " << result.ii
+                  << ", copies = " << result.copies
+                  << " (deviation " << result.ii - base.ii << ")\n";
+        // Multi-hop chains show up as copies feeding copies.
+        for (NodeId v = result.loop.numOriginalNodes;
+             v < result.loop.graph.numNodes(); ++v) {
+            const auto &place = result.loop.placement[v];
+            std::cout << "    " << result.loop.graph.node(v).name
+                      << ": C" << place.cluster << " -> C"
+                      << place.copyDsts[0] << "\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Compiles the bundled Livermore-style kernels on the paper's machine
+ * zoo and prints an II comparison table: unified vs 2/4-cluster GP,
+ * 2/4-cluster FS and the 4-cluster grid, with copy counts and
+ * register pressure. The motivating scenario of the paper's intro:
+ * how much throughput does clustering cost on real loop kernels?
+ */
+
+#include <iostream>
+
+#include "machine/configs.hh"
+#include "pipeline/driver.hh"
+#include "report/table.hh"
+#include "sched/regmetrics.hh"
+#include "workload/kernels.hh"
+
+int
+main()
+{
+    using namespace cams;
+
+    const std::vector<MachineDesc> machines = {
+        busedGpMachine(2, 2, 1), busedGpMachine(4, 4, 2),
+        busedFsMachine(2, 2, 1), busedFsMachine(4, 4, 2),
+        gridMachine(),
+    };
+
+    std::vector<std::string> headers = {"kernel", "unified(8gp) II"};
+    for (const MachineDesc &machine : machines)
+        headers.push_back(machine.name);
+    headers.push_back("MaxLive@2c");
+    TextTable table(headers);
+
+    for (const Dfg &kernel : allKernels()) {
+        std::vector<std::string> row = {kernel.name()};
+
+        // Baseline on the widest unified equivalent (8 GP units).
+        const MachineDesc unified =
+            machines.front().unifiedEquivalent();
+        const CompileResult base = compileUnified(kernel, unified);
+        row.push_back(base.success ? std::to_string(base.ii) : "-");
+
+        std::string pressure = "-";
+        for (const MachineDesc &machine : machines) {
+            const CompileResult result =
+                compileClustered(kernel, machine);
+            if (!result.success) {
+                row.push_back("fail");
+                continue;
+            }
+            std::string cell = std::to_string(result.ii);
+            if (result.copies > 0)
+                cell += "(+" + std::to_string(result.copies) + "cp)";
+            row.push_back(cell);
+            if (&machine == &machines.front()) {
+                const RegMetrics regs =
+                    computeRegMetrics(result.loop, result.schedule);
+                pressure = std::to_string(regs.maxLive);
+            }
+        }
+        row.push_back(pressure);
+        table.addRow(row);
+    }
+
+    std::cout << "II per kernel and machine "
+                 "(cells: II(+copies)); unified baseline is the "
+                 "equally wide single-cluster machine\n\n";
+    std::cout << table.render();
+    return 0;
+}

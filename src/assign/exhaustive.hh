@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Exhaustive cluster-assignment oracle for small loops.
+ *
+ * Enumerates every cluster partition of the operations and checks
+ * count-mode resource feasibility (function units, the per-value
+ * copies with their ports and buses/links) plus the recurrence bound
+ * of the annotated graph. Exponential, so only usable for a handful
+ * of operations -- which is exactly what makes it a trustworthy
+ * quality oracle for the heuristic in tests and analyses: when the
+ * oracle proves no assignment exists at an II, a deviation there is
+ * optimal, and when it finds one, the heuristic should not be far
+ * behind.
+ */
+
+#ifndef CAMS_ASSIGN_EXHAUSTIVE_HH
+#define CAMS_ASSIGN_EXHAUSTIVE_HH
+
+#include "graph/dfg.hh"
+#include "mrt/mrt.hh"
+
+namespace cams
+{
+
+/** Oracle verdict for one loop at one II. */
+enum class ExhaustiveVerdict
+{
+    Feasible,   ///< some partition fits the resources at this II
+    Infeasible, ///< no partition fits: a larger II is unavoidable
+    TooLarge,   ///< the loop exceeds the enumeration budget
+};
+
+/**
+ * Searches all placements of the loop at the given II.
+ *
+ * @param max_nodes enumeration cutoff: numClusters^numNodes must not
+ *        exceed numClusters^max_nodes.
+ *
+ * The feasibility model matches the assignment phase: one FU slot per
+ * op; per crossing value, one broadcast copy (bused) or a BFS hop
+ * chain (point-to-point); and the annotated recurrence bound RecMII
+ * must not exceed the II (split recurrences pay their copy latency).
+ */
+ExhaustiveVerdict exhaustiveFeasible(const Dfg &graph,
+                                     const ResourceModel &model, int ii,
+                                     int max_nodes = 14);
+
+/**
+ * Smallest II in [lower, limit] the oracle accepts, or 0 when the
+ * loop is too large to enumerate (and -1 when nothing up to the
+ * limit works).
+ */
+int exhaustiveBestIi(const Dfg &graph, const ResourceModel &model,
+                     int lower, int limit, int max_nodes = 14);
+
+} // namespace cams
+
+#endif // CAMS_ASSIGN_EXHAUSTIVE_HH

@@ -1,0 +1,77 @@
+#include "assign/router.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+std::vector<Hop>
+planHops(const MachineDesc &machine, ClusterId src,
+         const std::vector<ClusterId> &dsts)
+{
+    cams_assert(machine.interconnect == InterconnectKind::PointToPoint,
+                "planHops on a bused machine");
+
+    // BFS from the source; neighbors() returns ascending ids, so the
+    // parent tree is deterministic.
+    const int n = machine.numClusters();
+    std::vector<ClusterId> parent(n, invalidCluster);
+    std::vector<bool> seen(n, false);
+    std::vector<int> bfs_depth(n, 0);
+    std::deque<ClusterId> queue;
+    queue.push_back(src);
+    seen[src] = true;
+    while (!queue.empty()) {
+        const ClusterId at = queue.front();
+        queue.pop_front();
+        for (ClusterId next : machine.neighbors(at)) {
+            if (!seen[next]) {
+                seen[next] = true;
+                parent[next] = at;
+                bfs_depth[next] = bfs_depth[at] + 1;
+                queue.push_back(next);
+            }
+        }
+    }
+
+    // Collect every cluster on some source->destination path.
+    std::vector<bool> needed(n, false);
+    for (ClusterId dst : dsts) {
+        cams_assert(dst != src, "routing a value to its own cluster");
+        if (!seen[dst]) {
+            cams_fatal("cluster ", dst, " unreachable from ", src,
+                       " on machine '", machine.name, "'");
+        }
+        for (ClusterId at = dst; at != src; at = parent[at])
+            needed[at] = true;
+    }
+
+    // Emit hops ordered by BFS depth: parents always precede children.
+    struct Entry
+    {
+        int depth;
+        ClusterId to;
+    };
+    std::vector<Entry> entries;
+    for (ClusterId c = 0; c < n; ++c) {
+        if (needed[c])
+            entries.push_back({bfs_depth[c], c});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &x, const Entry &y) {
+                  if (x.depth != y.depth)
+                      return x.depth < y.depth;
+                  return x.to < y.to;
+              });
+
+    std::vector<Hop> hops;
+    hops.reserve(entries.size());
+    for (const Entry &entry : entries)
+        hops.push_back({parent[entry.to], entry.to});
+    return hops;
+}
+
+} // namespace cams

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Copy routing.
+ *
+ * On a bused machine a value reaches any set of destination clusters
+ * with a single broadcast copy, so no routing is needed. On a
+ * point-to-point machine (the paper's grid, Figure 4) a value must be
+ * relayed hop by hop along links; a destination two hops away costs a
+ * chain of two copies. This module plans the set of hops -- a tree
+ * rooted at the source cluster, built over BFS shortest paths so that
+ * routes to multiple destinations share their common prefix.
+ */
+
+#ifndef CAMS_ASSIGN_ROUTER_HH
+#define CAMS_ASSIGN_ROUTER_HH
+
+#include <vector>
+
+#include "machine/machine.hh"
+
+namespace cams
+{
+
+/** One relay step of a routed copy. */
+struct Hop
+{
+    ClusterId from = invalidCluster;
+    ClusterId to = invalidCluster;
+
+    bool operator==(const Hop &other) const = default;
+};
+
+/**
+ * Plans the hop tree delivering a value from @p src to every cluster
+ * in @p dsts over the machine's links.
+ *
+ * Hops are returned in a topological order of the tree (a hop's
+ * source is either @p src or the target of an earlier hop), which is
+ * also the order copy operations must be chained in the graph.
+ * Deterministic: BFS visits neighbors in ascending cluster id.
+ *
+ * Fatal when some destination is unreachable (validate() rejects
+ * such machines already).
+ */
+std::vector<Hop> planHops(const MachineDesc &machine, ClusterId src,
+                          const std::vector<ClusterId> &dsts);
+
+} // namespace cams
+
+#endif // CAMS_ASSIGN_ROUTER_HH

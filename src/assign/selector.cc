@@ -1,0 +1,113 @@
+#include "assign/selector.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+namespace
+{
+
+using Filter = std::function<bool(const ClusterChoice &)>;
+
+/** Figure 9: keep the old list when the filter would empty it. */
+void
+softSelect(std::vector<const ClusterChoice *> &list, const Filter &keep)
+{
+    std::vector<const ClusterChoice *> filtered;
+    for (const ClusterChoice *choice : list) {
+        if (keep(*choice))
+            filtered.push_back(choice);
+    }
+    if (!filtered.empty())
+        list = std::move(filtered);
+}
+
+/** Keeps the minimizers of a metric (soft: a min always exists). */
+void
+softSelectMin(std::vector<const ClusterChoice *> &list,
+              const std::function<int(const ClusterChoice &)> &metric)
+{
+    if (list.empty())
+        return;
+    int best = metric(*list.front());
+    for (const ClusterChoice *choice : list)
+        best = std::min(best, metric(*choice));
+    softSelect(list, [&](const ClusterChoice &choice) {
+        return metric(choice) == best;
+    });
+}
+
+} // namespace
+
+ClusterId
+selectBestCluster(const std::vector<ClusterChoice> &choices,
+                  bool full_heuristic, bool avoid_previous, bool in_scc,
+                  int rotation, bool use_scc_affinity, bool use_pcr)
+{
+    std::vector<const ClusterChoice *> list;
+    for (const ClusterChoice &choice : choices) {
+        if (choice.feasible)
+            list.push_back(&choice);
+    }
+    if (list.empty())
+        return invalidCluster;
+
+    if (avoid_previous) {
+        softSelect(list, [](const ClusterChoice &choice) {
+            return !choice.previouslyTried;
+        });
+    }
+
+    if (full_heuristic) {
+        if (in_scc && use_scc_affinity) {
+            softSelect(list, [](const ClusterChoice &choice) {
+                return choice.sccMate;
+            });
+        }
+        if (use_pcr) {
+            softSelect(list, [](const ClusterChoice &choice) {
+                return choice.pcrOk;
+            });
+            softSelect(list, [](const ClusterChoice &choice) {
+                return choice.pcrInOk;
+            });
+        }
+        softSelectMin(list, [](const ClusterChoice &choice) {
+            return choice.requiredCopies;
+        });
+        softSelectMin(list, [](const ClusterChoice &choice) {
+            return -choice.freeResources;
+        });
+    }
+
+    return list[static_cast<size_t>(rotation) % list.size()]->cluster;
+}
+
+ClusterId
+selectForcedCluster(const std::vector<ClusterChoice> &choices,
+                    bool avoid_previous)
+{
+    cams_assert(!choices.empty(), "forced selection over no clusters");
+    std::vector<const ClusterChoice *> list;
+    for (const ClusterChoice &choice : choices)
+        list.push_back(&choice);
+
+    if (avoid_previous) {
+        softSelect(list, [](const ClusterChoice &choice) {
+            return !choice.previouslyTried;
+        });
+    }
+    softSelect(list, [](const ClusterChoice &choice) {
+        return choice.bareOpFits;
+    });
+    softSelectMin(list, [](const ClusterChoice &choice) {
+        return choice.conflictingNeighbors;
+    });
+    return list.front()->cluster;
+}
+
+} // namespace cams

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The cluster selection cascades of the paper's Figures 9, 10 and 11.
+ *
+ * A Select(LIST, criteria) step keeps only the clusters satisfying the
+ * criteria -- unless that would empty the list, in which case the list
+ * is left untouched (Figure 9). Every criterion is therefore a soft
+ * preference, applied in a fixed order of importance:
+ *
+ *  Figure 10 (normal assignment, full heuristic):
+ *    1. feasible clusters only (hard: the initial list)
+ *    A. clusters this node has not been tried on before (iterative)
+ *    2. clusters already hosting another node of this node's SCC
+ *    3. clusters whose predicted copy requests fit the reservable room
+ *    4. clusters minimizing the required copies this placement adds
+ *    5. clusters maximizing free resources
+ *
+ *  The "simple" selection variant of Section 6 drops steps 2-5.
+ *
+ *  Figure 11 (after a failure, choosing where to force the node):
+ *    1. all clusters (the initial list)
+ *    A. clusters this node has not been tried on before (iterative)
+ *    2. clusters where the bare operation fits without conflicts
+ *    3. clusters minimizing conflicting predecessors/successors
+ */
+
+#ifndef CAMS_ASSIGN_SELECTOR_HH
+#define CAMS_ASSIGN_SELECTOR_HH
+
+#include <vector>
+
+#include "machine/machine.hh"
+
+namespace cams
+{
+
+/** Facts gathered about one tentative cluster assignment. */
+struct ClusterChoice
+{
+    ClusterId cluster = invalidCluster;
+
+    /** Node + required copies fit the MRT (hard requirement). */
+    bool feasible = false;
+
+    /** Node was previously assigned here (repetition avoidance). */
+    bool previouslyTried = false;
+
+    /** Another node of the same SCC already lives here. */
+    bool sccMate = false;
+
+    /** Predicted copy requests <= maximum reservable copies. */
+    bool pcrOk = false;
+
+    /** Predicted incoming copies fit the write-port/bus room. */
+    bool pcrInOk = false;
+
+    /** Copy operations this placement adds (required copies). */
+    int requiredCopies = 0;
+
+    /** Free local slots on the cluster after the placement. */
+    int freeResources = 0;
+
+    /** Bare-op fit ignoring copies (Figure 11 line 3). */
+    bool bareOpFits = false;
+
+    /** Already-placed neighbors on other clusters (Figure 11 line 4). */
+    int conflictingNeighbors = 0;
+};
+
+/**
+ * Figure 10 cascade over tentatively evaluated clusters.
+ *
+ * @param choices one entry per feasible cluster (infeasible entries
+ *        are ignored).
+ * @param full_heuristic apply steps 2-5; false reproduces the paper's
+ *        "Simple" selection.
+ * @param avoid_previous apply step A (iterative variants only).
+ * @param in_scc the node belongs to a non-trivial SCC (enables 2).
+ * @param rotation rotates the final pick among equally ranked
+ *        clusters; the assigner advances it after every forced
+ *        placement so repeated repair rounds explore different
+ *        tie-breaks instead of cycling (§4.3.2's goal).
+ * @return the selected cluster, or invalidCluster when nothing is
+ *         feasible.
+ */
+ClusterId selectBestCluster(const std::vector<ClusterChoice> &choices,
+                            bool full_heuristic, bool avoid_previous,
+                            bool in_scc, int rotation = 0,
+                            bool use_scc_affinity = true,
+                            bool use_pcr = true);
+
+/**
+ * Figure 11 cascade: where to force a node nothing can host.
+ *
+ * @param choices one entry per cluster of the machine.
+ * @return the selected cluster (never invalidCluster for a non-empty
+ *         input).
+ */
+ClusterId selectForcedCluster(const std::vector<ClusterChoice> &choices,
+                              bool avoid_previous);
+
+} // namespace cams
+
+#endif // CAMS_ASSIGN_SELECTOR_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Textual VLIW code emission for a compiled loop: the steady-state
+ * kernel with stage predicates and rotating-register operands, plus
+ * the fully expanded prologue / kernel / epilogue listing a machine
+ * without predication or rotating files would execute.
+ *
+ * Operand syntax: `c2:r5[-1]` reads register 5 of cluster 2's file,
+ * one iteration back (rotating offset); destinations omit the offset.
+ * Copies print their transport, e.g. `bus` or `link0-1`.
+ */
+
+#ifndef CAMS_CODEGEN_EMIT_HH
+#define CAMS_CODEGEN_EMIT_HH
+
+#include <string>
+
+#include "assign/assignment.hh"
+#include "regalloc/regalloc.hh"
+#include "sched/schedule.hh"
+
+namespace cams
+{
+
+/**
+ * Renders the kernel: one line per II row, every operation printed as
+ *   (pS) cluster: dst = op(operands)
+ * where S is the operation's pipeline stage (its stage predicate on a
+ * Cydra-style predicated machine).
+ */
+std::string emitKernel(const AnnotatedLoop &loop, const Schedule &schedule,
+                       const RegisterAllocation &allocation,
+                       const MachineDesc &machine);
+
+/**
+ * Renders the complete pipeline for a trip count of
+ * stages + extra_iterations: prologue (fill), one kernel body note,
+ * and epilogue (drain), cycle by cycle.
+ */
+std::string emitPipeline(const AnnotatedLoop &loop,
+                         const Schedule &schedule,
+                         const RegisterAllocation &allocation,
+                         const MachineDesc &machine,
+                         int extra_iterations = 1);
+
+/**
+ * Renders the modulo-variable-expanded kernel for a machine *without*
+ * rotating register files: the kernel body unrolled mveFactor times,
+ * with each unrolled copy naming its registers explicitly
+ * (`c0:r5#2` = physical register base 5, instance 2). This is the
+ * code shape Lam's MVE produces instead of relying on Cydra-style
+ * rotating files.
+ */
+std::string emitMveKernel(const AnnotatedLoop &loop,
+                          const Schedule &schedule,
+                          const RegisterAllocation &allocation,
+                          const MachineDesc &machine);
+
+} // namespace cams
+
+#endif // CAMS_CODEGEN_EMIT_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A small loop-body frontend: compiles C-like source for an innermost
+ * loop into the data-flow graph the rest of the pipeline consumes.
+ *
+ *   loop tridiag {
+ *       x[i] = z[i] * (y[i] - x[i-1]);
+ *   }
+ *
+ * Semantics mirror the preprocessing the paper assumes its input
+ * loops already received (load-store elimination, back-substitution):
+ *
+ *  - an array read a[i+k] becomes a Load; repeated reads of the same
+ *    element in one iteration share it;
+ *  - reading an element the loop itself stores (x[i-1] when x[i] is
+ *    assigned) forwards the stored value directly as a loop-carried
+ *    dependence of distance k -- no load is emitted;
+ *  - scalars assigned in the loop carry their previous-iteration
+ *    value into reads that precede the assignment (s += ... becomes
+ *    the classic accumulation recurrence);
+ *  - scalars never assigned in the loop are loop invariants and cost
+ *    nothing, exactly like constants;
+ *  - Fortran convention types identifiers: names starting with i..n
+ *    are integer (IntAlu / IntShift ops), everything else floating
+ *    point (FpAdd / FpMult / FpDiv / FpSqrt);
+ *  - the loop counter and back branch are synthesized.
+ *
+ *  - guarded statements (`if (x[i] > t) ...;`) are IF-converted: the
+ *    comparison becomes a predicate-define operation, predicated
+ *    stores take it as an extra input, and predicated scalar updates
+ *    become selects merging the old and new values (so a guarded
+ *    reduction is a recurrence, as on a real predicated machine);
+ *
+ * Grammar (statements end with ';', '#' or '//' start comments):
+ *
+ *   program   := loopDef
+ *   loopDef   := 'loop' name '{' stmt* '}'
+ *   stmt      := 'if' '(' cond ')' stmt
+ *              | lvalue ('=' | '+=' | '-=' | '*=') expr ';'
+ *   cond      := expr ('<'|'>'|'<='|'>='|'=='|'!=') expr
+ *   lvalue    := ident | ident '[' index ']'
+ *   index     := ident (('+'|'-') integer)?
+ *   expr      := term (('+'|'-') term)*
+ *   term      := shift (('*'|'/') shift)*
+ *   shift     := factor ('<<' factor)*
+ *   factor    := primary | '-' primary
+ *   primary   := number | ident | ident '[' index ']'
+ *              | 'sqrt' '(' expr ')' | '(' expr ')'
+ */
+
+#ifndef CAMS_FRONTEND_PARSER_HH
+#define CAMS_FRONTEND_PARSER_HH
+
+#include <string>
+
+#include "graph/dfg.hh"
+
+namespace cams
+{
+
+/**
+ * Compiles loop source into a graph.
+ * @param error filled with a line-tagged message on failure.
+ * @return true and fills @p out on success.
+ */
+bool parseLoopSource(const std::string &source, Dfg &out,
+                     std::string &error);
+
+} // namespace cams
+
+#endif // CAMS_FRONTEND_PARSER_HH

@@ -1,0 +1,101 @@
+#include "graph/analysis.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+namespace
+{
+
+long
+edgeWeight(const DfgEdge &edge, int ii)
+{
+    return static_cast<long>(edge.latency) -
+           static_cast<long>(ii) * edge.distance;
+}
+
+} // namespace
+
+TimeAnalysis
+analyzeTiming(const Dfg &graph, int ii)
+{
+    cams_assert(ii >= 1, "analyzeTiming at ii ", ii);
+    const int n = graph.numNodes();
+    TimeAnalysis result;
+    result.ii = ii;
+    result.asap.assign(n, 0);
+
+    // ASAP: longest path from the virtual source.
+    bool changed = true;
+    for (int round = 0; round <= n && changed; ++round) {
+        changed = false;
+        for (const DfgEdge &edge : graph.edges()) {
+            const long cand = result.asap[edge.src] + edgeWeight(edge, ii);
+            if (cand > result.asap[edge.dst]) {
+                cams_assert(round < n,
+                            "positive cycle: II ", ii, " < RecMII");
+                result.asap[edge.dst] = static_cast<int>(cand);
+                changed = true;
+            }
+        }
+    }
+
+    result.criticalPath = 0;
+    for (NodeId v = 0; v < n; ++v) {
+        result.criticalPath = std::max(
+            result.criticalPath, result.asap[v] + graph.node(v).latency);
+    }
+
+    // Height: longest weighted path from the node to any sink plus the
+    // sink's own latency. Edge weights already carry the producer's
+    // result delay, so the recurrence is
+    //   height(v) = max(lat(v), max over e=(v,s) of height(s) + w(e)).
+    result.height.assign(n, 0);
+    for (NodeId v = 0; v < n; ++v)
+        result.height[v] = graph.node(v).latency;
+    changed = true;
+    for (int round = 0; round <= n && changed; ++round) {
+        changed = false;
+        for (const DfgEdge &edge : graph.edges()) {
+            const long cand =
+                result.height[edge.dst] + edgeWeight(edge, ii);
+            if (cand > result.height[edge.src]) {
+                cams_assert(round < n,
+                            "positive cycle: II ", ii, " < RecMII");
+                result.height[edge.src] = static_cast<int>(cand);
+                changed = true;
+            }
+        }
+    }
+
+    // ALAP: latest start keeping the critical-path length.
+    result.alap.assign(n, 0);
+    for (NodeId v = 0; v < n; ++v)
+        result.alap[v] = result.criticalPath - graph.node(v).latency;
+    changed = true;
+    for (int round = 0; round <= n && changed; ++round) {
+        changed = false;
+        for (const DfgEdge &edge : graph.edges()) {
+            const long cand = result.alap[edge.dst] - edgeWeight(edge, ii);
+            if (cand < result.alap[edge.src]) {
+                cams_assert(round < n,
+                            "positive cycle: II ", ii, " < RecMII");
+                result.alap[edge.src] = static_cast<int>(cand);
+                changed = true;
+            }
+        }
+    }
+
+    result.mobility.assign(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+        result.mobility[v] = result.alap[v] - result.asap[v];
+        cams_assert(result.mobility[v] >= 0, "negative mobility on node ",
+                    v, " at II ", ii);
+    }
+    return result;
+}
+
+} // namespace cams

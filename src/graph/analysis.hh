@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Timing analyses of a loop graph at a candidate initiation interval:
+ * earliest/latest start times, mobility and height-based priorities.
+ *
+ * With modulo scheduling an edge e = (u, v) constrains
+ *   start(v) >= start(u) + latency(e) - II * distance(e),
+ * so all analyses are longest-path computations over edges weighted
+ * latency - II*distance. They are well defined whenever II >= RecMII
+ * (no positive cycles) and are computed by Bellman-Ford style
+ * relaxation, which handles the cyclic graphs directly.
+ */
+
+#ifndef CAMS_GRAPH_ANALYSIS_HH
+#define CAMS_GRAPH_ANALYSIS_HH
+
+#include <vector>
+
+#include "graph/dfg.hh"
+
+namespace cams
+{
+
+/** Timing facts about every node at a given II. */
+struct TimeAnalysis
+{
+    int ii = 0;
+
+    /** Earliest legal issue cycle of each node (>= 0). */
+    std::vector<int> asap;
+
+    /** Latest issue cycle consistent with the critical-path length. */
+    std::vector<int> alap;
+
+    /** alap - asap; 0 for critical nodes. */
+    std::vector<int> mobility;
+
+    /**
+     * Modulo height: longest weighted path from the node to any sink,
+     * including the node's own latency (Rau's HeightR analogue).
+     */
+    std::vector<int> height;
+
+    /** Longest weighted path length: max(asap + latency). */
+    int criticalPath = 0;
+};
+
+/**
+ * Computes the timing analysis at the given II.
+ *
+ * Panics when the relaxation fails to converge, which means the graph
+ * has a positive cycle at this II (i.e. II < RecMII).
+ */
+TimeAnalysis analyzeTiming(const Dfg &graph, int ii);
+
+} // namespace cams
+
+#endif // CAMS_GRAPH_ANALYSIS_HH

@@ -1,0 +1,54 @@
+#include "graph/dot.hh"
+
+#include <map>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+std::string
+toDot(const Dfg &graph, const std::vector<int> *cluster_of)
+{
+    std::ostringstream os;
+    os << "digraph \"" << (graph.name().empty() ? "loop" : graph.name())
+       << "\" {\n";
+    os << "  node [shape=box, fontname=\"monospace\"];\n";
+
+    auto emitNode = [&](const DfgNode &node, const std::string &indent) {
+        os << indent << "n" << node.id << " [label=\"" << node.name << "\\n"
+           << opcodeName(node.op) << " l" << node.latency << "\"];\n";
+    };
+
+    if (cluster_of) {
+        cams_assert(static_cast<int>(cluster_of->size()) ==
+                        graph.numNodes(),
+                    "cluster map size mismatch");
+        std::map<int, std::vector<NodeId>> by_cluster;
+        for (NodeId v = 0; v < graph.numNodes(); ++v)
+            by_cluster[(*cluster_of)[v]].push_back(v);
+        for (const auto &[cluster, members] : by_cluster) {
+            os << "  subgraph cluster_" << cluster << " {\n";
+            os << "    label=\"C" << cluster << "\";\n";
+            for (NodeId v : members)
+                emitNode(graph.node(v), "    ");
+            os << "  }\n";
+        }
+    } else {
+        for (const DfgNode &node : graph.nodes())
+            emitNode(node, "  ");
+    }
+
+    for (const DfgEdge &edge : graph.edges()) {
+        os << "  n" << edge.src << " -> n" << edge.dst;
+        if (edge.distance > 0) {
+            os << " [style=dashed, label=\"d" << edge.distance << "\"]";
+        }
+        os << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace cams

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Graphviz DOT emission for loop graphs, with optional cluster
+ * assignment coloring (one subgraph per hardware cluster).
+ */
+
+#ifndef CAMS_GRAPH_DOT_HH
+#define CAMS_GRAPH_DOT_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/dfg.hh"
+
+namespace cams
+{
+
+/**
+ * Renders the graph in DOT syntax.
+ *
+ * @param cluster_of optional node -> hardware-cluster map (same length
+ *        as the node count); when present, nodes are grouped into DOT
+ *        subgraphs by cluster. Loop-carried edges are dashed and
+ *        annotated with their distance.
+ */
+std::string toDot(const Dfg &graph,
+                  const std::vector<int> *cluster_of = nullptr);
+
+} // namespace cams
+
+#endif // CAMS_GRAPH_DOT_HH

@@ -1,0 +1,132 @@
+#include "graph/opcode.hh"
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+int
+opcodeLatency(Opcode op)
+{
+    switch (op) {
+      case Opcode::IntAlu:
+      case Opcode::IntShift:
+      case Opcode::Branch:
+      case Opcode::Store:
+      case Opcode::FpAdd:
+      case Opcode::Copy:
+        return 1;
+      case Opcode::Load:
+        return 2;
+      case Opcode::FpMult:
+        return 3;
+      case Opcode::FpDiv:
+      case Opcode::FpSqrt:
+        return 9;
+    }
+    cams_panic("unknown opcode ", static_cast<int>(op));
+}
+
+FuClass
+opcodeFuClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Load:
+      case Opcode::Store:
+        return FuClass::Memory;
+      case Opcode::IntAlu:
+      case Opcode::IntShift:
+      case Opcode::Branch:
+        return FuClass::Integer;
+      case Opcode::FpAdd:
+      case Opcode::FpMult:
+      case Opcode::FpDiv:
+      case Opcode::FpSqrt:
+        return FuClass::Float;
+      case Opcode::Copy:
+        return FuClass::None;
+    }
+    cams_panic("unknown opcode ", static_cast<int>(op));
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::IntAlu:
+        return "add";
+      case Opcode::IntShift:
+        return "shl";
+      case Opcode::Branch:
+        return "br";
+      case Opcode::Store:
+        return "st";
+      case Opcode::Load:
+        return "ld";
+      case Opcode::FpAdd:
+        return "fadd";
+      case Opcode::FpMult:
+        return "fmul";
+      case Opcode::FpDiv:
+        return "fdiv";
+      case Opcode::FpSqrt:
+        return "fsqrt";
+      case Opcode::Copy:
+        return "copy";
+    }
+    cams_panic("unknown opcode ", static_cast<int>(op));
+}
+
+bool
+opcodeFromName(const std::string &name, Opcode &out)
+{
+    static const struct { const char *name; Opcode op; } table[] = {
+        { "add", Opcode::IntAlu },
+        { "shl", Opcode::IntShift },
+        { "br", Opcode::Branch },
+        { "st", Opcode::Store },
+        { "ld", Opcode::Load },
+        { "fadd", Opcode::FpAdd },
+        { "fmul", Opcode::FpMult },
+        { "fdiv", Opcode::FpDiv },
+        { "fsqrt", Opcode::FpSqrt },
+        { "copy", Opcode::Copy },
+    };
+    for (const auto &entry : table) {
+        if (name == entry.name) {
+            out = entry.op;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+isFloatOpcode(Opcode op)
+{
+    return opcodeFuClass(op) == FuClass::Float;
+}
+
+bool
+isMemoryOpcode(Opcode op)
+{
+    return opcodeFuClass(op) == FuClass::Memory;
+}
+
+std::string
+fuClassName(FuClass cls)
+{
+    switch (cls) {
+      case FuClass::Memory:
+        return "mem";
+      case FuClass::Integer:
+        return "int";
+      case FuClass::Float:
+        return "fp";
+      case FuClass::None:
+        return "none";
+    }
+    cams_panic("unknown fu class ", static_cast<int>(cls));
+}
+
+} // namespace cams

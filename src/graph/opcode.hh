@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Operation opcodes, their latencies (the paper's Table 2) and the
+ * function-unit class each opcode executes on.
+ */
+
+#ifndef CAMS_GRAPH_OPCODE_HH
+#define CAMS_GRAPH_OPCODE_HH
+
+#include <string>
+
+namespace cams
+{
+
+/**
+ * Operation kinds distinguished by the machine model.
+ *
+ * These are the latency classes of the paper's Table 2 plus the
+ * explicit inter-cluster Copy operation.
+ */
+enum class Opcode
+{
+    IntAlu,   ///< integer ALU op, latency 1
+    IntShift, ///< shift, latency 1
+    Branch,   ///< loop-back branch, latency 1
+    Store,    ///< memory store, latency 1
+    Load,     ///< memory load, latency 2
+    FpAdd,    ///< FP add/sub/compare, latency 1
+    FpMult,   ///< FP multiply, latency 3
+    FpDiv,    ///< FP divide, latency 9
+    FpSqrt,   ///< FP square root, latency 9
+    Copy,     ///< inter-cluster copy, latency 1, uses ports/bus only
+};
+
+/** Number of distinct opcodes. */
+constexpr int numOpcodes = 10;
+
+/**
+ * Function-unit classes.
+ *
+ * On a fully-specialized (FS) cluster each class maps to its own unit
+ * pool; on a general-purpose (GP) cluster every non-copy opcode runs on
+ * the single GP pool. Copies occupy no function unit at all (paper
+ * §2.1: only port and bus/link resources).
+ */
+enum class FuClass
+{
+    Memory,  ///< loads and stores
+    Integer, ///< integer ALU, shifts, branches
+    Float,   ///< all floating-point ops
+    None,    ///< copies: no function unit / no issue slot
+};
+
+/** Number of real function-unit classes (excluding None). */
+constexpr int numFuClasses = 3;
+
+/** Default latency of an opcode, per the paper's Table 2. */
+int opcodeLatency(Opcode op);
+
+/** Function-unit class an opcode executes on. */
+FuClass opcodeFuClass(Opcode op);
+
+/** Short mnemonic, e.g. "add", "ld", "fmul", "copy". */
+std::string opcodeName(Opcode op);
+
+/** Inverse of opcodeName(); returns false for unknown mnemonics. */
+bool opcodeFromName(const std::string &name, Opcode &out);
+
+/** True for the floating-point opcodes. */
+bool isFloatOpcode(Opcode op);
+
+/** True for loads and stores. */
+bool isMemoryOpcode(Opcode op);
+
+/** Short name of a function-unit class: "mem", "int", "fp", "none". */
+std::string fuClassName(FuClass cls);
+
+} // namespace cams
+
+#endif // CAMS_GRAPH_OPCODE_HH

@@ -1,0 +1,106 @@
+#include "graph/scc.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+int
+SccInfo::numNonTrivial() const
+{
+    return static_cast<int>(
+        std::count(nonTrivial.begin(), nonTrivial.end(), true));
+}
+
+SccInfo
+findSccs(const Dfg &graph)
+{
+    const int n = graph.numNodes();
+    SccInfo info;
+    info.componentOf.assign(n, -1);
+
+    std::vector<int> index(n, -1);
+    std::vector<int> lowlink(n, 0);
+    std::vector<bool> onStack(n, false);
+    std::vector<NodeId> stack;
+    int nextIndex = 0;
+
+    // Explicit DFS frame: node plus position within its out-edge list.
+    struct Frame
+    {
+        NodeId node;
+        size_t edgePos;
+    };
+    std::vector<Frame> dfs;
+
+    for (NodeId root = 0; root < n; ++root) {
+        if (index[root] != -1)
+            continue;
+        dfs.push_back({root, 0});
+        index[root] = lowlink[root] = nextIndex++;
+        stack.push_back(root);
+        onStack[root] = true;
+
+        while (!dfs.empty()) {
+            Frame &frame = dfs.back();
+            const auto &out = graph.outEdges(frame.node);
+            if (frame.edgePos < out.size()) {
+                NodeId next = graph.edge(out[frame.edgePos]).dst;
+                ++frame.edgePos;
+                if (index[next] == -1) {
+                    index[next] = lowlink[next] = nextIndex++;
+                    stack.push_back(next);
+                    onStack[next] = true;
+                    dfs.push_back({next, 0});
+                } else if (onStack[next]) {
+                    lowlink[frame.node] =
+                        std::min(lowlink[frame.node], index[next]);
+                }
+            } else {
+                NodeId done = frame.node;
+                dfs.pop_back();
+                if (!dfs.empty()) {
+                    NodeId parent = dfs.back().node;
+                    lowlink[parent] = std::min(lowlink[parent],
+                                               lowlink[done]);
+                }
+                if (lowlink[done] == index[done]) {
+                    std::vector<NodeId> component;
+                    NodeId member;
+                    do {
+                        member = stack.back();
+                        stack.pop_back();
+                        onStack[member] = false;
+                        info.componentOf[member] =
+                            static_cast<int>(info.components.size());
+                        component.push_back(member);
+                    } while (member != done);
+                    std::reverse(component.begin(), component.end());
+                    info.components.push_back(std::move(component));
+                }
+            }
+        }
+    }
+
+    // A component is a recurrence when it has more than one node or a
+    // self-edge.
+    info.nonTrivial.assign(info.components.size(), false);
+    for (size_t c = 0; c < info.components.size(); ++c) {
+        if (info.components[c].size() > 1) {
+            info.nonTrivial[c] = true;
+        } else {
+            NodeId only = info.components[c][0];
+            for (EdgeId e : graph.outEdges(only)) {
+                if (graph.edge(e).dst == only) {
+                    info.nonTrivial[c] = true;
+                    break;
+                }
+            }
+        }
+    }
+    return info;
+}
+
+} // namespace cams

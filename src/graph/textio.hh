@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Plain-text loop graph format, for fixtures and tooling.
+ *
+ * Grammar (one directive per line, '#' starts a comment):
+ *
+ *   loop <name>
+ *   node <name> <opcode> [lat=<cycles>]
+ *   edge <src-name> <dst-name> [lat=<cycles>] [dist=<iterations>]
+ *
+ * Opcode mnemonics are those of opcodeName(). Omitted latencies use
+ * Table 2 defaults (edges default to the producer's latency); omitted
+ * distances are 0.
+ */
+
+#ifndef CAMS_GRAPH_TEXTIO_HH
+#define CAMS_GRAPH_TEXTIO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/dfg.hh"
+
+namespace cams
+{
+
+/**
+ * Parses one loop graph from text.
+ * @param text the loop description.
+ * @param error filled with a line-tagged message on failure.
+ * @return true and fills @p out on success.
+ */
+bool parseDfg(const std::string &text, Dfg &out, std::string &error);
+
+/** Serializes the graph into the text format (round-trippable). */
+std::string serializeDfg(const Dfg &graph);
+
+} // namespace cams
+
+#endif // CAMS_GRAPH_TEXTIO_HH

@@ -1,0 +1,107 @@
+#include "machine/configs.hh"
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+namespace
+{
+
+ClusterDesc
+gpCluster(int units, int ports)
+{
+    ClusterDesc cluster;
+    cluster.gpUnits = units;
+    cluster.readPorts = ports;
+    cluster.writePorts = ports;
+    return cluster;
+}
+
+ClusterDesc
+fsCluster(int mem_units, int int_units, int fp_units, int ports)
+{
+    ClusterDesc cluster;
+    cluster.fsUnits[static_cast<int>(FuClass::Memory)] = mem_units;
+    cluster.fsUnits[static_cast<int>(FuClass::Integer)] = int_units;
+    cluster.fsUnits[static_cast<int>(FuClass::Float)] = fp_units;
+    cluster.readPorts = ports;
+    cluster.writePorts = ports;
+    return cluster;
+}
+
+} // namespace
+
+MachineDesc
+busedGpMachine(int num_clusters, int buses, int ports)
+{
+    cams_assert(num_clusters >= 1, "need at least one cluster");
+    MachineDesc machine;
+    machine.name = std::to_string(num_clusters) + "c-gp-" +
+                   std::to_string(buses) + "b-" + std::to_string(ports) +
+                   "p";
+    machine.interconnect = InterconnectKind::Bus;
+    machine.numBuses = buses;
+    for (int c = 0; c < num_clusters; ++c)
+        machine.clusters.push_back(gpCluster(4, ports));
+    machine.validate();
+    return machine;
+}
+
+MachineDesc
+busedFsMachine(int num_clusters, int buses, int ports)
+{
+    cams_assert(num_clusters >= 1, "need at least one cluster");
+    MachineDesc machine;
+    machine.name = std::to_string(num_clusters) + "c-fs-" +
+                   std::to_string(buses) + "b-" + std::to_string(ports) +
+                   "p";
+    machine.interconnect = InterconnectKind::Bus;
+    machine.numBuses = buses;
+    for (int c = 0; c < num_clusters; ++c)
+        machine.clusters.push_back(fsCluster(1, 2, 1, ports));
+    machine.validate();
+    return machine;
+}
+
+MachineDesc
+gridMachine(int ports)
+{
+    MachineDesc machine;
+    machine.name = "4c-grid-" + std::to_string(ports) + "p";
+    machine.interconnect = InterconnectKind::PointToPoint;
+    for (int c = 0; c < 4; ++c)
+        machine.clusters.push_back(fsCluster(1, 1, 1, ports));
+    // Square arrangement: 0-1 and 2-3 horizontal, 0-2 and 1-3 vertical.
+    machine.links = {{0, 1}, {2, 3}, {0, 2}, {1, 3}};
+    machine.validate();
+    return machine;
+}
+
+MachineDesc
+unifiedGpMachine(int width)
+{
+    MachineDesc machine;
+    machine.name = "unified-gp-" + std::to_string(width);
+    machine.interconnect = InterconnectKind::Bus;
+    machine.numBuses = 0;
+    machine.clusters.push_back(gpCluster(width, 0));
+    machine.validate();
+    return machine;
+}
+
+MachineDesc
+unifiedFsMachine(int mem_units, int int_units, int fp_units)
+{
+    MachineDesc machine;
+    machine.name = "unified-fs-" + std::to_string(mem_units) + "m" +
+                   std::to_string(int_units) + "i" +
+                   std::to_string(fp_units) + "f";
+    machine.interconnect = InterconnectKind::Bus;
+    machine.numBuses = 0;
+    machine.clusters.push_back(fsCluster(mem_units, int_units, fp_units, 0));
+    machine.validate();
+    return machine;
+}
+
+} // namespace cams

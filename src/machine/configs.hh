@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Factory for the paper's machine configurations (Section 2.1):
+ *
+ *  - bused machines of N clusters with four general-purpose units per
+ *    cluster (Figures 2 and 3, Table 3),
+ *  - bused machines of N clusters with four fully-specialized units
+ *    per cluster: 1 memory, 2 integer, 1 floating point (Figs. 18/19),
+ *  - the four-cluster grid with three FS units per cluster (1 memory,
+ *    1 integer, 1 FP) and point-to-point links arranged in a square
+ *    (Figure 4),
+ *  - unified single-cluster baselines of arbitrary width.
+ */
+
+#ifndef CAMS_MACHINE_CONFIGS_HH
+#define CAMS_MACHINE_CONFIGS_HH
+
+#include "machine/machine.hh"
+
+namespace cams
+{
+
+/**
+ * Bused machine with @p num_clusters clusters of four GP units each.
+ * @param buses number of shared broadcast buses.
+ * @param ports bus read and write ports per cluster.
+ */
+MachineDesc busedGpMachine(int num_clusters, int buses, int ports);
+
+/**
+ * Bused machine whose clusters hold four fully-specialized units:
+ * one memory, two integer, one floating point.
+ */
+MachineDesc busedFsMachine(int num_clusters, int buses, int ports);
+
+/**
+ * The four-cluster grid (Figure 4): three FS units per cluster
+ * (1 memory, 1 integer, 1 FP), clusters at the corners of a square,
+ * links along the four sides only (no diagonals).
+ * @param ports link read and write ports per cluster.
+ */
+MachineDesc gridMachine(int ports = 2);
+
+/** Unified GP machine of the given issue width (baseline). */
+MachineDesc unifiedGpMachine(int width);
+
+/**
+ * Unified FS machine with the given per-class unit counts
+ * (baseline for the FS and grid experiments).
+ */
+MachineDesc unifiedFsMachine(int mem_units, int int_units, int fp_units);
+
+} // namespace cams
+
+#endif // CAMS_MACHINE_CONFIGS_HH

@@ -1,0 +1,214 @@
+#include "machine/machine.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+int
+ClusterDesc::fuCount(FuClass cls) const
+{
+    if (cls == FuClass::None)
+        return 0;
+    if (usesGpPool())
+        return gpUnits;
+    return fsUnits[static_cast<int>(cls)];
+}
+
+int
+ClusterDesc::width() const
+{
+    if (usesGpPool())
+        return gpUnits;
+    int total = 0;
+    for (int units : fsUnits)
+        total += units;
+    return total;
+}
+
+const ClusterDesc &
+MachineDesc::cluster(ClusterId id) const
+{
+    cams_assert(id >= 0 && id < numClusters(), "bad cluster id ", id);
+    return clusters[id];
+}
+
+int
+MachineDesc::fuCount(ClusterId id, FuClass cls) const
+{
+    return cluster(id).fuCount(cls);
+}
+
+int
+MachineDesc::totalWidth() const
+{
+    int total = 0;
+    for (const auto &c : clusters)
+        total += c.width();
+    return total;
+}
+
+bool
+MachineDesc::canExecute(Opcode op) const
+{
+    if (op == Opcode::Copy)
+        return numClusters() > 1;
+    const FuClass cls = opcodeFuClass(op);
+    for (ClusterId c = 0; c < numClusters(); ++c) {
+        if (fuCount(c, cls) > 0)
+            return true;
+    }
+    return false;
+}
+
+int
+MachineDesc::linkBetween(ClusterId a, ClusterId b) const
+{
+    for (size_t i = 0; i < links.size(); ++i) {
+        if ((links[i].a == a && links[i].b == b) ||
+            (links[i].a == b && links[i].b == a)) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+std::vector<ClusterId>
+MachineDesc::neighbors(ClusterId id) const
+{
+    std::vector<ClusterId> result;
+    if (interconnect == InterconnectKind::Bus) {
+        for (ClusterId c = 0; c < numClusters(); ++c) {
+            if (c != id)
+                result.push_back(c);
+        }
+        return result;
+    }
+    for (const LinkDesc &link : links) {
+        if (link.a == id)
+            result.push_back(link.b);
+        else if (link.b == id)
+            result.push_back(link.a);
+    }
+    std::sort(result.begin(), result.end());
+    result.erase(std::unique(result.begin(), result.end()), result.end());
+    return result;
+}
+
+std::vector<ClusterId>
+MachineDesc::route(ClusterId src, ClusterId dst) const
+{
+    cams_assert(src != dst, "route from cluster to itself");
+    if (interconnect == InterconnectKind::Bus)
+        return {src, dst};
+
+    // BFS over the link graph.
+    std::vector<ClusterId> parent(numClusters(), invalidCluster);
+    std::vector<bool> seen(numClusters(), false);
+    std::deque<ClusterId> queue;
+    queue.push_back(src);
+    seen[src] = true;
+    while (!queue.empty()) {
+        const ClusterId at = queue.front();
+        queue.pop_front();
+        if (at == dst)
+            break;
+        for (ClusterId next : neighbors(at)) {
+            if (!seen[next]) {
+                seen[next] = true;
+                parent[next] = at;
+                queue.push_back(next);
+            }
+        }
+    }
+    if (!seen[dst])
+        return {};
+    std::vector<ClusterId> path;
+    for (ClusterId at = dst; at != invalidCluster; at = parent[at])
+        path.push_back(at);
+    path.push_back(invalidCluster);
+    path.pop_back();
+    std::reverse(path.begin(), path.end());
+    cams_assert(path.front() == src && path.back() == dst, "bad route");
+    return path;
+}
+
+MachineDesc
+MachineDesc::unifiedEquivalent() const
+{
+    MachineDesc unified;
+    unified.name = name + "-unified";
+    unified.interconnect = InterconnectKind::Bus;
+    unified.numBuses = 0;
+
+    ClusterDesc merged;
+    bool any_gp = false;
+    for (const ClusterDesc &c : clusters) {
+        if (c.usesGpPool()) {
+            any_gp = true;
+            merged.gpUnits += c.gpUnits;
+        } else {
+            for (int cls = 0; cls < numFuClasses; ++cls)
+                merged.fsUnits[cls] += c.fsUnits[cls];
+        }
+    }
+    if (any_gp) {
+        // A machine mixing GP and FS clusters widens into a GP pool of
+        // the total width; the paper only uses homogeneous machines.
+        for (int cls = 0; cls < numFuClasses; ++cls) {
+            merged.gpUnits += merged.fsUnits[cls];
+            merged.fsUnits[cls] = 0;
+        }
+    }
+    merged.readPorts = 0;
+    merged.writePorts = 0;
+    unified.clusters.push_back(merged);
+    return unified;
+}
+
+void
+MachineDesc::validate() const
+{
+    if (clusters.empty())
+        cams_fatal("machine '", name, "' has no clusters");
+    for (const ClusterDesc &c : clusters) {
+        if (c.gpUnits < 0 || c.readPorts < 0 || c.writePorts < 0)
+            cams_fatal("machine '", name, "': negative resource count");
+        for (int units : c.fsUnits) {
+            if (units < 0)
+                cams_fatal("machine '", name, "': negative FU count");
+        }
+        if (c.width() == 0)
+            cams_fatal("machine '", name, "': cluster with no units");
+    }
+    if (numClusters() > 1) {
+        if (interconnect == InterconnectKind::Bus && numBuses <= 0) {
+            cams_fatal("machine '", name,
+                       "': multi-cluster bused machine needs buses");
+        }
+        if (interconnect == InterconnectKind::PointToPoint) {
+            if (links.empty())
+                cams_fatal("machine '", name, "': no links");
+            for (const LinkDesc &link : links) {
+                if (link.a < 0 || link.a >= numClusters() || link.b < 0 ||
+                    link.b >= numClusters() || link.a == link.b) {
+                    cams_fatal("machine '", name, "': bad link");
+                }
+            }
+            // Every cluster pair must be reachable.
+            for (ClusterId a = 0; a < numClusters(); ++a) {
+                for (ClusterId b = a + 1; b < numClusters(); ++b) {
+                    if (route(a, b).empty()) {
+                        cams_fatal("machine '", name, "': clusters ", a,
+                                   " and ", b, " are not connected");
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace cams

@@ -1,0 +1,281 @@
+#include "mrt/mrt.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+ResourceModel::ResourceModel(const MachineDesc &machine)
+    : machine_(machine)
+{
+    machine_.validate();
+
+    auto addPool = [&](int capacity, const std::string &name) -> PoolId {
+        cams_assert(capacity > 0, "pool '", name, "' with capacity 0");
+        capacity_.push_back(capacity);
+        names_.push_back(name);
+        return static_cast<PoolId>(capacity_.size() - 1);
+    };
+
+    for (ClusterId c = 0; c < machine_.numClusters(); ++c) {
+        const ClusterDesc &cluster = machine_.cluster(c);
+        std::array<PoolId, numFuClasses> pools;
+        pools.fill(invalidPool);
+        if (cluster.usesGpPool()) {
+            const PoolId gp =
+                addPool(cluster.gpUnits, "gp@" + std::to_string(c));
+            pools.fill(gp);
+        } else {
+            for (int cls = 0; cls < numFuClasses; ++cls) {
+                if (cluster.fsUnits[cls] > 0) {
+                    pools[cls] = addPool(
+                        cluster.fsUnits[cls],
+                        fuClassName(static_cast<FuClass>(cls)) + "@" +
+                            std::to_string(c));
+                }
+            }
+        }
+        fuPools_.push_back(pools);
+
+        readPools_.push_back(
+            cluster.readPorts > 0
+                ? addPool(cluster.readPorts, "rd@" + std::to_string(c))
+                : invalidPool);
+        writePools_.push_back(
+            cluster.writePorts > 0
+                ? addPool(cluster.writePorts, "wr@" + std::to_string(c))
+                : invalidPool);
+    }
+
+    if (machine_.interconnect == InterconnectKind::Bus &&
+        machine_.numBuses > 0) {
+        busPool_ = addPool(machine_.numBuses, "bus");
+    }
+    for (size_t i = 0; i < machine_.links.size(); ++i) {
+        linkPools_.push_back(
+            addPool(1, "link" + std::to_string(machine_.links[i].a) + "-" +
+                           std::to_string(machine_.links[i].b)));
+    }
+}
+
+int
+ResourceModel::capacity(PoolId pool) const
+{
+    cams_assert(pool >= 0 && pool < numPools(), "bad pool ", pool);
+    return capacity_[pool];
+}
+
+PoolId
+ResourceModel::fuPool(ClusterId cluster, FuClass cls) const
+{
+    cams_assert(cluster >= 0 && cluster < machine_.numClusters(),
+                "bad cluster ", cluster);
+    if (cls == FuClass::None)
+        return invalidPool;
+    return fuPools_[cluster][static_cast<int>(cls)];
+}
+
+PoolId
+ResourceModel::readPool(ClusterId cluster) const
+{
+    cams_assert(cluster >= 0 && cluster < machine_.numClusters(),
+                "bad cluster ", cluster);
+    return readPools_[cluster];
+}
+
+PoolId
+ResourceModel::writePool(ClusterId cluster) const
+{
+    cams_assert(cluster >= 0 && cluster < machine_.numClusters(),
+                "bad cluster ", cluster);
+    return writePools_[cluster];
+}
+
+PoolId
+ResourceModel::linkPool(int link) const
+{
+    cams_assert(link >= 0 && link < static_cast<int>(linkPools_.size()),
+                "bad link ", link);
+    return linkPools_[link];
+}
+
+std::string
+ResourceModel::poolName(PoolId pool) const
+{
+    cams_assert(pool >= 0 && pool < numPools(), "bad pool ", pool);
+    return names_[pool];
+}
+
+std::vector<PoolId>
+ResourceModel::opRequest(ClusterId cluster, Opcode op) const
+{
+    cams_assert(op != Opcode::Copy,
+                "copies are requested via copyRequest()");
+    const PoolId pool = fuPool(cluster, opcodeFuClass(op));
+    if (pool == invalidPool) {
+        cams_fatal("cluster ", cluster, " of machine '", machine_.name,
+                   "' cannot execute ", opcodeName(op));
+    }
+    return {pool};
+}
+
+std::vector<PoolId>
+ResourceModel::copyRequest(ClusterId src,
+                           const std::vector<ClusterId> &dsts) const
+{
+    cams_assert(!dsts.empty(), "copy with no destination");
+    std::vector<PoolId> pools;
+
+    const PoolId read = readPool(src);
+    if (read == invalidPool) {
+        cams_fatal("cluster ", src, " of machine '", machine_.name,
+                   "' has no read ports; cannot source a copy");
+    }
+    pools.push_back(read);
+
+    if (machine_.interconnect == InterconnectKind::Bus) {
+        cams_assert(busPool_ != invalidPool,
+                    "copy on a machine without buses");
+        pools.push_back(busPool_);
+    } else {
+        cams_assert(dsts.size() == 1,
+                    "point-to-point copies have one destination");
+        const int link = machine_.linkBetween(src, dsts[0]);
+        cams_assert(link >= 0, "no link between clusters ", src, " and ",
+                    dsts[0]);
+        pools.push_back(linkPool(link));
+    }
+
+    for (ClusterId dst : dsts) {
+        cams_assert(dst != src, "copy to the source cluster");
+        const PoolId write = writePool(dst);
+        if (write == invalidPool) {
+            cams_fatal("cluster ", dst, " of machine '", machine_.name,
+                       "' has no write ports; cannot receive a copy");
+        }
+        pools.push_back(write);
+    }
+    return pools;
+}
+
+Mrt::Mrt(const ResourceModel &model, int ii)
+    : model_(&model), ii_(ii)
+{
+    cams_assert(ii >= 1, "MRT with ii ", ii);
+    use_.assign(static_cast<size_t>(model.numPools()) * ii, 0);
+    usedTotal_.assign(model.numPools(), 0);
+}
+
+bool
+Mrt::canReserveAt(const std::vector<PoolId> &pools, int row) const
+{
+    cams_assert(row >= 0 && row < ii_, "bad row ", row);
+    for (size_t i = 0; i < pools.size(); ++i) {
+        const PoolId pool = pools[i];
+        // Count multiplicity of this pool within the request.
+        int need = 0;
+        for (size_t j = 0; j <= i; ++j) {
+            if (pools[j] == pool)
+                ++need;
+        }
+        if (use_[static_cast<size_t>(pool) * ii_ + row] + need >
+            model_->capacity(pool)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+Mrt::findRow(const std::vector<PoolId> &pools) const
+{
+    for (int row = 0; row < ii_; ++row) {
+        if (canReserveAt(pools, row))
+            return row;
+    }
+    return -1;
+}
+
+Reservation
+Mrt::reserveAt(const std::vector<PoolId> &pools, int row)
+{
+    const int wrapped = ((row % ii_) + ii_) % ii_;
+    cams_assert(canReserveAt(pools, wrapped),
+                "reserveAt on a full row ", wrapped);
+    for (PoolId pool : pools) {
+        ++use_[static_cast<size_t>(pool) * ii_ + wrapped];
+        ++usedTotal_[pool];
+    }
+    Reservation reservation;
+    reservation.row = wrapped;
+    reservation.pools = pools;
+    return reservation;
+}
+
+std::optional<Reservation>
+Mrt::reserve(const std::vector<PoolId> &pools)
+{
+    const int row = findRow(pools);
+    if (row < 0)
+        return std::nullopt;
+    return reserveAt(pools, row);
+}
+
+void
+Mrt::release(const Reservation &reservation)
+{
+    cams_assert(reservation.valid(), "releasing an invalid reservation");
+    for (PoolId pool : reservation.pools) {
+        int &slot =
+            use_[static_cast<size_t>(pool) * ii_ + reservation.row];
+        cams_assert(slot > 0, "double release of pool ",
+                    model_->poolName(pool));
+        --slot;
+        --usedTotal_[pool];
+    }
+}
+
+int
+Mrt::freeInRow(PoolId pool, int row) const
+{
+    cams_assert(row >= 0 && row < ii_, "bad row ", row);
+    return model_->capacity(pool) -
+           use_[static_cast<size_t>(pool) * ii_ + row];
+}
+
+int
+Mrt::freeTotal(PoolId pool) const
+{
+    return model_->capacity(pool) * ii_ - usedTotal_[pool];
+}
+
+std::string
+Mrt::dump() const
+{
+    std::string out = "MRT II=" + std::to_string(ii_) + "\n";
+    for (PoolId pool = 0; pool < model_->numPools(); ++pool) {
+        std::string line = "  " + model_->poolName(pool);
+        while (line.size() < 14)
+            line.push_back(' ');
+        for (int row = 0; row < ii_; ++row) {
+            line += " " +
+                    std::to_string(
+                        use_[static_cast<size_t>(pool) * ii_ + row]) +
+                    "/" + std::to_string(model_->capacity(pool));
+        }
+        out += line + "\n";
+    }
+    return out;
+}
+
+int
+Mrt::usedTotal(PoolId pool) const
+{
+    cams_assert(pool >= 0 && pool < model_->numPools(), "bad pool ",
+                pool);
+    return usedTotal_[pool];
+}
+
+} // namespace cams

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The modulo reservation table (MRT) and the resource model that
+ * drives it.
+ *
+ * Following the paper's Section 2.2, each cluster owns an MRT of II
+ * rows over its local resources (function-unit pools and bus/link
+ * ports) while global resources -- the broadcast buses, or each
+ * point-to-point link -- appear in every cluster's table. We realize
+ * this as a single table over a flat set of resource pools; a pool is
+ * either local to a cluster or global, and a reservation claims one
+ * slot in each requested pool within the same row.
+ *
+ * The same table serves both phases:
+ *  - cluster assignment reserves "some row" (first fit), modeling the
+ *    paper's slot packing without committing to a cycle;
+ *  - modulo scheduling reserves at row = cycle mod II.
+ */
+
+#ifndef CAMS_MRT_MRT_HH
+#define CAMS_MRT_MRT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/opcode.hh"
+#include "machine/machine.hh"
+
+namespace cams
+{
+
+/** Index of a resource pool within a ResourceModel. */
+using PoolId = int;
+
+/** Sentinel for "no pool". */
+constexpr PoolId invalidPool = -1;
+
+/** Flattens a machine description into per-cycle resource pools. */
+class ResourceModel
+{
+  public:
+    /** Builds the pool layout for a machine. */
+    explicit ResourceModel(const MachineDesc &machine);
+
+    /** Number of pools. */
+    int numPools() const { return static_cast<int>(capacity_.size()); }
+
+    /** Units of a pool available in each cycle. */
+    int capacity(PoolId pool) const;
+
+    /**
+     * Function-unit pool executing the given class on a cluster;
+     * invalidPool when the cluster has no such units (or for
+     * FuClass::None, since copies use no function unit).
+     */
+    PoolId fuPool(ClusterId cluster, FuClass cls) const;
+
+    /** Interconnect read-port pool of a cluster (invalidPool if 0). */
+    PoolId readPool(ClusterId cluster) const;
+
+    /** Interconnect write-port pool of a cluster (invalidPool if 0). */
+    PoolId writePool(ClusterId cluster) const;
+
+    /** The shared bus pool; invalidPool on point-to-point machines. */
+    PoolId busPool() const { return busPool_; }
+
+    /** Pool of one point-to-point link. */
+    PoolId linkPool(int link) const;
+
+    /** Human-readable pool name for diagnostics. */
+    std::string poolName(PoolId pool) const;
+
+    /** The machine this model was derived from. */
+    const MachineDesc &machine() const { return machine_; }
+
+    /**
+     * The resource pools one operation instance needs (all in the same
+     * cycle). For a non-copy opcode: its function-unit pool. Fatal when
+     * the cluster cannot execute the opcode.
+     */
+    std::vector<PoolId> opRequest(ClusterId cluster, Opcode op) const;
+
+    /**
+     * The pools a copy transfer needs: one read port on the source,
+     * the bus (or the link), and one write port on each destination.
+     * On point-to-point machines the destination set must be a single
+     * neighbor of the source.
+     */
+    std::vector<PoolId> copyRequest(
+        ClusterId src, const std::vector<ClusterId> &dsts) const;
+
+  private:
+    MachineDesc machine_;
+    std::vector<int> capacity_;
+    std::vector<std::string> names_;
+    // Per cluster: pool per FuClass (GP clusters alias all three).
+    std::vector<std::array<PoolId, numFuClasses>> fuPools_;
+    std::vector<PoolId> readPools_;
+    std::vector<PoolId> writePools_;
+    PoolId busPool_ = invalidPool;
+    std::vector<PoolId> linkPools_;
+};
+
+/** A committed MRT reservation; keep it to release the slots later. */
+struct Reservation
+{
+    int row = -1;
+    std::vector<PoolId> pools;
+
+    bool valid() const { return row >= 0; }
+};
+
+/** Modulo reservation table over a ResourceModel at a fixed II. */
+class Mrt
+{
+  public:
+    /** Creates an empty table of the given length. */
+    Mrt(const ResourceModel &model, int ii);
+
+    /** Table length. */
+    int ii() const { return ii_; }
+
+    /** True when every requested pool has a free slot in this row. */
+    bool canReserveAt(const std::vector<PoolId> &pools, int row) const;
+
+    /** First row that can host the request, or -1. */
+    int findRow(const std::vector<PoolId> &pools) const;
+
+    /** Reserves at a specific row (row is taken modulo II). */
+    Reservation reserveAt(const std::vector<PoolId> &pools, int row);
+
+    /** Reserves at the first fitting row; nullopt when full. */
+    std::optional<Reservation> reserve(const std::vector<PoolId> &pools);
+
+    /** Releases a reservation made on this table. */
+    void release(const Reservation &reservation);
+
+    /** Free slots of a pool in one row. */
+    int freeInRow(PoolId pool, int row) const;
+
+    /** Free slots of a pool across all rows. */
+    int freeTotal(PoolId pool) const;
+
+    /** Used slots of a pool across all rows. */
+    int usedTotal(PoolId pool) const;
+
+    /** The resource model the table was built from. */
+    const ResourceModel &model() const { return *model_; }
+
+    /**
+     * Human-readable occupancy table (one line per pool, one column
+     * per row), for diagnostics and traces.
+     */
+    std::string dump() const;
+
+  private:
+    const ResourceModel *model_;
+    int ii_;
+    /** use_[pool * ii_ + row] = slots taken. */
+    std::vector<int> use_;
+    std::vector<int> usedTotal_;
+};
+
+} // namespace cams
+
+#endif // CAMS_MRT_MRT_HH

@@ -1,0 +1,127 @@
+#include "order/scc_sets.hh"
+
+#include <algorithm>
+
+#include "graph/recmii.hh"
+#include "support/logging.hh"
+
+namespace cams
+{
+
+NodeSets
+buildPrioritySets(const Dfg &graph, const SccInfo &sccs)
+{
+    struct Candidate
+    {
+        int recMii;
+        int size;
+        NodeId minMember;
+        std::vector<NodeId> members;
+    };
+
+    std::vector<Candidate> recurrences;
+    std::vector<NodeId> rest;
+
+    for (int c = 0; c < sccs.numComponents(); ++c) {
+        if (sccs.nonTrivial[c]) {
+            Candidate candidate;
+            candidate.members = sccs.components[c];
+            std::sort(candidate.members.begin(), candidate.members.end());
+            candidate.recMii = sccRecMii(graph, candidate.members);
+            candidate.size = static_cast<int>(candidate.members.size());
+            candidate.minMember = candidate.members.front();
+            recurrences.push_back(std::move(candidate));
+        } else {
+            rest.push_back(sccs.components[c][0]);
+        }
+    }
+
+    std::sort(recurrences.begin(), recurrences.end(),
+              [](const Candidate &x, const Candidate &y) {
+                  if (x.recMii != y.recMii)
+                      return x.recMii > y.recMii;
+                  if (x.size != y.size)
+                      return x.size > y.size;
+                  return x.minMember < y.minMember;
+              });
+
+    NodeSets result;
+    result.setOf.assign(graph.numNodes(), -1);
+
+    // Following the Swing Modulo Scheduler's set construction, each
+    // recurrence set also absorbs the not-yet-chosen nodes lying on
+    // paths between previously chosen sets and the new SCC, so the
+    // ordering never strands a node between two already-placed
+    // neighborhoods.
+    auto reachableFrom = [&](const std::vector<bool> &from,
+                             bool forward) {
+        std::vector<bool> seen = from;
+        std::vector<NodeId> stack;
+        for (NodeId v = 0; v < graph.numNodes(); ++v) {
+            if (seen[v])
+                stack.push_back(v);
+        }
+        while (!stack.empty()) {
+            const NodeId at = stack.back();
+            stack.pop_back();
+            const auto &edges =
+                forward ? graph.outEdges(at) : graph.inEdges(at);
+            for (EdgeId e : edges) {
+                const NodeId next = forward ? graph.edge(e).dst
+                                            : graph.edge(e).src;
+                if (!seen[next]) {
+                    seen[next] = true;
+                    stack.push_back(next);
+                }
+            }
+        }
+        return seen;
+    };
+
+    std::vector<bool> chosen(graph.numNodes(), false);
+    for (auto &candidate : recurrences) {
+        std::vector<NodeId> members = candidate.members;
+        if (std::any_of(chosen.begin(), chosen.end(),
+                        [](bool b) { return b; })) {
+            std::vector<bool> scc_mask(graph.numNodes(), false);
+            for (NodeId v : candidate.members)
+                scc_mask[v] = true;
+            const auto down_from_chosen = reachableFrom(chosen, true);
+            const auto up_from_chosen = reachableFrom(chosen, false);
+            const auto down_from_scc = reachableFrom(scc_mask, true);
+            const auto up_from_scc = reachableFrom(scc_mask, false);
+            for (NodeId v = 0; v < graph.numNodes(); ++v) {
+                if (chosen[v] || scc_mask[v] || result.setOf[v] != -1)
+                    continue;
+                const bool between =
+                    (down_from_chosen[v] && up_from_scc[v]) ||
+                    (down_from_scc[v] && up_from_chosen[v]);
+                if (between)
+                    members.push_back(v);
+            }
+            std::sort(members.begin(), members.end());
+        }
+        for (NodeId node : members) {
+            result.setOf[node] = result.numSets();
+            chosen[node] = true;
+        }
+        result.sets.push_back(std::move(members));
+        result.recMii.push_back(candidate.recMii);
+    }
+
+    std::vector<NodeId> remaining;
+    for (NodeId node : rest) {
+        if (result.setOf[node] == -1)
+            remaining.push_back(node);
+    }
+    std::sort(remaining.begin(), remaining.end());
+    if (!remaining.empty()) {
+        for (NodeId node : remaining)
+            result.setOf[node] = result.numSets();
+        result.sets.push_back(std::move(remaining));
+        result.recMii.push_back(1);
+    }
+    return result;
+}
+
+} // namespace cams

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Node grouping for cluster assignment (the paper's Section 4.1).
+ *
+ * Nodes are partitioned into an ordered list of sets: one set per
+ * non-trivial SCC, sorted by decreasing RecMII so the most critical
+ * recurrence is assigned first, followed by one final set holding
+ * every node outside any recurrence.
+ */
+
+#ifndef CAMS_ORDER_SCC_SETS_HH
+#define CAMS_ORDER_SCC_SETS_HH
+
+#include <vector>
+
+#include "graph/dfg.hh"
+#include "graph/scc.hh"
+
+namespace cams
+{
+
+/** The priority-ordered node sets of §4.1. */
+struct NodeSets
+{
+    /** Sets in decreasing priority; the last set holds non-SCC nodes. */
+    std::vector<std::vector<NodeId>> sets;
+
+    /** RecMII of each set (1 for the trailing non-recurrence set). */
+    std::vector<int> recMii;
+
+    /** Set index of every node. */
+    std::vector<int> setOf;
+
+    int numSets() const { return static_cast<int>(sets.size()); }
+};
+
+/**
+ * Builds the priority sets.
+ *
+ * Ties between SCCs with equal RecMII are broken toward the larger
+ * SCC (harder to place), then by smallest member id for determinism.
+ */
+NodeSets buildPrioritySets(const Dfg &graph, const SccInfo &sccs);
+
+} // namespace cams
+
+#endif // CAMS_ORDER_SCC_SETS_HH

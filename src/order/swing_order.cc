@@ -1,0 +1,182 @@
+#include "order/swing_order.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+namespace
+{
+
+/**
+ * True when every distance-0 predecessor of v inside the same set is
+ * already ordered (top-down frontier condition). Loop-carried edges
+ * are exempt: they close recurrences, and their scheduling windows
+ * scale with II.
+ */
+bool
+topDownReady(const Dfg &graph, NodeId v, const std::vector<bool> &pending)
+{
+    for (EdgeId e : graph.inEdges(v)) {
+        const DfgEdge &edge = graph.edge(e);
+        if (edge.distance == 0 && edge.src != v && pending[edge.src])
+            return false;
+    }
+    return true;
+}
+
+/** Bottom-up frontier condition: no pending distance-0 successor. */
+bool
+bottomUpReady(const Dfg &graph, NodeId v, const std::vector<bool> &pending)
+{
+    for (EdgeId e : graph.outEdges(v)) {
+        const DfgEdge &edge = graph.edge(e);
+        if (edge.distance == 0 && edge.dst != v && pending[edge.dst])
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<NodeId>
+swingOrder(const Dfg &graph, const NodeSets &sets,
+           const TimeAnalysis &timing)
+{
+    const int n = graph.numNodes();
+    std::vector<bool> ordered(n, false);
+    std::vector<NodeId> result;
+    result.reserve(n);
+
+    // depth = asap (distance from sources); height = distance to sinks.
+    const auto &depth = timing.asap;
+    const auto &height = timing.height;
+
+    auto hasOrderedNeighbor = [&](NodeId v, bool preds) {
+        const auto neighbors =
+            preds ? graph.predecessors(v) : graph.successors(v);
+        for (NodeId other : neighbors) {
+            if (other != v && ordered[other])
+                return true;
+        }
+        return false;
+    };
+
+    for (const auto &set : sets.sets) {
+        std::vector<bool> pending(n, false);
+        std::vector<NodeId> members;
+        for (NodeId v : set) {
+            if (!ordered[v]) {
+                pending[v] = true;
+                members.push_back(v);
+            }
+        }
+
+        size_t left = members.size();
+        while (left > 0) {
+            // Candidates per direction. The frontier conditions keep
+            // the key invariant: a node is ordered only when all of
+            // its same-set distance-0 predecessors (top-down) or
+            // successors (bottom-up) are already ordered, so the
+            // scheduler never faces a fixed closed window.
+            NodeId best_td = invalidNode;
+            NodeId best_bu = invalidNode;
+            NodeId frontier_td = invalidNode;
+            NodeId frontier_bu = invalidNode;
+
+            auto betterTopDown = [&](NodeId a, NodeId b) {
+                // Deeper first; tie: more critical; tie: smaller id.
+                if (depth[a] != depth[b])
+                    return depth[a] > depth[b];
+                if (height[a] != height[b])
+                    return height[a] > height[b];
+                return a < b;
+            };
+            auto betterBottomUp = [&](NodeId a, NodeId b) {
+                if (height[a] != height[b])
+                    return height[a] > height[b];
+                if (depth[a] != depth[b])
+                    return depth[a] > depth[b];
+                return a < b;
+            };
+
+            for (NodeId v : members) {
+                if (!pending[v])
+                    continue;
+                if (topDownReady(graph, v, pending)) {
+                    if (frontier_td == invalidNode ||
+                        betterTopDown(v, frontier_td)) {
+                        frontier_td = v;
+                    }
+                    if (hasOrderedNeighbor(v, true) &&
+                        (best_td == invalidNode ||
+                         betterTopDown(v, best_td))) {
+                        best_td = v;
+                    }
+                }
+                if (bottomUpReady(graph, v, pending)) {
+                    if (frontier_bu == invalidNode ||
+                        betterBottomUp(v, frontier_bu)) {
+                        frontier_bu = v;
+                    }
+                    if (hasOrderedNeighbor(v, false) &&
+                        (best_bu == invalidNode ||
+                         betterBottomUp(v, best_bu))) {
+                        best_bu = v;
+                    }
+                }
+            }
+
+            // Preference order follows the SMS ordering: first the
+            // unordered predecessors of the ordered region (bottom-up
+            // extension), then its unordered successors (top-down),
+            // then a fresh top-down start from the most critical
+            // source -- producers before consumers, which is what
+            // makes the paper's predicted-copy reservation (PCR)
+            // effective -- and finally a bottom-up start. The last
+            // arm only triggers if a same-set distance-0 cycle
+            // defeated both frontiers, which a well-formed loop
+            // cannot have.
+            NodeId pick = invalidNode;
+            if (best_bu != invalidNode) {
+                pick = best_bu;
+            } else if (best_td != invalidNode) {
+                pick = best_td;
+            } else if (frontier_td != invalidNode) {
+                pick = frontier_td;
+            } else if (frontier_bu != invalidNode) {
+                pick = frontier_bu;
+            } else {
+                for (NodeId v : members) {
+                    if (pending[v] &&
+                        (pick == invalidNode || betterBottomUp(v, pick))) {
+                        pick = v;
+                    }
+                }
+            }
+
+            cams_assert(pick != invalidNode, "no orderable node");
+            pending[pick] = false;
+            ordered[pick] = true;
+            result.push_back(pick);
+            --left;
+        }
+    }
+
+    cams_assert(static_cast<int>(result.size()) == n,
+                "swing order missed nodes");
+    return result;
+}
+
+std::vector<NodeId>
+swingOrder(const Dfg &graph, int ii)
+{
+    const SccInfo sccs = findSccs(graph);
+    const NodeSets sets = buildPrioritySets(graph, sccs);
+    const TimeAnalysis timing = analyzeTiming(graph, ii);
+    return swingOrder(graph, sets, timing);
+}
+
+} // namespace cams

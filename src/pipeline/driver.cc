@@ -1,0 +1,100 @@
+#include "pipeline/driver.hh"
+
+#include "sched/ims.hh"
+#include "sched/sms.hh"
+#include "sched/verifier.hh"
+#include "support/logging.hh"
+
+namespace cams
+{
+
+std::unique_ptr<ModuloScheduler>
+makeScheduler(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Swing:
+        return std::make_unique<SwingModuloScheduler>();
+      case SchedulerKind::Iterative:
+        return std::make_unique<IterativeModuloScheduler>();
+    }
+    cams_panic("unknown scheduler kind");
+}
+
+namespace
+{
+
+void
+checkSchedule(const AnnotatedLoop &loop, const ResourceModel &model,
+              const Schedule &schedule)
+{
+    std::string why;
+    if (!verifySchedule(loop, model, schedule, &why))
+        cams_panic("scheduler produced an illegal schedule: ", why);
+}
+
+} // namespace
+
+CompileResult
+compileClustered(const Dfg &graph, const MachineDesc &machine,
+                 const CompileOptions &options)
+{
+    CompileResult result;
+    const MachineDesc unified = machine.unifiedEquivalent();
+    result.mii = computeMii(graph, unified);
+
+    const ResourceModel model(machine);
+    const ClusterAssigner assigner(model, options.assign);
+    const auto scheduler = makeScheduler(options.scheduler);
+    const int limit = result.mii.mii * 4 + options.iiSlack;
+
+    for (int ii = result.mii.mii; ii <= limit; ++ii) {
+        ++result.attempts;
+        AssignResult assignment = assigner.run(graph, ii);
+        if (!assignment.success)
+            continue;
+        Schedule schedule;
+        if (!scheduler->schedule(assignment.loop, model, ii, schedule))
+            continue;
+        if (options.verify)
+            checkSchedule(assignment.loop, model, schedule);
+        result.success = true;
+        result.ii = ii;
+        result.loop = std::move(assignment.loop);
+        result.schedule = std::move(schedule);
+        result.copies = result.loop.numCopies();
+        return result;
+    }
+    return result;
+}
+
+CompileResult
+compileUnified(const Dfg &graph, const MachineDesc &machine,
+               const CompileOptions &options)
+{
+    cams_assert(machine.numClusters() == 1,
+                "compileUnified needs a single-cluster machine");
+    CompileResult result;
+    result.mii = computeMii(graph, machine);
+
+    const ResourceModel model(machine);
+    const AnnotatedLoop loop = unifiedLoop(graph);
+    const auto scheduler = makeScheduler(options.scheduler);
+    const int limit = result.mii.mii * 4 + options.iiSlack;
+
+    for (int ii = result.mii.mii; ii <= limit; ++ii) {
+        ++result.attempts;
+        Schedule schedule;
+        if (!scheduler->schedule(loop, model, ii, schedule))
+            continue;
+        if (options.verify)
+            checkSchedule(loop, model, schedule);
+        result.success = true;
+        result.ii = ii;
+        result.loop = loop;
+        result.schedule = std::move(schedule);
+        return result;
+    }
+    return result;
+}
+
+} // namespace cams

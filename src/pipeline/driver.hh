@@ -1,0 +1,91 @@
+/**
+ * @file
+ * End-to-end compilation drivers implementing the paper's Figure 5
+ * process: compute the unified-machine MII, run cluster assignment at
+ * the current II, hand the annotated loop to a cluster-oblivious
+ * modulo scheduler, and on any failure restart the whole pipeline --
+ * including a fresh assignment -- at II + 1.
+ */
+
+#ifndef CAMS_PIPELINE_DRIVER_HH
+#define CAMS_PIPELINE_DRIVER_HH
+
+#include <memory>
+
+#include "assign/assigner.hh"
+#include "machine/machine.hh"
+#include "sched/mii.hh"
+#include "sched/schedule.hh"
+
+namespace cams
+{
+
+/** Which phase-two scheduler the driver uses. */
+enum class SchedulerKind
+{
+    Swing,     ///< the paper's choice
+    Iterative, ///< Rau's IMS (cross-check)
+};
+
+/** Driver knobs. */
+struct CompileOptions
+{
+    AssignOptions assign;
+    SchedulerKind scheduler = SchedulerKind::Swing;
+
+    /**
+     * Give up when II exceeds mii * 4 + this slack (a diagnostic
+     * backstop; real loops converge long before).
+     */
+    int iiSlack = 64;
+
+    /** Verify every produced schedule with the independent checker. */
+    bool verify = true;
+};
+
+/** Outcome of compiling one loop for one machine. */
+struct CompileResult
+{
+    bool success = false;
+
+    /** Achieved initiation interval. */
+    int ii = 0;
+
+    /** The MII bounds the search started from. */
+    MiiInfo mii;
+
+    /** Annotated loop actually scheduled (copies included). */
+    AnnotatedLoop loop;
+
+    /** The final schedule. */
+    Schedule schedule;
+
+    /** Copies inserted by assignment. */
+    int copies = 0;
+
+    /** IIs tried before success (1 = first try). */
+    int attempts = 0;
+};
+
+/** Creates a scheduler instance of the given kind. */
+std::unique_ptr<ModuloScheduler> makeScheduler(SchedulerKind kind);
+
+/**
+ * Compiles a loop for a clustered machine: assignment + scheduling
+ * with the Figure 5 retry loop. The II search starts at the MII of
+ * the equally wide unified machine.
+ */
+CompileResult compileClustered(const Dfg &graph,
+                               const MachineDesc &machine,
+                               const CompileOptions &options = {});
+
+/**
+ * Compiles a loop for a single-cluster machine (no assignment, no
+ * copies): the baseline II of the paper's comparisons.
+ */
+CompileResult compileUnified(const Dfg &graph, const MachineDesc &machine,
+                             const CompileOptions &options = {});
+
+} // namespace cams
+
+#endif // CAMS_PIPELINE_DRIVER_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Register allocation for modulo-scheduled loops on clustered
+ * machines, in the style of Rau et al., "Register allocation for
+ * software pipelined loops" (PLDI 1992) -- the machinery the paper's
+ * Section 1.2 assumes around any modulo scheduler.
+ *
+ * Every value (an operation with at least one consumer, copies
+ * included) lives in the register file of the cluster that produces
+ * it; inter-cluster copies define fresh values in their destination
+ * files. Because iterations overlap, up to ceil(lifetime / II)
+ * instances of a value are live at once:
+ *
+ *  - with a rotating register file, a value gets that many
+ *    consecutive rotating registers and iteration k's instance lands
+ *    in base + (k mod count) -- no unrolling needed;
+ *  - without one, the kernel must be unrolled by the modulo variable
+ *    expansion (MVE) factor, max over values of that count.
+ *
+ * The allocator packs each cluster file independently and reports the
+ * registers needed per file; an independent checker re-derives
+ * lifetimes and asserts that no two simultaneously-live instances
+ * share a physical register.
+ */
+
+#ifndef CAMS_REGALLOC_REGALLOC_HH
+#define CAMS_REGALLOC_REGALLOC_HH
+
+#include <string>
+#include <vector>
+
+#include "assign/assignment.hh"
+#include "sched/schedule.hh"
+
+namespace cams
+{
+
+/** Register assignment of one produced value. */
+struct ValueAllocation
+{
+    NodeId producer = invalidNode;
+
+    /** Register file (cluster) holding the value. */
+    ClusterId file = invalidCluster;
+
+    /** First physical register of the value's rotating range. */
+    int base = 0;
+
+    /** Rotating registers reserved: ceil(lifetime / II), min 1. */
+    int count = 1;
+
+    /** Lifetime in cycles (definition to last use). */
+    long lifetime = 0;
+
+    /** Physical register of iteration k's instance. */
+    int
+    instanceRegister(long iteration) const
+    {
+        return base + static_cast<int>(iteration % count);
+    }
+};
+
+/** Allocation over all cluster files. */
+struct RegisterAllocation
+{
+    /** One entry per value-producing node (dead nodes excluded). */
+    std::vector<ValueAllocation> values;
+
+    /** Rotating registers used per cluster file. */
+    std::vector<int> registersPerFile;
+
+    /** Kernel unroll factor a machine without rotating files needs. */
+    int mveFactor = 1;
+
+    /** Allocation of a node's value, or nullptr if it has none. */
+    const ValueAllocation *of(NodeId producer) const;
+};
+
+/**
+ * Allocates rotating registers for a compiled loop.
+ *
+ * A value's consumers are its annotated-graph successors; for a copy,
+ * the value lives in every destination cluster's file (same base and
+ * count in each, mirroring a broadcast write).
+ */
+RegisterAllocation allocateRegisters(const AnnotatedLoop &loop,
+                                     const Schedule &schedule,
+                                     const MachineDesc &machine);
+
+/**
+ * Independent validity check: simulates 4 * mveFactor iterations of
+ * register occupancy and reports the first clash, too-early reuse, or
+ * cross-range overlap. @return true when the allocation is sound.
+ */
+bool verifyAllocation(const AnnotatedLoop &loop, const Schedule &schedule,
+                      const RegisterAllocation &allocation,
+                      std::string *why = nullptr);
+
+} // namespace cams
+
+#endif // CAMS_REGALLOC_REGALLOC_HH

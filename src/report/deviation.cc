@@ -1,0 +1,69 @@
+#include "report/deviation.hh"
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+double
+DeviationSeries::percentAt(int deviation) const
+{
+    const int total = loops();
+    if (total == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(deviations.countAt(deviation)) /
+           total;
+}
+
+double
+DeviationSeries::percentAtMost(int deviation) const
+{
+    const int total = loops();
+    if (total == 0)
+        return 0.0;
+    return 100.0 *
+           static_cast<double>(deviations.countAtMost(deviation)) / total;
+}
+
+std::vector<int>
+unifiedBaseline(const std::vector<Dfg> &suite, const MachineDesc &unified,
+                const CompileOptions &options)
+{
+    std::vector<int> baseline;
+    baseline.reserve(suite.size());
+    for (const Dfg &loop : suite) {
+        const CompileResult result =
+            compileUnified(loop, unified, options);
+        if (!result.success) {
+            cams_fatal("unified baseline failed on loop '", loop.name(),
+                       "'");
+        }
+        baseline.push_back(result.ii);
+    }
+    return baseline;
+}
+
+DeviationSeries
+runClusteredSeries(const std::vector<Dfg> &suite,
+                   const MachineDesc &machine,
+                   const std::vector<int> &baseline,
+                   const CompileOptions &options, const std::string &label)
+{
+    cams_assert(suite.size() == baseline.size(),
+                "baseline does not match the suite");
+    DeviationSeries series;
+    series.label = label;
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const CompileResult result =
+            compileClustered(suite[i], machine, options);
+        if (!result.success) {
+            ++series.failures;
+            continue;
+        }
+        series.totalCopies += result.copies;
+        series.deviations.add(result.ii - baseline[i]);
+    }
+    return series;
+}
+
+} // namespace cams

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Interconnect occupancy statistics of a modulo schedule: how much of
+ * the bus, link and port bandwidth the kernel's copies actually
+ * consume. Backs the bus/port sweep analysis (Figures 14-17): the
+ * knee appears where utilization stops being the binding constraint.
+ */
+
+#ifndef CAMS_REPORT_INTERCONNECT_HH
+#define CAMS_REPORT_INTERCONNECT_HH
+
+#include <vector>
+
+#include "assign/assignment.hh"
+#include "sched/schedule.hh"
+
+namespace cams
+{
+
+/** Fraction of each interconnect resource the kernel occupies. */
+struct InterconnectStats
+{
+    /** Used bus slots / (buses * II); 0 on busless machines. */
+    double busUtilization = 0.0;
+
+    /** Per-link occupancy (point-to-point machines). */
+    std::vector<double> linkUtilization;
+
+    /** Mean read/write port occupancy over clusters with ports. */
+    double readPortUtilization = 0.0;
+    double writePortUtilization = 0.0;
+
+    /** Copy operations in the kernel. */
+    int copies = 0;
+};
+
+/** Replays the schedule's reservations and measures occupancy. */
+InterconnectStats computeInterconnectStats(const AnnotatedLoop &loop,
+                                           const Schedule &schedule,
+                                           const ResourceModel &model);
+
+} // namespace cams
+
+#endif // CAMS_REPORT_INTERCONNECT_HH

@@ -1,0 +1,162 @@
+#include "sched/ims.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/analysis.hh"
+#include "graph/recmii.hh"
+#include "mrt/mrt.hh"
+#include "support/logging.hh"
+
+namespace cams
+{
+
+bool
+IterativeModuloScheduler::schedule(const AnnotatedLoop &loop,
+                                   const ResourceModel &model, int ii,
+                                   Schedule &out) const
+{
+    const Dfg &graph = loop.graph;
+    const int n = graph.numNodes();
+    if (n == 0) {
+        out.ii = ii;
+        out.startCycle.clear();
+        return true;
+    }
+    if (recMii(graph) > ii)
+        return false;
+
+    const TimeAnalysis timing = analyzeTiming(graph, ii);
+
+    // Work list ordered by height (descending), then id.
+    auto higher = [&](NodeId a, NodeId b) {
+        if (timing.height[a] != timing.height[b])
+            return timing.height[a] > timing.height[b];
+        return a < b;
+    };
+    std::set<NodeId, decltype(higher)> worklist(higher);
+    for (NodeId v = 0; v < n; ++v)
+        worklist.insert(v);
+
+    std::vector<bool> placed(n, false);
+    std::vector<int> start(n, 0);
+    std::vector<int> lastStart(n, -1);
+    std::vector<Reservation> slots(n);
+    std::vector<std::vector<PoolId>> requests(n);
+    for (NodeId v = 0; v < n; ++v)
+        requests[v] = loop.request(model, v);
+
+    Mrt mrt(model, ii);
+    long budget =
+        std::max<long>(32, static_cast<long>(budgetRatio_ * n));
+
+    auto unschedule = [&](NodeId v) {
+        cams_assert(placed[v], "displacing unplaced op ", v);
+        mrt.release(slots[v]);
+        placed[v] = false;
+        worklist.insert(v);
+    };
+
+    while (!worklist.empty()) {
+        if (budget-- <= 0)
+            return false;
+        const NodeId op = *worklist.begin();
+        worklist.erase(worklist.begin());
+
+        // Earliest cycle permitted by the currently placed predecessors.
+        long estart = 0;
+        for (EdgeId e : graph.inEdges(op)) {
+            const DfgEdge &edge = graph.edge(e);
+            if (edge.src == op || !placed[edge.src])
+                continue;
+            estart = std::max(estart,
+                              start[edge.src] + edge.latency -
+                                  static_cast<long>(ii) * edge.distance);
+        }
+        estart = std::max<long>(estart, 0);
+
+        int chosen = -1;
+        for (long t = estart; t < estart + ii; ++t) {
+            if (mrt.canReserveAt(requests[op],
+                                 static_cast<int>(t % ii))) {
+                chosen = static_cast<int>(t);
+                break;
+            }
+        }
+        bool forced = false;
+        if (chosen < 0) {
+            // Forced placement: never earlier than last time + 1 so the
+            // schedule makes progress (Rau's rule).
+            forced = true;
+            chosen = static_cast<int>(
+                lastStart[op] < 0
+                    ? estart
+                    : std::max(estart,
+                               static_cast<long>(lastStart[op]) + 1));
+        }
+
+        if (forced) {
+            // Displace whatever blocks the required row.
+            const int row = ((chosen % ii) + ii) % ii;
+            bool progress = true;
+            while (!mrt.canReserveAt(requests[op], row) && progress) {
+                progress = false;
+                for (NodeId other = 0; other < n; ++other) {
+                    if (!placed[other] || slots[other].row != row)
+                        continue;
+                    const bool shares = std::any_of(
+                        requests[op].begin(), requests[op].end(),
+                        [&](PoolId pool) {
+                            return std::find(slots[other].pools.begin(),
+                                             slots[other].pools.end(),
+                                             pool) !=
+                                   slots[other].pools.end();
+                        });
+                    if (shares) {
+                        unschedule(other);
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+            if (!mrt.canReserveAt(requests[op], row))
+                return false; // op needs more than the row can ever hold
+        }
+
+        slots[op] = mrt.reserveAt(requests[op], chosen % ii);
+        slots[op].row = ((chosen % ii) + ii) % ii;
+        start[op] = chosen;
+        lastStart[op] = chosen;
+        placed[op] = true;
+
+        // Displace successors whose dependence the new start violates
+        // (and predecessors, which can only happen on forced moves).
+        for (EdgeId e : graph.outEdges(op)) {
+            const DfgEdge &edge = graph.edge(e);
+            if (edge.dst == op || !placed[edge.dst])
+                continue;
+            if (start[edge.dst] <
+                start[op] + edge.latency -
+                    static_cast<long>(ii) * edge.distance) {
+                unschedule(edge.dst);
+            }
+        }
+        for (EdgeId e : graph.inEdges(op)) {
+            const DfgEdge &edge = graph.edge(e);
+            if (edge.src == op || !placed[edge.src])
+                continue;
+            if (start[op] <
+                start[edge.src] + edge.latency -
+                    static_cast<long>(ii) * edge.distance) {
+                unschedule(edge.src);
+            }
+        }
+    }
+
+    out.ii = ii;
+    out.startCycle = start;
+    out.normalize();
+    return true;
+}
+
+} // namespace cams

@@ -1,0 +1,70 @@
+#include "sched/mii.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "graph/recmii.hh"
+#include "support/logging.hh"
+
+namespace cams
+{
+
+int
+resMii(const Dfg &graph, const MachineDesc &machine)
+{
+    bool any_gp = false;
+    bool any_fs = false;
+    for (const ClusterDesc &cluster : machine.clusters) {
+        if (cluster.usesGpPool())
+            any_gp = true;
+        else
+            any_fs = true;
+    }
+    if (any_gp && any_fs) {
+        cams_fatal("resMii on a machine mixing GP and FS clusters ('",
+                   machine.name, "')");
+    }
+
+    std::array<int, numFuClasses> class_ops{};
+    int total_ops = 0;
+    for (const DfgNode &node : graph.nodes()) {
+        if (node.op == Opcode::Copy)
+            continue;
+        ++class_ops[static_cast<int>(opcodeFuClass(node.op))];
+        ++total_ops;
+    }
+
+    if (any_gp) {
+        const int width = machine.totalWidth();
+        cams_assert(width > 0, "machine with zero width");
+        return std::max(1, (total_ops + width - 1) / width);
+    }
+
+    int bound = 1;
+    for (int cls = 0; cls < numFuClasses; ++cls) {
+        if (class_ops[cls] == 0)
+            continue;
+        int units = 0;
+        for (int c = 0; c < machine.numClusters(); ++c)
+            units += machine.fuCount(c, static_cast<FuClass>(cls));
+        if (units == 0) {
+            cams_fatal("machine '", machine.name, "' has no ",
+                       fuClassName(static_cast<FuClass>(cls)),
+                       " units but the loop needs them");
+        }
+        bound = std::max(bound, (class_ops[cls] + units - 1) / units);
+    }
+    return bound;
+}
+
+MiiInfo
+computeMii(const Dfg &graph, const MachineDesc &machine)
+{
+    MiiInfo info;
+    info.recMii = recMii(graph);
+    info.resMii = resMii(graph, machine);
+    info.mii = std::max(info.recMii, info.resMii);
+    return info;
+}
+
+} // namespace cams

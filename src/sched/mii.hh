@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimum initiation interval bounds.
+ *
+ * MII = max(RecMII, ResMII). RecMII comes from the dependence cycles
+ * (see graph/recmii.hh); ResMII from resource saturation: on a
+ * general-purpose machine it is ceil(ops / issue width), on a
+ * fully-specialized machine the max over unit classes of
+ * ceil(class ops / class units). Following the paper's Section 2.2,
+ * the assignment phase starts from the MII of the *equally wide
+ * unified machine*; cluster-induced pressure surfaces as assignment
+ * or scheduling failures that bump the II.
+ */
+
+#ifndef CAMS_SCHED_MII_HH
+#define CAMS_SCHED_MII_HH
+
+#include "graph/dfg.hh"
+#include "machine/machine.hh"
+
+namespace cams
+{
+
+/** The II lower bounds of one loop on one machine. */
+struct MiiInfo
+{
+    int recMii = 1;
+    int resMii = 1;
+    int mii = 1;
+};
+
+/**
+ * Resource-constrained bound of the loop on the machine, evaluated on
+ * the machine's total unit counts (clustering ignored). Copy nodes
+ * are excluded: they occupy no function unit.
+ */
+int resMii(const Dfg &graph, const MachineDesc &machine);
+
+/** Both bounds and their max. */
+MiiInfo computeMii(const Dfg &graph, const MachineDesc &machine);
+
+} // namespace cams
+
+#endif // CAMS_SCHED_MII_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Register-pressure metrics of a modulo schedule.
+ *
+ * Context (paper §1.2): modulo schedules of overlapped iterations
+ * keep several instances of a value alive at once; stage scheduling
+ * and rotating register files exist to manage that pressure. These
+ * metrics quantify it for our schedules:
+ *
+ *  - MaxLive: the maximum, over the II kernel rows, of the number of
+ *    simultaneously live value instances (the classic lower bound on
+ *    registers needed by the kernel);
+ *  - the modulo-variable-expansion (MVE) factor: the largest
+ *    ceil(lifetime / II) over all values -- how many copies of the
+ *    kernel a compiler without a rotating register file must unroll.
+ *
+ * A value is live from its producer's issue cycle until its last use
+ * (issue cycle of the latest consumer, iteration distance included).
+ */
+
+#ifndef CAMS_SCHED_REGMETRICS_HH
+#define CAMS_SCHED_REGMETRICS_HH
+
+#include "assign/assignment.hh"
+#include "sched/schedule.hh"
+
+namespace cams
+{
+
+/** Register pressure summary of one schedule. */
+struct RegMetrics
+{
+    /** Peak simultaneously live values over the kernel rows. */
+    int maxLive = 0;
+
+    /** max over values of ceil(lifetime / II). */
+    int mveFactor = 1;
+
+    /** Sum of value lifetimes (the swing scheduler's objective). */
+    long totalLifetime = 0;
+};
+
+/** Computes the metrics; values with no consumer have zero lifetime. */
+RegMetrics computeRegMetrics(const AnnotatedLoop &loop,
+                             const Schedule &schedule);
+
+} // namespace cams
+
+#endif // CAMS_SCHED_REGMETRICS_HH

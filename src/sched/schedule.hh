@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The modulo schedule produced by phase two: an issue cycle for every
+ * operation of an annotated loop at a fixed II. Iteration k of the
+ * loop issues operation v at cycle startCycle[v] + k * II.
+ */
+
+#ifndef CAMS_SCHED_SCHEDULE_HH
+#define CAMS_SCHED_SCHEDULE_HH
+
+#include <string>
+#include <vector>
+
+#include "assign/assignment.hh"
+
+namespace cams
+{
+
+/** A complete modulo schedule. */
+struct Schedule
+{
+    int ii = 0;
+
+    /** Issue cycle of each node of the annotated graph. */
+    std::vector<int> startCycle;
+
+    /** Kernel row of a node: startCycle mod II. */
+    int row(NodeId node) const;
+
+    /** Pipeline stage of a node: startCycle div II. */
+    int stage(NodeId node) const;
+
+    /** Number of kernel stages (max stage + 1). */
+    int stageCount() const;
+
+    /** Makespan of one iteration: max(start + latency). */
+    int length(const Dfg &graph) const;
+
+    /**
+     * Shifts every start cycle so the earliest is in [0, II), keeping
+     * all rows intact (the shift is a multiple of II).
+     */
+    void normalize();
+
+    /** Human-readable kernel dump (one line per cycle row). */
+    std::string dump(const AnnotatedLoop &loop) const;
+};
+
+/** Common interface so drivers can swap scheduling algorithms. */
+class ModuloScheduler
+{
+  public:
+    virtual ~ModuloScheduler() = default;
+
+    /**
+     * Attempts to schedule the loop at the given II.
+     * @return true and fills @p out on success.
+     */
+    virtual bool schedule(const AnnotatedLoop &loop,
+                          const ResourceModel &model, int ii,
+                          Schedule &out) const = 0;
+
+    /** Algorithm name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace cams
+
+#endif // CAMS_SCHED_SCHEDULE_HH

@@ -1,0 +1,203 @@
+#include "sched/sms.hh"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "graph/analysis.hh"
+#include "graph/recmii.hh"
+#include "mrt/mrt.hh"
+#include "order/swing_order.hh"
+#include "support/logging.hh"
+
+namespace cams
+{
+
+bool
+SwingModuloScheduler::schedule(const AnnotatedLoop &loop,
+                               const ResourceModel &model, int ii,
+                               Schedule &out) const
+{
+    const Dfg &graph = loop.graph;
+    const int n = graph.numNodes();
+    if (n == 0) {
+        out.ii = ii;
+        out.startCycle.clear();
+        return true;
+    }
+    if (recMii(graph) > ii)
+        return false;
+
+    const TimeAnalysis timing = analyzeTiming(graph, ii);
+    const std::vector<NodeId> order = swingOrder(graph, ii);
+    std::vector<int> rank(n, 0);
+    for (size_t i = 0; i < order.size(); ++i)
+        rank[order[i]] = static_cast<int>(i);
+
+    // Work list in swing-order priority. The iterative variant the
+    // paper uses (an "iterative version of the swing modulo
+    // scheduler") ejects conflicting operations instead of failing
+    // outright; a budget bounds total placements.
+    auto prior = [&](NodeId a, NodeId b) { return rank[a] < rank[b]; };
+    std::set<NodeId, decltype(prior)> worklist(prior);
+    for (NodeId v = 0; v < n; ++v)
+        worklist.insert(v);
+
+    std::vector<bool> placed(n, false);
+    std::vector<long> start(n, 0);
+    std::vector<long> lastStart(n, std::numeric_limits<long>::min());
+    std::vector<Reservation> slots(n);
+    std::vector<std::vector<PoolId>> requests(n);
+    for (NodeId v = 0; v < n; ++v)
+        requests[v] = loop.request(model, v);
+
+    Mrt mrt(model, ii);
+    long budget = std::max<long>(32, 8L * n);
+    constexpr long kNone = std::numeric_limits<long>::min();
+
+    auto rowOf = [&](long t) {
+        return static_cast<int>(((t % ii) + ii) % ii);
+    };
+    auto unschedule = [&](NodeId v) {
+        mrt.release(slots[v]);
+        placed[v] = false;
+        worklist.insert(v);
+    };
+
+    while (!worklist.empty()) {
+        if (budget-- <= 0)
+            return false;
+        const NodeId op = *worklist.begin();
+        worklist.erase(worklist.begin());
+
+        // Windows anchored to the already placed neighbors.
+        long early = kNone;
+        for (EdgeId e : graph.inEdges(op)) {
+            const DfgEdge &edge = graph.edge(e);
+            if (edge.src == op || !placed[edge.src])
+                continue;
+            early = std::max(early,
+                             start[edge.src] + edge.latency -
+                                 static_cast<long>(ii) * edge.distance);
+        }
+        long late = kNone;
+        for (EdgeId e : graph.outEdges(op)) {
+            const DfgEdge &edge = graph.edge(e);
+            if (edge.dst == op || !placed[edge.dst])
+                continue;
+            const long bound = start[edge.dst] - edge.latency +
+                               static_cast<long>(ii) * edge.distance;
+            late = (late == kNone) ? bound : std::min(late, bound);
+        }
+
+        long chosen = kNone;
+        if (early != kNone && late != kNone && late >= early) {
+            for (long t = early; t <= std::min(late, early + ii - 1);
+                 ++t) {
+                if (mrt.canReserveAt(requests[op], rowOf(t))) {
+                    chosen = t;
+                    break;
+                }
+            }
+        } else if (early != kNone && late == kNone) {
+            for (long t = early; t < early + ii; ++t) {
+                if (mrt.canReserveAt(requests[op], rowOf(t))) {
+                    chosen = t;
+                    break;
+                }
+            }
+        } else if (early == kNone && late != kNone) {
+            for (long t = late; t > late - ii; --t) {
+                if (mrt.canReserveAt(requests[op], rowOf(t))) {
+                    chosen = t;
+                    break;
+                }
+            }
+        } else if (early == kNone && late == kNone) {
+            const long base = timing.asap[op];
+            for (long t = base; t < base + ii; ++t) {
+                if (mrt.canReserveAt(requests[op], rowOf(t))) {
+                    chosen = t;
+                    break;
+                }
+            }
+        }
+
+        if (chosen == kNone) {
+            // Forced placement with ejection. Never repeat the
+            // previous spot so the schedule makes progress.
+            long t = early != kNone
+                         ? early
+                         : (late != kNone
+                                ? late
+                                : static_cast<long>(timing.asap[op]));
+            if (lastStart[op] != kNone && t <= lastStart[op])
+                t = lastStart[op] + 1;
+            const int row = rowOf(t);
+            bool progress = true;
+            while (!mrt.canReserveAt(requests[op], row) && progress) {
+                progress = false;
+                // Eject the lowest-priority blocking op in that row.
+                NodeId victim = invalidNode;
+                for (NodeId other = 0; other < n; ++other) {
+                    if (!placed[other] || slots[other].row != row)
+                        continue;
+                    const bool shares = std::any_of(
+                        requests[op].begin(), requests[op].end(),
+                        [&](PoolId pool) {
+                            return std::find(slots[other].pools.begin(),
+                                             slots[other].pools.end(),
+                                             pool) !=
+                                   slots[other].pools.end();
+                        });
+                    if (shares && (victim == invalidNode ||
+                                   rank[other] > rank[victim])) {
+                        victim = other;
+                    }
+                }
+                if (victim != invalidNode) {
+                    unschedule(victim);
+                    progress = true;
+                }
+            }
+            if (!mrt.canReserveAt(requests[op], row))
+                return false; // needs more than the row can ever hold
+            chosen = t;
+        }
+
+        slots[op] = mrt.reserveAt(requests[op], rowOf(chosen));
+        start[op] = chosen;
+        lastStart[op] = chosen;
+        placed[op] = true;
+
+        // Eject neighbors whose dependence the new start violates.
+        for (EdgeId e : graph.outEdges(op)) {
+            const DfgEdge &edge = graph.edge(e);
+            if (edge.dst == op || !placed[edge.dst])
+                continue;
+            if (start[edge.dst] <
+                start[op] + edge.latency -
+                    static_cast<long>(ii) * edge.distance) {
+                unschedule(edge.dst);
+            }
+        }
+        for (EdgeId e : graph.inEdges(op)) {
+            const DfgEdge &edge = graph.edge(e);
+            if (edge.src == op || !placed[edge.src])
+                continue;
+            if (start[op] < start[edge.src] + edge.latency -
+                                static_cast<long>(ii) * edge.distance) {
+                unschedule(edge.src);
+            }
+        }
+    }
+
+    out.ii = ii;
+    out.startCycle.assign(n, 0);
+    for (NodeId v = 0; v < n; ++v)
+        out.startCycle[v] = static_cast<int>(start[v]);
+    out.normalize();
+    return true;
+}
+
+} // namespace cams

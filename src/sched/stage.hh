@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Stage scheduling (Eichenberger & Davidson, MICRO-28, 1995): a
+ * post-pass that slides operations by whole multiples of II within
+ * their dependence slack. Kernel rows -- and therefore every resource
+ * reservation -- are untouched, the II is unchanged, but value
+ * lifetimes shrink, reducing the registers the modulo schedule needs.
+ * The paper's Section 1.2 pairs exactly this pass with an iterative
+ * modulo scheduler.
+ */
+
+#ifndef CAMS_SCHED_STAGE_HH
+#define CAMS_SCHED_STAGE_HH
+
+#include "assign/assignment.hh"
+#include "sched/schedule.hh"
+
+namespace cams
+{
+
+/** What stage scheduling achieved. */
+struct StageScheduleResult
+{
+    Schedule schedule;
+
+    /** Sum of value lifetimes before and after. */
+    long lifetimeBefore = 0;
+    long lifetimeAfter = 0;
+
+    /** Operations moved. */
+    int moves = 0;
+};
+
+/**
+ * Minimizes total value lifetime by sliding operations stage-wise.
+ *
+ * Greedy descent: each pass visits every operation and applies the
+ * lifetime-minimizing legal slide (if any); passes repeat until a
+ * fixpoint or the pass limit. The result is guaranteed legal: rows
+ * are preserved and every slide respects all dependences.
+ */
+StageScheduleResult stageSchedule(const AnnotatedLoop &loop,
+                                  const Schedule &schedule,
+                                  int max_passes = 6);
+
+} // namespace cams
+
+#endif // CAMS_SCHED_STAGE_HH

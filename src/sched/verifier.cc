@@ -1,0 +1,57 @@
+#include "sched/verifier.hh"
+
+#include "mrt/mrt.hh"
+#include "support/logging.hh"
+
+namespace cams
+{
+
+bool
+verifySchedule(const AnnotatedLoop &loop, const ResourceModel &model,
+               const Schedule &schedule, std::string *why)
+{
+    auto fail = [&](const std::string &message) {
+        if (why)
+            *why = message;
+        return false;
+    };
+
+    if (schedule.ii <= 0)
+        return fail("non-positive II");
+    if (static_cast<int>(schedule.startCycle.size()) !=
+        loop.graph.numNodes()) {
+        return fail("schedule size mismatch");
+    }
+
+    std::string reason;
+    if (!loop.validate(model.machine(), &reason))
+        return fail("bad annotation: " + reason);
+
+    for (const DfgEdge &edge : loop.graph.edges()) {
+        const long lhs = schedule.startCycle[edge.dst];
+        const long rhs = schedule.startCycle[edge.src] + edge.latency -
+                         static_cast<long>(schedule.ii) * edge.distance;
+        if (lhs < rhs) {
+            return fail("dependence violated: " +
+                        loop.graph.node(edge.src).name + " -> " +
+                        loop.graph.node(edge.dst).name);
+        }
+    }
+
+    Mrt mrt(model, schedule.ii);
+    for (NodeId v = 0; v < loop.graph.numNodes(); ++v) {
+        const auto request = loop.request(model, v);
+        const int row = schedule.row(v);
+        if (!mrt.canReserveAt(request, row)) {
+            return fail("resource overflow at row " + std::to_string(row) +
+                        " for " + loop.graph.node(v).name);
+        }
+        mrt.reserveAt(request, row);
+    }
+
+    if (why)
+        why->clear();
+    return true;
+}
+
+} // namespace cams

@@ -1,0 +1,48 @@
+#include "sim/compare.hh"
+
+#include "sim/reference.hh"
+#include "sim/vliw.hh"
+#include "support/logging.hh"
+
+namespace cams
+{
+
+EquivalenceReport
+checkEquivalence(const Dfg &original, const AnnotatedLoop &loop,
+                 const Schedule &schedule, const MachineDesc &machine,
+                 int iterations)
+{
+    cams_assert(loop.numOriginalNodes == original.numNodes(),
+                "annotated loop does not match the original");
+
+    EquivalenceReport report;
+
+    VliwSimulator vliw(loop, schedule, machine);
+    const VliwRun run = vliw.run(iterations);
+    for (const std::string &error : run.errors)
+        report.mismatches.push_back("simulation: " + error);
+    report.transfers = run.transfers;
+
+    if (!run.ok()) {
+        report.equivalent = false;
+        return report;
+    }
+
+    const ReferenceTrace reference(original, iterations);
+    for (long iter = 0; iter < iterations; ++iter) {
+        for (NodeId v = 0; v < original.numNodes(); ++v) {
+            ++report.comparisons;
+            const SimValue expect = reference.value(v, iter);
+            const SimValue got = vliw.value(v, iter);
+            if (expect != got && report.mismatches.size() < 16) {
+                report.mismatches.push_back(
+                    original.node(v).name + " iter " +
+                    std::to_string(iter) + ": pipelined value differs");
+            }
+        }
+    }
+    report.equivalent = report.mismatches.empty();
+    return report;
+}
+
+} // namespace cams

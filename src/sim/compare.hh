@@ -1,0 +1,49 @@
+/**
+ * @file
+ * End-to-end equivalence harness: compiles nothing itself, but takes
+ * a compiled loop (annotated graph + schedule), executes it on the
+ * pipelined VLIW simulator, executes the original loop sequentially,
+ * and diffs every original operation's value in every iteration.
+ */
+
+#ifndef CAMS_SIM_COMPARE_HH
+#define CAMS_SIM_COMPARE_HH
+
+#include <string>
+
+#include "assign/assignment.hh"
+#include "graph/dfg.hh"
+#include "sched/schedule.hh"
+
+namespace cams
+{
+
+/** Outcome of one equivalence check. */
+struct EquivalenceReport
+{
+    bool equivalent = false;
+
+    /** First few discrepancies / simulation errors, human readable. */
+    std::vector<std::string> mismatches;
+
+    /** Values compared (original nodes x iterations). */
+    long comparisons = 0;
+
+    /** Inter-cluster transfers the pipelined run performed. */
+    long transfers = 0;
+};
+
+/**
+ * Runs both executions for the given number of iterations and diffs
+ * them. @p original must be the pre-assignment loop the annotated
+ * loop was produced from.
+ */
+EquivalenceReport checkEquivalence(const Dfg &original,
+                                   const AnnotatedLoop &loop,
+                                   const Schedule &schedule,
+                                   const MachineDesc &machine,
+                                   int iterations = 8);
+
+} // namespace cams
+
+#endif // CAMS_SIM_COMPARE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Sequential reference executor: runs the *original* loop graph
+ * iteration by iteration under the functional semantics, with no
+ * machine model at all. Its value trace is the ground truth the
+ * pipelined VLIW simulation must match.
+ */
+
+#ifndef CAMS_SIM_REFERENCE_HH
+#define CAMS_SIM_REFERENCE_HH
+
+#include <vector>
+
+#include "graph/dfg.hh"
+#include "sim/semantics.hh"
+
+namespace cams
+{
+
+/** Value trace of a sequential execution. */
+class ReferenceTrace
+{
+  public:
+    /**
+     * Executes @p iterations iterations of the loop.
+     *
+     * The graph must not contain copies (it is the pre-assignment
+     * loop) and must be well formed; zero-distance dependence cycles
+     * are fatal.
+     */
+    ReferenceTrace(const Dfg &graph, int iterations);
+
+    /** Value produced by a node in an iteration (checked). */
+    SimValue value(NodeId node, long iteration) const;
+
+    int iterations() const { return iterations_; }
+
+  private:
+    const Dfg &graph_;
+    int iterations_;
+    /** values_[iter * numNodes + node]. */
+    std::vector<SimValue> values_;
+};
+
+} // namespace cams
+
+#endif // CAMS_SIM_REFERENCE_HH

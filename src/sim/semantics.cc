@@ -1,0 +1,44 @@
+#include "sim/semantics.hh"
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+namespace
+{
+
+SimValue
+mix(SimValue h, SimValue x)
+{
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+}
+
+} // namespace
+
+SimValue
+liveInValue(NodeId node, long iteration)
+{
+    cams_assert(iteration < 0, "live-in for a computed iteration");
+    SimValue h = 0x426c756553656564ULL;
+    h = mix(h, static_cast<SimValue>(node));
+    h = mix(h, static_cast<SimValue>(-iteration));
+    return h;
+}
+
+SimValue
+applyOp(Opcode op, NodeId node, const std::vector<SimValue> &inputs)
+{
+    cams_assert(op != Opcode::Copy, "copies forward values; not applied");
+    SimValue h = 0x43616d73536930ULL;
+    h = mix(h, static_cast<SimValue>(op));
+    h = mix(h, static_cast<SimValue>(node));
+    for (SimValue input : inputs)
+        h = mix(h, input);
+    return h;
+}
+
+} // namespace cams

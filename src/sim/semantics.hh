@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic functional semantics for simulated loop execution.
+ *
+ * The schedulers only see dependence shapes, so for validating that a
+ * software-pipelined schedule computes *the same thing* as the
+ * sequential loop we give every operation a concrete, deterministic
+ * meaning: the value produced by node v in iteration i is a hash of
+ * the opcode, the node id and the values of its dependence inputs
+ * (each input being the producer's value from iteration
+ * i - distance). Values flowing in from before the first iteration
+ * (loop live-ins) are seeded deterministically from (node, iteration).
+ *
+ * Copies are identity: they transport their input value unchanged.
+ * Under these semantics, two executions agree iff every dependence
+ * was routed to the right place at the right time -- exactly the
+ * property cluster assignment must preserve.
+ */
+
+#ifndef CAMS_SIM_SEMANTICS_HH
+#define CAMS_SIM_SEMANTICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dfg.hh"
+
+namespace cams
+{
+
+/** The value domain of the simulators. */
+using SimValue = uint64_t;
+
+/** Deterministic live-in value of a node for a pre-loop iteration. */
+SimValue liveInValue(NodeId node, long iteration);
+
+/**
+ * Applies one operation: mixes the opcode, the node id and the input
+ * values (order-sensitive: inputs must be passed in in-edge order).
+ * Copy opcodes must not be evaluated here -- they forward their
+ * single input unchanged.
+ */
+SimValue applyOp(Opcode op, NodeId node,
+                 const std::vector<SimValue> &inputs);
+
+} // namespace cams
+
+#endif // CAMS_SIM_SEMANTICS_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Cycle-accurate execution of a modulo schedule on a clustered VLIW.
+ *
+ * Iteration k of the loop issues operation v at cycle
+ * startCycle[v] + k * II. The simulator tracks every produced value
+ * as a token that lives in specific clusters' register files from a
+ * specific cycle on: an operation writes its token into its own
+ * cluster's file after its latency; a copy reads a token from its
+ * source cluster and deposits it into its destination clusters one
+ * cycle later (multi-hop chains relay tokens across the machine).
+ *
+ * An operation may only read a token that is present in its own
+ * cluster's register file by its issue cycle. Any violation --
+ * reading a value that never reached the cluster, or reading it too
+ * early -- is recorded as a simulation error. This dynamically
+ * validates exactly what cluster assignment promises: all
+ * communication is explicit, routed, and on time.
+ */
+
+#ifndef CAMS_SIM_VLIW_HH
+#define CAMS_SIM_VLIW_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "assign/assignment.hh"
+#include "sched/schedule.hh"
+#include "sim/semantics.hh"
+
+namespace cams
+{
+
+/** Result of simulating one pipelined execution. */
+struct VliwRun
+{
+    /** Timing/placement violations found (empty = clean run). */
+    std::vector<std::string> errors;
+
+    /** Iterations executed. */
+    int iterations = 0;
+
+    /** Total simulated kernel cycles (iterations * II + drain). */
+    long cycles = 0;
+
+    /** Inter-cluster value transfers performed. */
+    long transfers = 0;
+
+    bool ok() const { return errors.empty(); }
+};
+
+/** Executes an annotated loop's schedule for a number of iterations. */
+class VliwSimulator
+{
+  public:
+    /** Binds the simulator to one compiled loop. */
+    VliwSimulator(const AnnotatedLoop &loop, const Schedule &schedule,
+                  const MachineDesc &machine);
+
+    /** Runs the pipeline; value traces are kept for inspection. */
+    VliwRun run(int iterations);
+
+    /**
+     * Value computed by an (original or copy) node in an iteration of
+     * the last run; live-ins for negative iterations.
+     */
+    SimValue value(NodeId node, long iteration) const;
+
+  private:
+    const AnnotatedLoop &loop_;
+    const Schedule &schedule_;
+    const MachineDesc &machine_;
+
+    /** Where and when a produced value becomes readable. */
+    struct Token
+    {
+        SimValue value = 0;
+        /** cluster -> first cycle the value is readable there. */
+        std::map<ClusterId, long> availableAt;
+    };
+
+    std::map<std::pair<NodeId, long>, Token> tokens_;
+};
+
+} // namespace cams
+
+#endif // CAMS_SIM_VLIW_HH

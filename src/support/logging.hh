@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Diagnostic helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant was violated (a cams bug); aborts.
+ * fatal()  - the user asked for something impossible (bad machine
+ *            description, malformed input graph); exits with code 1.
+ * warn()   - something suspicious but survivable happened.
+ * inform() - plain status output.
+ */
+
+#ifndef CAMS_SUPPORT_LOGGING_HH
+#define CAMS_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace cams
+{
+
+/** Terminates with an abort after printing an internal-error message. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminates with exit(1) after printing a user-error message. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Prints a warning to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Prints a status message to stderr. */
+void informImpl(const std::string &msg);
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+/** Concatenates the stream representations of all arguments. */
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace cams
+
+#define cams_panic(...) \
+    ::cams::panicImpl(__FILE__, __LINE__, ::cams::detail::concat(__VA_ARGS__))
+
+#define cams_fatal(...) \
+    ::cams::fatalImpl(__FILE__, __LINE__, ::cams::detail::concat(__VA_ARGS__))
+
+#define cams_warn(...) \
+    ::cams::warnImpl(__FILE__, __LINE__, ::cams::detail::concat(__VA_ARGS__))
+
+#define cams_inform(...) \
+    ::cams::informImpl(::cams::detail::concat(__VA_ARGS__))
+
+/** Panics when an internal invariant does not hold. */
+#define cams_assert(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::cams::panicImpl(__FILE__, __LINE__,                           \
+                ::cams::detail::concat("assertion '", #cond, "' failed. ", \
+                                       ##__VA_ARGS__));                     \
+        }                                                                   \
+    } while (0)
+
+#endif // CAMS_SUPPORT_LOGGING_HH

@@ -1,0 +1,130 @@
+#include "support/random.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+namespace
+{
+
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    cams_assert(lo <= hi, "bad uniformInt range [", lo, ",", hi, "]");
+    const uint64_t span = static_cast<uint64_t>(hi) - lo + 1;
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    uint64_t draw;
+    do {
+        draw = next();
+    } while (draw >= limit);
+    return lo + static_cast<int>(draw % span);
+}
+
+double
+Rng::uniformReal()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double probability)
+{
+    return uniformReal() < probability;
+}
+
+int
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    cams_assert(!weights.empty(), "weightedIndex with no weights");
+    double total = 0.0;
+    for (double w : weights) {
+        cams_assert(w >= 0.0, "negative weight");
+        total += w;
+    }
+    cams_assert(total > 0.0, "weightedIndex with all-zero weights");
+    double draw = uniformReal() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        draw -= weights[i];
+        if (draw < 0.0)
+            return static_cast<int>(i);
+    }
+    return static_cast<int>(weights.size()) - 1;
+}
+
+double
+Rng::normal()
+{
+    if (haveSpareNormal_) {
+        haveSpareNormal_ = false;
+        return spareNormal_;
+    }
+    double u1;
+    do {
+        u1 = uniformReal();
+    } while (u1 <= 0.0);
+    const double u2 = uniformReal();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spareNormal_ = mag * std::sin(2.0 * M_PI * u2);
+    haveSpareNormal_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+int
+Rng::lognormalInt(double mu, double sigma, int lo, int hi)
+{
+    cams_assert(lo <= hi, "bad lognormalInt range");
+    const double value = std::exp(mu + sigma * normal());
+    int rounded = static_cast<int>(std::lround(value));
+    if (rounded < lo)
+        rounded = lo;
+    if (rounded > hi)
+        rounded = hi;
+    return rounded;
+}
+
+} // namespace cams

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * The generator is a xoshiro256** instance seeded through SplitMix64 so
+ * that every run of the experiment harness sees the exact same loop
+ * suite regardless of platform or standard-library implementation
+ * (std::mt19937 distributions are not bit-reproducible across
+ * libstdc++ versions, so distribution sampling is implemented here).
+ */
+
+#ifndef CAMS_SUPPORT_RANDOM_HH
+#define CAMS_SUPPORT_RANDOM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cams
+{
+
+/** Reproducible 64-bit PRNG with simple distribution sampling. */
+class Rng
+{
+  public:
+    /** Creates a generator whose stream is fully determined by seed. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Returns the next raw 64-bit output. */
+    uint64_t next();
+
+    /** Returns a uniform integer in [lo, hi] (inclusive). */
+    int uniformInt(int lo, int hi);
+
+    /** Returns a uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Returns true with the given probability. */
+    bool chance(double probability);
+
+    /**
+     * Samples an index according to a vector of non-negative weights.
+     * @return index in [0, weights.size()).
+     */
+    int weightedIndex(const std::vector<double> &weights);
+
+    /**
+     * Samples a discretized, clamped lognormal value.
+     *
+     * Used to reproduce the long-tailed loop-size distributions in the
+     * paper's Table 1 (small mean, large max).
+     */
+    int lognormalInt(double mu, double sigma, int lo, int hi);
+
+    /** Standard normal deviate (Box-Muller, deterministic). */
+    double normal();
+
+    /** Shuffles a vector in place (Fisher-Yates). */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &values)
+    {
+        for (std::size_t i = values.size(); i > 1; --i) {
+            std::size_t j =
+                static_cast<std::size_t>(uniformInt(0, int(i) - 1));
+            std::swap(values[i - 1], values[j]);
+        }
+    }
+
+  private:
+    uint64_t state_[4];
+    bool haveSpareNormal_ = false;
+    double spareNormal_ = 0.0;
+};
+
+} // namespace cams
+
+#endif // CAMS_SUPPORT_RANDOM_HH

@@ -1,0 +1,82 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+void
+RunningStat::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    sum_ += value;
+    ++count_;
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+void
+IntHistogram::add(int64_t value, uint64_t weight)
+{
+    bins_[value] += weight;
+    total_ += weight;
+}
+
+uint64_t
+IntHistogram::countAt(int64_t value) const
+{
+    auto it = bins_.find(value);
+    return it == bins_.end() ? 0 : it->second;
+}
+
+uint64_t
+IntHistogram::countAtMost(int64_t bound) const
+{
+    uint64_t count = 0;
+    for (const auto &[value, n] : bins_) {
+        if (value > bound)
+            break;
+        count += n;
+    }
+    return count;
+}
+
+double
+IntHistogram::fractionAt(int64_t value) const
+{
+    return total_ ? static_cast<double>(countAt(value)) / total_ : 0.0;
+}
+
+double
+IntHistogram::fractionAtMost(int64_t bound) const
+{
+    return total_ ? static_cast<double>(countAtMost(bound)) / total_ : 0.0;
+}
+
+int64_t
+IntHistogram::minValue() const
+{
+    cams_assert(total_ > 0, "minValue() on empty histogram");
+    return bins_.begin()->first;
+}
+
+int64_t
+IntHistogram::maxValue() const
+{
+    cams_assert(total_ > 0, "maxValue() on empty histogram");
+    return bins_.rbegin()->first;
+}
+
+} // namespace cams

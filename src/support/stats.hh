@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Small statistics helpers used by the workload generator and the
+ * experiment reports: running min/avg/max summaries and integer
+ * histograms.
+ */
+
+#ifndef CAMS_SUPPORT_STATS_HH
+#define CAMS_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cams
+{
+
+/** Accumulates min / mean / max / count over a stream of samples. */
+class RunningStat
+{
+  public:
+    /** Adds one sample. */
+    void add(double value);
+
+    /** Number of samples seen so far. */
+    uint64_t count() const { return count_; }
+
+    /** Smallest sample, or 0 when empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample, or 0 when empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Arithmetic mean, or 0 when empty. */
+    double mean() const;
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Counts occurrences of integer-valued observations. */
+class IntHistogram
+{
+  public:
+    /** Adds one observation of the given value. */
+    void add(int64_t value, uint64_t weight = 1);
+
+    /** Total number of observations. */
+    uint64_t total() const { return total_; }
+
+    /** Count observed at exactly this value. */
+    uint64_t countAt(int64_t value) const;
+
+    /** Count observed at value <= bound. */
+    uint64_t countAtMost(int64_t bound) const;
+
+    /** Fraction (0..1) of observations at exactly this value. */
+    double fractionAt(int64_t value) const;
+
+    /** Fraction (0..1) of observations at value <= bound. */
+    double fractionAtMost(int64_t bound) const;
+
+    /** Smallest observed value; only valid when total() > 0. */
+    int64_t minValue() const;
+
+    /** Largest observed value; only valid when total() > 0. */
+    int64_t maxValue() const;
+
+    /** All (value, count) pairs in increasing value order. */
+    const std::map<int64_t, uint64_t> &bins() const { return bins_; }
+
+  private:
+    std::map<int64_t, uint64_t> bins_;
+    uint64_t total_ = 0;
+};
+
+} // namespace cams
+
+#endif // CAMS_SUPPORT_STATS_HH

@@ -1,0 +1,111 @@
+#include "support/str.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cams
+{
+
+std::vector<std::string>
+splitWhitespace(const std::string &text)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char c : text) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!current.empty()) {
+                tokens.push_back(current);
+                current.clear();
+            }
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+        tokens.push_back(current);
+    return tokens;
+}
+
+std::vector<std::string>
+splitChar(const std::string &text, char delim)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    for (char c : text) {
+        if (c == delim) {
+            fields.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    fields.push_back(current);
+    return fields;
+}
+
+std::string
+trim(const std::string &text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+bool
+parseInt(const std::string &text, int &out)
+{
+    if (text.empty())
+        return false;
+    size_t i = 0;
+    if (text[0] == '-')
+        i = 1;
+    if (i >= text.size())
+        return false;
+    long value = 0;
+    for (; i < text.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(text[i])))
+            return false;
+        value = value * 10 + (text[i] - '0');
+        if (value > 1'000'000'000L)
+            return false;
+    }
+    out = static_cast<int>(text[0] == '-' ? -value : value);
+    return true;
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+    return buffer;
+}
+
+std::string
+pad(const std::string &text, int width)
+{
+    const bool left_pad = width >= 0;
+    size_t target = static_cast<size_t>(left_pad ? width : -width);
+    if (text.size() >= target)
+        return text;
+    std::string spaces(target - text.size(), ' ');
+    return left_pad ? spaces + text : text + spaces;
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace cams

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small string utilities: tokenization, trimming, numeric parsing and
+ * fixed-width formatting used by the text IO and table printers.
+ */
+
+#ifndef CAMS_SUPPORT_STR_HH
+#define CAMS_SUPPORT_STR_HH
+
+#include <string>
+#include <vector>
+
+namespace cams
+{
+
+/** Splits on any run of whitespace; no empty tokens are produced. */
+std::vector<std::string> splitWhitespace(const std::string &text);
+
+/** Splits on a single-character delimiter; keeps empty fields. */
+std::vector<std::string> splitChar(const std::string &text, char delim);
+
+/** Removes leading and trailing whitespace. */
+std::string trim(const std::string &text);
+
+/** Parses a non-negative integer; returns false on malformed input. */
+bool parseInt(const std::string &text, int &out);
+
+/** Formats a double with the given number of decimals. */
+std::string formatFixed(double value, int decimals);
+
+/** Left-pads (positive width) or right-pads (negative) with spaces. */
+std::string pad(const std::string &text, int width);
+
+/** True when text starts with the given prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+} // namespace cams
+
+#endif // CAMS_SUPPORT_STR_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Loop unrolling and acyclic list scheduling -- the classic
+ * alternative to modulo scheduling that the paper's related work
+ * (§1.4) attributes to trace-scheduling compilers: replicate the body
+ * k times, schedule the unrolled body as straight-line code, and pay
+ * the pipeline drain at every unrolled-loop back edge.
+ *
+ * Throughput of the unrolled loop = schedule length / k cycles per
+ * original iteration, to be compared against the modulo schedule's
+ * II. Modulo scheduling wins whenever the unrolled body cannot hide
+ * the recurrence and drain latency, which is the quantitative version
+ * of the paper's argument for building cluster assignment around
+ * modulo scheduling in the first place.
+ */
+
+#ifndef CAMS_TRANSFORM_UNROLL_HH
+#define CAMS_TRANSFORM_UNROLL_HH
+
+#include "graph/dfg.hh"
+#include "machine/machine.hh"
+
+namespace cams
+{
+
+/**
+ * Unrolls the loop body @p factor times.
+ *
+ * Copy i of node v is node i * n + v. A dependence of distance d
+ * connects copy i of the producer to copy i + d of the consumer when
+ * i + d < factor (now intra-iteration), and wraps into a carried
+ * dependence of distance ceil((d - i_remaining) / factor) otherwise
+ * -- precisely: distance (i + d) / factor to copy (i + d) % factor.
+ */
+Dfg unrollLoop(const Dfg &graph, int factor);
+
+/** Result of list-scheduling one (unrolled) body as acyclic code. */
+struct ListScheduleResult
+{
+    bool success = false;
+
+    /** Issue cycle per node. */
+    std::vector<int> startCycle;
+
+    /** Makespan of the body (the unrolled loop's recurrence-free
+     *  initiation interval once multiplied out). */
+    int length = 0;
+};
+
+/**
+ * Greedy critical-path list scheduling of the body on the machine's
+ * total unit counts (clustering ignored: this measures the *best
+ * case* for the unrolling approach). Loop-carried dependences bound
+ * the next unrolled iteration, which starts only after the body
+ * completes, so they do not constrain the schedule internally.
+ */
+ListScheduleResult listSchedule(const Dfg &graph,
+                                const MachineDesc &machine);
+
+/**
+ * Cycles per original iteration when the loop is unrolled by the
+ * factor and list scheduled: ceil over the carried-dependence-imposed
+ * restart constraints of the unrolled body.
+ */
+double unrolledThroughput(const Dfg &graph, const MachineDesc &machine,
+                          int factor);
+
+} // namespace cams
+
+#endif // CAMS_TRANSFORM_UNROLL_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Synthetic loop generator.
+ *
+ * The paper's 1327 input loops (Perfect Club, SPEC-89, Livermore
+ * FORTRAN Kernels compiled by the Cydra 5 Fortran77 compiler) are not
+ * publicly available, so this generator synthesizes a deterministic
+ * suite whose distributions are calibrated to the paper's Table 1:
+ *
+ *   nodes/loop              min 2   avg 17.5  max 161
+ *   SCCs per loop           min 0   avg 0.4   max 6
+ *   nodes in non-trivial SCCs (loops with SCCs)
+ *                           min 2   avg 9.0   max 48
+ *   edges/loop              min 1   avg 22.5  max 232
+ *
+ * plus structural conventions of compiled innermost Fortran loops:
+ * one loop-back branch, loads as graph roots, stores and the branch
+ * as sinks, recurrences closed by distance-1 loop-carried edges, and
+ * an FP-heavy opcode mix over the latency classes of Table 2.
+ */
+
+#ifndef CAMS_WORKLOAD_GENERATOR_HH
+#define CAMS_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+
+#include "graph/dfg.hh"
+#include "support/random.hh"
+
+namespace cams
+{
+
+/** Tunables of the synthetic loop distribution. */
+struct GeneratorParams
+{
+    /** Lognormal node-count parameters (clamped to [minNodes, maxNodes]). */
+    double nodeMu = 2.58;
+    double nodeSigma = 0.75;
+    int minNodes = 2;
+    int maxNodes = 161;
+
+    /** Probability that a loop contains recurrences (301/1327). */
+    double sccLoopProbability = 0.227;
+
+    /** Cap on SCCs per loop and on total recurrence nodes. */
+    int maxSccsPerLoop = 6;
+    int maxSccNodes = 48;
+
+    /** Average edges per node beyond the spanning structure. */
+    double edgeFactor = 1.29;
+
+    /** Probability of a forward (non-SCC) loop-carried edge. */
+    double carriedEdgeProbability = 0.06;
+};
+
+/**
+ * Generates one loop graph; fully determined by the seed.
+ * @param name report name given to the graph.
+ */
+Dfg generateLoop(uint64_t seed, const GeneratorParams &params = {},
+                 const std::string &name = "");
+
+} // namespace cams
+
+#endif // CAMS_WORKLOAD_GENERATOR_HH

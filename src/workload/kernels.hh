@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Hand-translated classic loop kernels in the style of the Livermore
+ * FORTRAN Kernels, used by examples and tests as realistic named
+ * inputs. Each is the innermost loop body after the preprocessing the
+ * paper assumes (load-store elimination, IF-conversion, recurrence
+ * back-substitution of induction variables): loads feed an expression
+ * tree, a store and the loop-back branch close the body, and true
+ * recurrences remain as loop-carried SCCs.
+ */
+
+#ifndef CAMS_WORKLOAD_KERNELS_HH
+#define CAMS_WORKLOAD_KERNELS_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/dfg.hh"
+
+namespace cams
+{
+
+/** LFK 1 style hydro fragment: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]). */
+Dfg kernelHydro();
+
+/** Inner product: q += z[k] * x[k] (one 2-node FP recurrence). */
+Dfg kernelInnerProduct();
+
+/** LFK 5 style tri-diagonal elimination: x[i] = z[i]*(y[i] - x[i-1]). */
+Dfg kernelTridiag();
+
+/** First difference: x[k] = y[k+1] - y[k] (recurrence-free). */
+Dfg kernelFirstDiff();
+
+/** LFK 7 style state equation: wide recurrence-free expression tree. */
+Dfg kernelStateEquation();
+
+/** 4-tap FIR filter with an accumulation recurrence. */
+Dfg kernelFir4();
+
+/** LFK 11 style first-order linear recurrence: x[k] = x[k-1] + y[k]. */
+Dfg kernelFirstOrderRecurrence();
+
+/** Integer address-chasing loop (pointer increment recurrence). */
+Dfg kernelAddressChase();
+
+/** LFK 6 style general linear recurrence inner body. */
+Dfg kernelLinearRecurrence();
+
+/** LFK 9 style integrate predictors: wide shared-coefficient tree. */
+Dfg kernelPredictor();
+
+/** LFK 18 style 2-D explicit hydrodynamics fragment (large body). */
+Dfg kernelHydro2d();
+
+/** CRC-style integer shift/xor loop with a carried recurrence. */
+Dfg kernelCrc();
+
+/** All kernels, for sweep tests and examples. */
+std::vector<Dfg> allKernels();
+
+} // namespace cams
+
+#endif // CAMS_WORKLOAD_KERNELS_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The experiment suite: 1327 deterministic synthetic loops standing
+ * in for the paper's Perfect Club / SPEC-89 / Livermore set, plus the
+ * statistics report that reproduces Table 1.
+ */
+
+#ifndef CAMS_WORKLOAD_SUITE_HH
+#define CAMS_WORKLOAD_SUITE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dfg.hh"
+#include "support/stats.hh"
+#include "workload/generator.hh"
+
+namespace cams
+{
+
+/** Default master seed of the published experiments. */
+constexpr uint64_t defaultSuiteSeed = 0xCA5Cade5ULL;
+
+/** Aggregate statistics in the shape of the paper's Table 1. */
+struct SuiteStats
+{
+    RunningStat nodes;
+    RunningStat sccsPerLoop;
+    /** Nodes in non-trivial SCCs, over loops that have any. */
+    RunningStat sccNodes;
+    RunningStat edges;
+    int loopsWithSccs = 0;
+    int totalLoops = 0;
+};
+
+/**
+ * Builds the suite.
+ * @param count loop count (the paper's 1327 by default).
+ * @param seed master seed; loop i uses a hash of (seed, i).
+ */
+std::vector<Dfg> buildSuite(int count = 1327,
+                            uint64_t seed = defaultSuiteSeed,
+                            const GeneratorParams &params = {});
+
+/** Computes Table 1 statistics over any loop collection. */
+SuiteStats computeSuiteStats(const std::vector<Dfg> &suite);
+
+} // namespace cams
+
+#endif // CAMS_WORKLOAD_SUITE_HH

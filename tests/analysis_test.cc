@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the timing analyses (ASAP/ALAP/height/mobility at a
+ * candidate II).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hh"
+#include "graph/builder.hh"
+
+namespace cams
+{
+namespace
+{
+
+TEST(Analysis, ChainAsap)
+{
+    Dfg graph = DfgBuilder("t")
+                    .op("a", Opcode::Load)   // lat 2
+                    .op("b", Opcode::FpMult) // lat 3
+                    .op("c", Opcode::Store)
+                    .chain({"a", "b", "c"})
+                    .build();
+    const TimeAnalysis timing = analyzeTiming(graph, 1);
+    EXPECT_EQ(timing.asap[0], 0);
+    EXPECT_EQ(timing.asap[1], 2);
+    EXPECT_EQ(timing.asap[2], 5);
+    EXPECT_EQ(timing.criticalPath, 6);
+}
+
+TEST(Analysis, ChainHeight)
+{
+    Dfg graph = DfgBuilder("t")
+                    .op("a", Opcode::Load)
+                    .op("b", Opcode::FpMult)
+                    .op("c", Opcode::Store)
+                    .chain({"a", "b", "c"})
+                    .build();
+    const TimeAnalysis timing = analyzeTiming(graph, 1);
+    // height includes the node's own trailing latency.
+    EXPECT_EQ(timing.height[2], 1);
+    EXPECT_EQ(timing.height[1], 4); // 3 + 1
+    EXPECT_EQ(timing.height[0], 6); // 2 + 3 + 1
+}
+
+TEST(Analysis, MobilityOnDiamond)
+{
+    // a -> {fast, slow} -> d; the fast arm has slack.
+    Dfg graph = DfgBuilder("t")
+                    .op("a", Opcode::IntAlu)
+                    .op("fast", Opcode::IntAlu)   // lat 1
+                    .op("slow", Opcode::FpMult)   // lat 3
+                    .op("d", Opcode::IntAlu)
+                    .flow("a", "fast")
+                    .flow("a", "slow")
+                    .flow("fast", "d")
+                    .flow("slow", "d")
+                    .build();
+    const TimeAnalysis timing = analyzeTiming(graph, 1);
+    EXPECT_EQ(timing.mobility[0], 0);
+    EXPECT_EQ(timing.mobility[2], 0); // slow arm is critical
+    EXPECT_EQ(timing.mobility[1], 2); // fast can slide by 2
+    EXPECT_EQ(timing.mobility[3], 0);
+    EXPECT_GE(timing.alap[1], timing.asap[1]);
+}
+
+TEST(Analysis, CarriedEdgeRelaxesWithIi)
+{
+    // acc -(d1)-> acc with lat 1: at any II >= 1 asap stays 0, but the
+    // cycle b->c->b (lat 4, dist 1) forces later starts at small II.
+    Dfg graph = DfgBuilder("t")
+                    .op("b", Opcode::FpAdd)
+                    .op("c", Opcode::FpMult)
+                    .flow("b", "c")
+                    .carried("c", "b", 1)
+                    .build();
+    // RecMII = 4; analyze at 4 and at 6.
+    const TimeAnalysis at4 = analyzeTiming(graph, 4);
+    EXPECT_EQ(at4.asap[0], 0);
+    EXPECT_EQ(at4.asap[1], 1);
+    const TimeAnalysis at6 = analyzeTiming(graph, 6);
+    EXPECT_EQ(at6.asap[1], 1);
+}
+
+TEST(Analysis, BelowRecMiiDies)
+{
+    Dfg graph = DfgBuilder("t")
+                    .op("b", Opcode::FpAdd)
+                    .op("c", Opcode::FpMult)
+                    .flow("b", "c")
+                    .carried("c", "b", 1)
+                    .build();
+    EXPECT_DEATH({ analyzeTiming(graph, 3); }, "positive cycle");
+}
+
+TEST(Analysis, AlapRespectsCriticalPath)
+{
+    Dfg graph = DfgBuilder("t")
+                    .op("a", Opcode::Load)
+                    .op("b", Opcode::Store)
+                    .op("free", Opcode::IntAlu)
+                    .flow("a", "b")
+                    .build();
+    const TimeAnalysis timing = analyzeTiming(graph, 1);
+    EXPECT_EQ(timing.criticalPath, 3);
+    // The disconnected node can sit anywhere up to the end.
+    EXPECT_EQ(timing.alap[2], 2);
+    EXPECT_EQ(timing.mobility[2], 2);
+}
+
+TEST(Analysis, EmptyGraph)
+{
+    Dfg graph;
+    const TimeAnalysis timing = analyzeTiming(graph, 2);
+    EXPECT_EQ(timing.criticalPath, 0);
+    EXPECT_TRUE(timing.asap.empty());
+}
+
+} // namespace
+} // namespace cams

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the loop-source frontend: the generated graphs must
+ * match the hand-translated kernels structurally (node/edge counts,
+ * recurrences, RecMII) and compile + simulate end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hh"
+#include "graph/recmii.hh"
+#include "graph/scc.hh"
+#include "machine/configs.hh"
+#include "pipeline/driver.hh"
+#include "sim/compare.hh"
+
+namespace cams
+{
+namespace
+{
+
+Dfg
+mustParse(const std::string &source)
+{
+    Dfg graph;
+    std::string error;
+    EXPECT_TRUE(parseLoopSource(source, graph, error)) << error;
+    return graph;
+}
+
+TEST(Frontend, HydroMatchesHandCoding)
+{
+    const Dfg graph = mustParse(R"(
+        loop hydro {
+            x[i] = q + y[i] * (r * z[i+10] + t * z[i+11]);
+        }
+    )");
+    EXPECT_EQ(graph.name(), "hydro");
+    // 3 loads, 3 multiplies, 2 adds, 1 store, counter, branch.
+    EXPECT_EQ(graph.numNodes(), 11);
+    EXPECT_EQ(findSccs(graph).numNonTrivial(), 0);
+    EXPECT_EQ(recMii(graph), 1);
+}
+
+TEST(Frontend, AccumulationBecomesSelfRecurrence)
+{
+    const Dfg graph = mustParse(R"(
+        loop dot { q += z[i] * x[i]; }
+    )");
+    // 2 loads, fmul, fadd(acc), counter, branch.
+    EXPECT_EQ(graph.numNodes(), 6);
+    const SccInfo sccs = findSccs(graph);
+    EXPECT_EQ(sccs.numNonTrivial(), 1);
+    EXPECT_EQ(recMii(graph), 1); // fadd self-loop, latency 1
+}
+
+TEST(Frontend, StoreToLoadForwardingMakesRecurrence)
+{
+    const Dfg graph = mustParse(R"(
+        loop tridiag { x[i] = z[i] * (y[i] - x[i-1]); }
+    )");
+    // No load of x: the read forwards from the stored value.
+    int loads = 0;
+    for (const DfgNode &node : graph.nodes()) {
+        if (node.op == Opcode::Load)
+            ++loads;
+    }
+    EXPECT_EQ(loads, 2); // z and y only
+    EXPECT_EQ(recMii(graph), 4); // fadd + fmul, distance 1
+}
+
+TEST(Frontend, DeeperCarryDistance)
+{
+    const Dfg graph = mustParse(R"(
+        loop second_order { x[i] = x[i-2] + y[i]; }
+    )");
+    // (1 + 1?) -- a single fadd with a distance-2 self edge:
+    // RecMII = ceil(1/2) = 1.
+    EXPECT_EQ(recMii(graph), 1);
+    bool found = false;
+    for (const DfgEdge &edge : graph.edges()) {
+        if (edge.distance == 2)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Frontend, FortranTypingPicksIntegerOps)
+{
+    const Dfg graph = mustParse(R"(
+        loop crc { k = (k << 3) + m[i]; }
+    )");
+    int shifts = 0;
+    int int_adds = 0;
+    for (const DfgNode &node : graph.nodes()) {
+        if (node.op == Opcode::IntShift)
+            ++shifts;
+        if (node.op == Opcode::IntAlu && node.name != "cnt")
+            ++int_adds;
+    }
+    EXPECT_EQ(shifts, 1);
+    EXPECT_EQ(int_adds, 1);
+    EXPECT_EQ(recMii(graph), 2); // shift -> add -> (d1) shift
+}
+
+TEST(Frontend, InvariantsCostNothing)
+{
+    const Dfg graph = mustParse(R"(
+        loop axpy { y[i] = a * x[i] + y0; }
+    )");
+    // Load, fmul (a*x has one real input), fadd (y0 invariant... the
+    // add folds away since y0 is invariant? No: a*x is computed, so
+    // the add has one real input and stays), store, cnt, br.
+    EXPECT_EQ(graph.numNodes(), 6);
+}
+
+TEST(Frontend, RepeatedElementReadsShareOneLoad)
+{
+    const Dfg graph = mustParse(R"(
+        loop square { y[i] = x[i] * x[i] + x[i]; }
+    )");
+    int loads = 0;
+    for (const DfgNode &node : graph.nodes()) {
+        if (node.op == Opcode::Load)
+            ++loads;
+    }
+    EXPECT_EQ(loads, 1);
+}
+
+TEST(Frontend, SqrtAndDivide)
+{
+    const Dfg graph = mustParse(R"(
+        loop norm { y[i] = x[i] / sqrt(s + x[i] * x[i]); }
+    )");
+    bool has_sqrt = false;
+    bool has_div = false;
+    for (const DfgNode &node : graph.nodes()) {
+        has_sqrt |= node.op == Opcode::FpSqrt;
+        has_div |= node.op == Opcode::FpDiv;
+    }
+    EXPECT_TRUE(has_sqrt);
+    EXPECT_TRUE(has_div);
+}
+
+TEST(Frontend, MultipleStatementsChainValues)
+{
+    const Dfg graph = mustParse(R"(
+        loop two {
+            t = x[i] - x[i-1];
+            y[i] = t * t;
+            s += t;
+        }
+    )");
+    // t is a scalar def consumed twice by the multiply and the acc.
+    EXPECT_EQ(findSccs(graph).numNonTrivial(), 1); // s accumulation
+    std::string why;
+    EXPECT_TRUE(graph.wellFormed(&why)) << why;
+}
+
+TEST(Frontend, IfConversionPredicatesStores)
+{
+    const Dfg graph = mustParse(R"(
+        loop clamp {
+            if (x[i] > hi) y[i] = x[i] * scale;
+        }
+    )");
+    // A compare node guards the store: ld, cmp, fmul, st, cnt, br.
+    EXPECT_EQ(graph.numNodes(), 6);
+    NodeId store = invalidNode;
+    NodeId cmp = invalidNode;
+    for (const DfgNode &node : graph.nodes()) {
+        if (node.op == Opcode::Store)
+            store = node.id;
+        if (node.name.rfind("cmp", 0) == 0)
+            cmp = node.id;
+    }
+    ASSERT_NE(store, invalidNode);
+    ASSERT_NE(cmp, invalidNode);
+    // The predicate feeds the store.
+    const auto preds = graph.predecessors(store);
+    EXPECT_NE(std::find(preds.begin(), preds.end(), cmp), preds.end());
+}
+
+TEST(Frontend, GuardedScalarBecomesSelectRecurrence)
+{
+    // if-converted max reduction: m = max(m, x[i]).
+    const Dfg graph = mustParse(R"(
+        loop maxred {
+            if (x[i] > m) m = x[i];
+        }
+    )");
+    // The select merges the old m with the new value: a recurrence.
+    EXPECT_EQ(findSccs(graph).numNonTrivial(), 1);
+    bool has_select = false;
+    for (const DfgNode &node : graph.nodes())
+        has_select |= node.name == "sel_m";
+    EXPECT_TRUE(has_select);
+}
+
+TEST(Frontend, ComparisonOperatorsParse)
+{
+    for (const char *relop : {"<", ">", "<=", ">=", "==", "!="}) {
+        const std::string source = std::string("loop t { if (x[i] ") +
+                                   relop + " 0) y[i] = x[i]; }";
+        Dfg graph;
+        std::string error;
+        EXPECT_TRUE(parseLoopSource(source, graph, error))
+            << relop << ": " << error;
+    }
+}
+
+TEST(Frontend, PredicatedLoopsCompileAndSimulate)
+{
+    const char *sources[] = {
+        "loop a { if (x[i] > t) s += x[i]; }",
+        "loop b { if (x[i] != m) y[i] = x[i] - m; }",
+        "loop c { t = x[i] - x[i-1]; if (t > 0) s += t; }",
+    };
+    const MachineDesc machine = busedGpMachine(2, 2, 1);
+    for (const char *source : sources) {
+        const Dfg loop = mustParse(source);
+        const CompileResult result = compileClustered(loop, machine);
+        ASSERT_TRUE(result.success) << source;
+        const auto report = checkEquivalence(loop, result.loop,
+                                             result.schedule, machine);
+        EXPECT_TRUE(report.equivalent)
+            << source << ": "
+            << (report.mismatches.empty() ? "" : report.mismatches[0]);
+    }
+}
+
+TEST(Frontend, GuardRejections)
+{
+    Dfg graph;
+    std::string error;
+    // Loop-invariant condition.
+    EXPECT_FALSE(parseLoopSource("loop x { if (a > b) y[i] = 1; }",
+                                 graph, error));
+    // Nested guards.
+    EXPECT_FALSE(parseLoopSource(
+        "loop x { if (x[i] > 0) if (x[i] < 9) y[i] = 1; }", graph,
+        error));
+    // Missing comparison.
+    EXPECT_FALSE(parseLoopSource("loop x { if (x[i]) y[i] = 1; }",
+                                 graph, error));
+}
+
+TEST(Frontend, Rejections)
+{
+    Dfg graph;
+    std::string error;
+    EXPECT_FALSE(parseLoopSource("", graph, error));
+    EXPECT_FALSE(parseLoopSource("loop x { }", graph, error));
+    EXPECT_FALSE(parseLoopSource("loop x { y[i+1] = 2; }", graph,
+                                 error)); // store off [i]
+    EXPECT_FALSE(parseLoopSource(
+        "loop x { y[i] = 1; y[i] = 2; }", graph, error)); // double store
+    EXPECT_FALSE(parseLoopSource(
+        "loop x { y[i] = y[i+1]; }", graph, error)); // future element
+    EXPECT_FALSE(parseLoopSource(
+        "loop x { y[i] = y[i] + 1; }", graph,
+        error)); // reads own store before it happens
+    EXPECT_FALSE(parseLoopSource("loop x { y[i] = (1; }", graph,
+                                 error)); // syntax
+    EXPECT_FALSE(parseLoopSource("loop x { y[i] = 1; } extra", graph,
+                                 error)); // trailing input
+    EXPECT_NE(error.find("line"), std::string::npos);
+}
+
+TEST(Frontend, CompilesAndSimulatesEndToEnd)
+{
+    const char *sources[] = {
+        "loop a { x[i] = z[i] * (y[i] - x[i-1]); }",
+        "loop b { q += z[i] * x[i]; }",
+        "loop c { y[i] = a * x[i] + b * x[i-1] + c * x[i-2]; }",
+        "loop d { s += (x[i] - m) * (x[i] - m); }",
+    };
+    const MachineDesc machine = busedGpMachine(2, 2, 1);
+    for (const char *source : sources) {
+        const Dfg loop = mustParse(source);
+        const CompileResult result = compileClustered(loop, machine);
+        ASSERT_TRUE(result.success) << source;
+        const auto report = checkEquivalence(loop, result.loop,
+                                             result.schedule, machine);
+        EXPECT_TRUE(report.equivalent)
+            << source << ": "
+            << (report.mismatches.empty() ? "" : report.mismatches[0]);
+    }
+}
+
+} // namespace
+} // namespace cams

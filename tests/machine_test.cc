@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for machine descriptions and the paper's configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/configs.hh"
+#include "machine/machine.hh"
+
+namespace cams
+{
+namespace
+{
+
+TEST(Machine, GpClusterExecutesEverything)
+{
+    const MachineDesc machine = busedGpMachine(2, 2, 1);
+    EXPECT_EQ(machine.numClusters(), 2);
+    EXPECT_EQ(machine.totalWidth(), 8);
+    for (int cls = 0; cls < numFuClasses; ++cls) {
+        EXPECT_EQ(machine.fuCount(0, static_cast<FuClass>(cls)), 4);
+    }
+    EXPECT_TRUE(machine.broadcast());
+    EXPECT_TRUE(machine.canExecute(Opcode::FpSqrt));
+    EXPECT_TRUE(machine.canExecute(Opcode::Copy));
+}
+
+TEST(Machine, FsClusterHasDedicatedPools)
+{
+    const MachineDesc machine = busedFsMachine(4, 4, 2);
+    EXPECT_EQ(machine.totalWidth(), 16);
+    EXPECT_EQ(machine.fuCount(1, FuClass::Memory), 1);
+    EXPECT_EQ(machine.fuCount(1, FuClass::Integer), 2);
+    EXPECT_EQ(machine.fuCount(1, FuClass::Float), 1);
+}
+
+TEST(Machine, SingleClusterCannotCopy)
+{
+    const MachineDesc unified = unifiedGpMachine(8);
+    EXPECT_FALSE(unified.canExecute(Opcode::Copy));
+}
+
+TEST(Machine, UnifiedEquivalentOfGp)
+{
+    const MachineDesc machine = busedGpMachine(4, 4, 2);
+    const MachineDesc unified = machine.unifiedEquivalent();
+    EXPECT_EQ(unified.numClusters(), 1);
+    EXPECT_EQ(unified.totalWidth(), 16);
+    EXPECT_TRUE(unified.cluster(0).usesGpPool());
+}
+
+TEST(Machine, UnifiedEquivalentOfFs)
+{
+    const MachineDesc machine = busedFsMachine(2, 2, 1);
+    const MachineDesc unified = machine.unifiedEquivalent();
+    EXPECT_EQ(unified.numClusters(), 1);
+    EXPECT_EQ(unified.fuCount(0, FuClass::Memory), 2);
+    EXPECT_EQ(unified.fuCount(0, FuClass::Integer), 4);
+    EXPECT_EQ(unified.fuCount(0, FuClass::Float), 2);
+}
+
+TEST(Machine, UnifiedEquivalentOfGrid)
+{
+    const MachineDesc unified = gridMachine().unifiedEquivalent();
+    EXPECT_EQ(unified.fuCount(0, FuClass::Memory), 4);
+    EXPECT_EQ(unified.fuCount(0, FuClass::Integer), 4);
+    EXPECT_EQ(unified.fuCount(0, FuClass::Float), 4);
+}
+
+TEST(Machine, BusNeighborsAreAllOthers)
+{
+    const MachineDesc machine = busedGpMachine(4, 4, 2);
+    const auto neighbors = machine.neighbors(2);
+    EXPECT_EQ(neighbors, (std::vector<ClusterId>{0, 1, 3}));
+}
+
+TEST(Machine, GridTopology)
+{
+    const MachineDesc grid = gridMachine();
+    EXPECT_EQ(grid.numClusters(), 4);
+    EXPECT_EQ(grid.interconnect, InterconnectKind::PointToPoint);
+    EXPECT_EQ(grid.links.size(), 4u);
+    // Each corner has exactly two neighbors; diagonals are not linked.
+    EXPECT_EQ(grid.neighbors(0), (std::vector<ClusterId>{1, 2}));
+    EXPECT_EQ(grid.neighbors(3), (std::vector<ClusterId>{1, 2}));
+    EXPECT_EQ(grid.linkBetween(0, 3), -1);
+    EXPECT_GE(grid.linkBetween(0, 1), 0);
+    EXPECT_EQ(grid.linkBetween(1, 0), grid.linkBetween(0, 1));
+}
+
+TEST(Machine, GridRoutes)
+{
+    const MachineDesc grid = gridMachine();
+    const auto direct = grid.route(0, 1);
+    EXPECT_EQ(direct, (std::vector<ClusterId>{0, 1}));
+    const auto diagonal = grid.route(0, 3);
+    ASSERT_EQ(diagonal.size(), 3u);
+    EXPECT_EQ(diagonal.front(), 0);
+    EXPECT_EQ(diagonal.back(), 3);
+}
+
+TEST(Machine, BusRouteIsDirect)
+{
+    const MachineDesc machine = busedGpMachine(4, 4, 2);
+    EXPECT_EQ(machine.route(3, 0), (std::vector<ClusterId>{3, 0}));
+}
+
+TEST(Machine, ValidateRejectsBadMachines)
+{
+    MachineDesc machine;
+    machine.name = "broken";
+    EXPECT_DEATH({ machine.validate(); }, "no clusters");
+
+    MachineDesc no_bus = busedGpMachine(2, 2, 1);
+    no_bus.numBuses = 0;
+    EXPECT_DEATH({ no_bus.validate(); }, "needs buses");
+
+    MachineDesc split = gridMachine();
+    split.links = {{0, 1}}; // clusters 2 and 3 stranded
+    EXPECT_DEATH({ split.validate(); }, "not connected");
+}
+
+TEST(Machine, ConfigNamesAreDescriptive)
+{
+    EXPECT_EQ(busedGpMachine(2, 2, 1).name, "2c-gp-2b-1p");
+    EXPECT_EQ(busedFsMachine(4, 4, 2).name, "4c-fs-4b-2p");
+    EXPECT_EQ(gridMachine(2).name, "4c-grid-2p");
+}
+
+} // namespace
+} // namespace cams

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the resource model and the modulo reservation table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/configs.hh"
+#include "mrt/mrt.hh"
+
+namespace cams
+{
+namespace
+{
+
+TEST(ResourceModel, GpPoolsAlias)
+{
+    const ResourceModel model(busedGpMachine(2, 2, 1));
+    EXPECT_EQ(model.fuPool(0, FuClass::Memory),
+              model.fuPool(0, FuClass::Float));
+    EXPECT_NE(model.fuPool(0, FuClass::Memory),
+              model.fuPool(1, FuClass::Memory));
+    EXPECT_EQ(model.capacity(model.fuPool(0, FuClass::Integer)), 4);
+    EXPECT_EQ(model.fuPool(0, FuClass::None), invalidPool);
+}
+
+TEST(ResourceModel, FsPoolsSeparate)
+{
+    const ResourceModel model(busedFsMachine(2, 2, 1));
+    const PoolId mem = model.fuPool(0, FuClass::Memory);
+    const PoolId intp = model.fuPool(0, FuClass::Integer);
+    const PoolId fp = model.fuPool(0, FuClass::Float);
+    EXPECT_NE(mem, intp);
+    EXPECT_NE(intp, fp);
+    EXPECT_EQ(model.capacity(mem), 1);
+    EXPECT_EQ(model.capacity(intp), 2);
+    EXPECT_EQ(model.capacity(fp), 1);
+}
+
+TEST(ResourceModel, PortsAndBus)
+{
+    const ResourceModel model(busedGpMachine(2, 2, 1));
+    EXPECT_NE(model.readPool(0), invalidPool);
+    EXPECT_NE(model.writePool(1), invalidPool);
+    EXPECT_NE(model.busPool(), invalidPool);
+    EXPECT_EQ(model.capacity(model.busPool()), 2);
+    EXPECT_EQ(model.capacity(model.readPool(0)), 1);
+}
+
+TEST(ResourceModel, UnifiedHasNoPorts)
+{
+    const ResourceModel model(unifiedGpMachine(8));
+    EXPECT_EQ(model.readPool(0), invalidPool);
+    EXPECT_EQ(model.busPool(), invalidPool);
+}
+
+TEST(ResourceModel, OpRequestUsesFuPool)
+{
+    const ResourceModel model(busedFsMachine(2, 2, 1));
+    const auto request = model.opRequest(1, Opcode::Load);
+    ASSERT_EQ(request.size(), 1u);
+    EXPECT_EQ(request[0], model.fuPool(1, FuClass::Memory));
+}
+
+TEST(ResourceModel, BroadcastCopyRequest)
+{
+    const ResourceModel model(busedGpMachine(4, 4, 2));
+    const auto request = model.copyRequest(0, {1, 3});
+    // read@0, bus, write@1, write@3.
+    ASSERT_EQ(request.size(), 4u);
+    EXPECT_EQ(request[0], model.readPool(0));
+    EXPECT_EQ(request[1], model.busPool());
+    EXPECT_EQ(request[2], model.writePool(1));
+    EXPECT_EQ(request[3], model.writePool(3));
+}
+
+TEST(ResourceModel, PointToPointCopyRequest)
+{
+    const MachineDesc grid = gridMachine();
+    const ResourceModel model(grid);
+    const auto request = model.copyRequest(0, {1});
+    ASSERT_EQ(request.size(), 3u);
+    EXPECT_EQ(request[0], model.readPool(0));
+    EXPECT_EQ(request[1], model.linkPool(grid.linkBetween(0, 1)));
+    EXPECT_EQ(request[2], model.writePool(1));
+}
+
+TEST(ResourceModel, PointToPointCopyNeedsLink)
+{
+    const ResourceModel model(gridMachine());
+    EXPECT_DEATH({ model.copyRequest(0, {3}); }, "no link");
+}
+
+TEST(Mrt, ReserveAndRelease)
+{
+    const ResourceModel model(busedGpMachine(2, 2, 1));
+    Mrt mrt(model, 2);
+    const PoolId gp = model.fuPool(0, FuClass::Integer);
+    EXPECT_EQ(mrt.freeTotal(gp), 8); // 4 units x II 2
+
+    const auto res = mrt.reserve({gp});
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->row, 0);
+    EXPECT_EQ(mrt.freeTotal(gp), 7);
+    EXPECT_EQ(mrt.usedTotal(gp), 1);
+
+    mrt.release(*res);
+    EXPECT_EQ(mrt.freeTotal(gp), 8);
+}
+
+TEST(Mrt, RowFillsThenOverflows)
+{
+    const ResourceModel model(busedGpMachine(2, 2, 1));
+    Mrt mrt(model, 1);
+    const PoolId gp = model.fuPool(0, FuClass::Integer);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(mrt.reserve({gp}).has_value());
+    EXPECT_FALSE(mrt.reserve({gp}).has_value());
+    EXPECT_EQ(mrt.findRow({gp}), -1);
+}
+
+TEST(Mrt, FirstFitSkipsFullRows)
+{
+    const ResourceModel model(busedGpMachine(2, 2, 1));
+    Mrt mrt(model, 3);
+    const PoolId read = model.readPool(0);
+    // One read port per row; fill row 0 and 1.
+    mrt.reserveAt({read}, 0);
+    mrt.reserveAt({read}, 1);
+    const auto res = mrt.reserve({read});
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->row, 2);
+}
+
+TEST(Mrt, JointRequestNeedsAllPoolsInOneRow)
+{
+    const ResourceModel model(busedGpMachine(2, 2, 1));
+    Mrt mrt(model, 2);
+    const PoolId read = model.readPool(0);
+    const PoolId bus = model.busPool();
+    // Fill the read port in row 0 and the bus in row 1: a joint
+    // (read, bus) request no longer fits anywhere.
+    mrt.reserveAt({read}, 0);
+    mrt.reserveAt({bus}, 1);
+    mrt.reserveAt({bus}, 1);
+    EXPECT_TRUE(mrt.canReserveAt({read, bus}, 1) == false);
+    EXPECT_EQ(mrt.findRow({read, bus}), -1);
+}
+
+TEST(Mrt, DuplicatePoolsInOneRequest)
+{
+    const ResourceModel model(busedGpMachine(2, 2, 1));
+    Mrt mrt(model, 1);
+    const PoolId bus = model.busPool(); // capacity 2
+    EXPECT_TRUE(mrt.canReserveAt({bus, bus}, 0));
+    mrt.reserveAt({bus, bus}, 0);
+    EXPECT_FALSE(mrt.canReserveAt({bus}, 0));
+}
+
+TEST(Mrt, ReserveAtWrapsRows)
+{
+    const ResourceModel model(busedGpMachine(2, 2, 1));
+    Mrt mrt(model, 3);
+    const PoolId gp = model.fuPool(0, FuClass::Integer);
+    const auto res = mrt.reserveAt({gp}, 7); // 7 mod 3 = 1
+    EXPECT_EQ(res.row, 1);
+    EXPECT_EQ(mrt.freeInRow(gp, 1), 3);
+}
+
+TEST(Mrt, DoubleReleaseDies)
+{
+    const ResourceModel model(busedGpMachine(2, 2, 1));
+    Mrt mrt(model, 1);
+    const PoolId gp = model.fuPool(0, FuClass::Integer);
+    const auto res = mrt.reserveAt({gp}, 0);
+    mrt.release(res);
+    EXPECT_DEATH({ mrt.release(res); }, "double release");
+}
+
+} // namespace
+} // namespace cams

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Integration test reproducing the paper's Section 3 walkthrough.
+ *
+ * The Figure 6 loop (6 unit-latency ops, C taking 2 cycles, with the
+ * recurrence B->C->D -(d1)-> B) is assigned onto the hypothetical
+ * machine of the example: two clusters of one GP unit each, two
+ * buses, one read/write port per cluster. The paper shows that a
+ * naive bottom-up first-fit assignment fails at II = MII = 4, while
+ * the SCC-first + copy-prediction algorithm succeeds with II = 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assign/assigner.hh"
+#include "graph/builder.hh"
+#include "graph/recmii.hh"
+#include "pipeline/driver.hh"
+#include "sched/mii.hh"
+#include "sched/verifier.hh"
+
+namespace cams
+{
+namespace
+{
+
+Dfg
+figure6()
+{
+    return DfgBuilder("fig6")
+        .op("A", Opcode::IntAlu)
+        .op("B", Opcode::IntAlu)
+        .op("C", Opcode::IntAlu, 2)
+        .op("D", Opcode::IntAlu)
+        .op("E", Opcode::IntAlu)
+        .op("F", Opcode::IntAlu)
+        .chain({"A", "B", "C", "D", "E", "F"})
+        .carried("D", "B", 1)
+        .build();
+}
+
+MachineDesc
+exampleMachine()
+{
+    MachineDesc machine;
+    machine.name = "2c-1gp-2b-1p";
+    machine.interconnect = InterconnectKind::Bus;
+    machine.numBuses = 2;
+    for (int c = 0; c < 2; ++c) {
+        ClusterDesc cluster;
+        cluster.gpUnits = 1;
+        cluster.readPorts = 1;
+        cluster.writePorts = 1;
+        machine.clusters.push_back(cluster);
+    }
+    machine.validate();
+    return machine;
+}
+
+TEST(PaperExample, MiiIsFour)
+{
+    const Dfg graph = figure6();
+    const MachineDesc unified =
+        exampleMachine().unifiedEquivalent();
+    const MiiInfo mii = computeMii(graph, unified);
+    EXPECT_EQ(mii.recMii, 4); // (1 + 2 + 1) / 1
+    EXPECT_EQ(mii.resMii, 3); // 6 ops / width 2
+    EXPECT_EQ(mii.mii, 4);
+}
+
+TEST(PaperExample, FullAlgorithmAssignsAtMii)
+{
+    const Dfg graph = figure6();
+    const MachineDesc machine = exampleMachine();
+    const ResourceModel model(machine);
+    const auto result = ClusterAssigner(model).run(graph, 4);
+    ASSERT_TRUE(result.success);
+
+    // The SCC {B, C, D} stays on one cluster.
+    EXPECT_EQ(result.clusterOf[1], result.clusterOf[2]);
+    EXPECT_EQ(result.clusterOf[2], result.clusterOf[3]);
+
+    // Exactly four ops fit on the SCC's cluster at II 4, so A, E and
+    // F cannot all join it: copies exist but never inside the SCC.
+    std::string why;
+    EXPECT_TRUE(result.loop.validate(machine, &why)) << why;
+    EXPECT_GE(result.copies, 1);
+
+    // The recurrence cycle is still II-4 feasible after annotation.
+    EXPECT_EQ(recMii(result.loop.graph), 4);
+}
+
+TEST(PaperExample, EndToEndMatchesUnifiedIi)
+{
+    const Dfg graph = figure6();
+    const MachineDesc machine = exampleMachine();
+
+    const CompileResult unified =
+        compileUnified(graph, machine.unifiedEquivalent());
+    ASSERT_TRUE(unified.success);
+    EXPECT_EQ(unified.ii, 4);
+
+    const CompileResult clustered = compileClustered(graph, machine);
+    ASSERT_TRUE(clustered.success);
+    EXPECT_EQ(clustered.ii, 4) << "communication was not hidden";
+
+    std::string why;
+    const ResourceModel model(machine);
+    EXPECT_TRUE(verifySchedule(clustered.loop, model,
+                               clustered.schedule, &why))
+        << why;
+}
+
+TEST(PaperExample, WorksWithBothSchedulers)
+{
+    const Dfg graph = figure6();
+    const MachineDesc machine = exampleMachine();
+    for (SchedulerKind kind :
+         {SchedulerKind::Swing, SchedulerKind::Iterative}) {
+        CompileOptions options;
+        options.scheduler = kind;
+        const CompileResult result =
+            compileClustered(graph, machine, options);
+        ASSERT_TRUE(result.success);
+        if (kind == SchedulerKind::Swing) {
+            // The paper's scheduler reaches the MII.
+            EXPECT_EQ(result.ii, 4);
+        } else {
+            // Rau's IMS reaches the optimal II for ~98% of loops; the
+            // rigid one-free-row recurrence of this example on a
+            // 1-wide cluster is in the unlucky tail, so allow one
+            // extra cycle.
+            EXPECT_LE(result.ii, 5);
+        }
+    }
+}
+
+TEST(PaperExample, SimpleNonIterativeDoesNotBeatFullAlgorithm)
+{
+    const Dfg graph = figure6();
+    const MachineDesc machine = exampleMachine();
+
+    CompileOptions full;
+    const int full_ii = compileClustered(graph, machine, full).ii;
+
+    CompileOptions simple;
+    simple.assign.iterative = false;
+    simple.assign.fullHeuristic = false;
+    const CompileResult weak = compileClustered(graph, machine, simple);
+    ASSERT_TRUE(weak.success);
+    EXPECT_GE(weak.ii, full_ii);
+}
+
+} // namespace
+} // namespace cams

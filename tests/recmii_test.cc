@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the RecMII solver, including the paper's Section 3
+ * example (RecMII = 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+#include "graph/recmii.hh"
+
+namespace cams
+{
+namespace
+{
+
+/** The Figure 6 graph: A->B->C->D, D -(d1)-> B, D->E->F; C has lat 2. */
+Dfg
+paperExample()
+{
+    return DfgBuilder("fig6")
+        .op("A", Opcode::IntAlu)
+        .op("B", Opcode::IntAlu)
+        .op("C", Opcode::IntAlu, 2)
+        .op("D", Opcode::IntAlu)
+        .op("E", Opcode::IntAlu)
+        .op("F", Opcode::IntAlu)
+        .chain({"A", "B", "C", "D", "E", "F"})
+        .carried("D", "B", 1)
+        .build();
+}
+
+TEST(RecMii, AcyclicIsOne)
+{
+    Dfg graph = DfgBuilder("t")
+                    .op("a", Opcode::Load)
+                    .op("b", Opcode::FpMult)
+                    .flow("a", "b")
+                    .build();
+    EXPECT_EQ(recMii(graph), 1);
+}
+
+TEST(RecMii, PaperExampleIsFour)
+{
+    // Cycle B -> C -> D -> B: (1 + 2 + 1) / 1 = 4.
+    EXPECT_EQ(recMii(paperExample()), 4);
+}
+
+TEST(RecMii, SelfLoopLatencyOverDistance)
+{
+    Dfg graph = DfgBuilder("t")
+                    .op("x", Opcode::FpMult) // lat 3
+                    .carried("x", "x", 1)
+                    .build();
+    EXPECT_EQ(recMii(graph), 3);
+
+    Dfg relaxed = DfgBuilder("t2")
+                      .op("x", Opcode::FpMult)
+                      .carried("x", "x", 2)
+                      .build();
+    EXPECT_EQ(recMii(relaxed), 2); // ceil(3/2)
+}
+
+TEST(RecMii, DistanceTwoHalvesTheBound)
+{
+    Dfg graph = DfgBuilder("t")
+                    .op("a", Opcode::FpAdd)
+                    .op("b", Opcode::FpMult)
+                    .flow("a", "b")
+                    .carried("b", "a", 2)
+                    .build();
+    // (1 + 3) / 2 = 2.
+    EXPECT_EQ(recMii(graph), 2);
+}
+
+TEST(RecMii, MaxOverMultipleCycles)
+{
+    Dfg graph = DfgBuilder("t")
+                    .op("a", Opcode::FpAdd)
+                    .op("b", Opcode::FpAdd)
+                    .op("c", Opcode::FpDiv) // lat 9
+                    .flow("a", "b")
+                    .carried("b", "a", 1) // cycle: 2/1 = 2
+                    .carried("c", "c", 1) // cycle: 9/1 = 9
+                    .build();
+    EXPECT_EQ(recMii(graph), 9);
+}
+
+TEST(RecMii, NestedCyclesInOneScc)
+{
+    // Inner cycle b<->c and outer cycle a->b->c->d->a.
+    Dfg graph = DfgBuilder("t")
+                    .op("a", Opcode::IntAlu)
+                    .op("b", Opcode::IntAlu)
+                    .op("c", Opcode::IntAlu)
+                    .op("d", Opcode::IntAlu)
+                    .chain({"a", "b", "c", "d"})
+                    .carried("c", "b", 1) // 2/1 = 2
+                    .carried("d", "a", 2) // 4/2 = 2
+                    .build();
+    EXPECT_EQ(recMii(graph), 2);
+}
+
+TEST(RecMii, CustomEdgeLatency)
+{
+    Dfg graph = DfgBuilder("t")
+                    .op("a", Opcode::IntAlu)
+                    .op("b", Opcode::IntAlu)
+                    .flow("a", "b", 5)
+                    .carried("b", "a", 1, 5)
+                    .build();
+    EXPECT_EQ(recMii(graph), 10);
+}
+
+TEST(RecMii, PositiveCyclePredicateMonotone)
+{
+    Dfg graph = paperExample();
+    const std::vector<NodeId> scc = {1, 2, 3}; // B, C, D
+    EXPECT_TRUE(hasPositiveCycle(graph, scc, 3));
+    EXPECT_FALSE(hasPositiveCycle(graph, scc, 4));
+    EXPECT_FALSE(hasPositiveCycle(graph, scc, 10));
+}
+
+TEST(RecMii, ZeroDistanceCycleIsFatal)
+{
+    Dfg graph = DfgBuilder("bad")
+                    .op("a", Opcode::IntAlu)
+                    .op("b", Opcode::IntAlu)
+                    .flow("a", "b")
+                    .flow("b", "a") // distance 0 both ways: impossible
+                    .build();
+    EXPECT_DEATH({ recMii(graph); }, "zero total distance");
+}
+
+TEST(RecMii, ReusesSccDecomposition)
+{
+    Dfg graph = paperExample();
+    const SccInfo sccs = findSccs(graph);
+    EXPECT_EQ(recMii(graph, sccs), 4);
+}
+
+} // namespace
+} // namespace cams

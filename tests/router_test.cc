@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for point-to-point copy routing on the grid machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assign/router.hh"
+#include "machine/configs.hh"
+
+namespace cams
+{
+namespace
+{
+
+TEST(Router, DirectNeighbor)
+{
+    const MachineDesc grid = gridMachine();
+    const auto hops = planHops(grid, 0, {1});
+    ASSERT_EQ(hops.size(), 1u);
+    EXPECT_EQ(hops[0], (Hop{0, 1}));
+}
+
+TEST(Router, DiagonalNeedsTwoHops)
+{
+    const MachineDesc grid = gridMachine();
+    const auto hops = planHops(grid, 0, {3});
+    ASSERT_EQ(hops.size(), 2u);
+    EXPECT_EQ(hops[0].from, 0);
+    EXPECT_EQ(hops[1].to, 3);
+    EXPECT_EQ(hops[0].to, hops[1].from);
+}
+
+TEST(Router, SharedPrefixIsReused)
+{
+    // Destinations 1 and 3: the route to 3 goes through 1 (BFS visits
+    // lower ids first), so the tree has exactly two hops.
+    const MachineDesc grid = gridMachine();
+    const auto hops = planHops(grid, 0, {1, 3});
+    EXPECT_EQ(hops.size(), 2u);
+}
+
+TEST(Router, AllDestinations)
+{
+    const MachineDesc grid = gridMachine();
+    const auto hops = planHops(grid, 0, {1, 2, 3});
+    // Tree spanning three destinations: exactly three hops.
+    EXPECT_EQ(hops.size(), 3u);
+    // Parent-before-child order: a hop's source is the root or an
+    // earlier hop's target.
+    std::vector<ClusterId> landed = {0};
+    for (const Hop &hop : hops) {
+        EXPECT_NE(std::find(landed.begin(), landed.end(), hop.from),
+                  landed.end());
+        landed.push_back(hop.to);
+    }
+}
+
+TEST(Router, DeterministicAcrossCalls)
+{
+    const MachineDesc grid = gridMachine();
+    const auto first = planHops(grid, 2, {0, 1, 3});
+    const auto second = planHops(grid, 2, {0, 1, 3});
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(first[i], second[i]);
+}
+
+TEST(Router, SubsetProducesSubtree)
+{
+    // The hop tree of a subset of destinations is a subset of the hop
+    // tree for all destinations (the unassign path relies on this).
+    const MachineDesc grid = gridMachine();
+    const auto full = planHops(grid, 0, {1, 2, 3});
+    const auto sub = planHops(grid, 0, {3});
+    for (const Hop &hop : sub) {
+        EXPECT_NE(std::find(full.begin(), full.end(), hop), full.end());
+    }
+}
+
+TEST(Router, BusedMachineIsRejected)
+{
+    const MachineDesc bused = busedGpMachine(2, 2, 1);
+    EXPECT_DEATH({ planHops(bused, 0, {1}); }, "bused");
+}
+
+} // namespace
+} // namespace cams

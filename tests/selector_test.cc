@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the Figure 9/10/11 selection cascades, especially
+ * the soft-filter semantics: a criterion that matches nothing leaves
+ * the candidate list untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assign/selector.hh"
+
+namespace cams
+{
+namespace
+{
+
+ClusterChoice
+feasibleChoice(ClusterId cluster)
+{
+    ClusterChoice choice;
+    choice.cluster = cluster;
+    choice.feasible = true;
+    choice.pcrOk = true;
+    return choice;
+}
+
+TEST(Selector, NothingFeasibleReturnsInvalid)
+{
+    std::vector<ClusterChoice> choices(2);
+    choices[0].cluster = 0;
+    choices[1].cluster = 1;
+    EXPECT_EQ(selectBestCluster(choices, true, true, false),
+              invalidCluster);
+}
+
+TEST(Selector, SimpleSelectionTakesFirstFeasible)
+{
+    std::vector<ClusterChoice> choices;
+    choices.push_back(ClusterChoice{}); // infeasible cluster 0
+    choices.back().cluster = 0;
+    choices.push_back(feasibleChoice(1));
+    choices.back().requiredCopies = 99; // ignored by simple selection
+    choices.push_back(feasibleChoice(2));
+    EXPECT_EQ(selectBestCluster(choices, false, false, false), 1);
+}
+
+TEST(Selector, SccAffinityWins)
+{
+    std::vector<ClusterChoice> choices = {feasibleChoice(0),
+                                          feasibleChoice(1)};
+    choices[1].sccMate = true;
+    EXPECT_EQ(selectBestCluster(choices, true, false, true), 1);
+    // Without SCC membership the affinity flag is ignored.
+    EXPECT_EQ(selectBestCluster(choices, true, false, false), 0);
+}
+
+TEST(Selector, SccAffinitySoftWhenNoMateAnywhere)
+{
+    std::vector<ClusterChoice> choices = {feasibleChoice(0),
+                                          feasibleChoice(1)};
+    // in_scc true but no cluster hosts a mate: list unchanged.
+    EXPECT_EQ(selectBestCluster(choices, true, false, true), 0);
+}
+
+TEST(Selector, PcrFilterPrefersRoomForCopies)
+{
+    std::vector<ClusterChoice> choices = {feasibleChoice(0),
+                                          feasibleChoice(1)};
+    choices[0].pcrOk = false;
+    EXPECT_EQ(selectBestCluster(choices, true, false, false), 1);
+}
+
+TEST(Selector, PcrFilterSoftWhenNowhereFits)
+{
+    std::vector<ClusterChoice> choices = {feasibleChoice(0),
+                                          feasibleChoice(1)};
+    choices[0].pcrOk = false;
+    choices[1].pcrOk = false;
+    choices[1].requiredCopies = 0;
+    choices[0].requiredCopies = 1;
+    EXPECT_EQ(selectBestCluster(choices, true, false, false), 1);
+}
+
+TEST(Selector, FewestRequiredCopies)
+{
+    std::vector<ClusterChoice> choices = {feasibleChoice(0),
+                                          feasibleChoice(1),
+                                          feasibleChoice(2)};
+    choices[0].requiredCopies = 2;
+    choices[1].requiredCopies = 1;
+    choices[2].requiredCopies = 1;
+    choices[2].freeResources = 10;
+    choices[1].freeResources = 3;
+    // Min copies keeps {1, 2}; max free resources picks 2.
+    EXPECT_EQ(selectBestCluster(choices, true, false, false), 2);
+}
+
+TEST(Selector, PreviouslyTriedAvoided)
+{
+    std::vector<ClusterChoice> choices = {feasibleChoice(0),
+                                          feasibleChoice(1)};
+    choices[0].previouslyTried = true;
+    EXPECT_EQ(selectBestCluster(choices, true, true, false), 1);
+    // When everything was tried, the filter goes soft.
+    choices[1].previouslyTried = true;
+    EXPECT_EQ(selectBestCluster(choices, true, true, false), 0);
+    // Non-iterative variants skip the filter entirely.
+    choices[1].previouslyTried = false;
+    EXPECT_EQ(selectBestCluster(choices, true, false, false), 0);
+}
+
+TEST(Selector, CascadePriorityOrder)
+{
+    // SCC affinity must outrank the copy count.
+    std::vector<ClusterChoice> choices = {feasibleChoice(0),
+                                          feasibleChoice(1)};
+    choices[0].requiredCopies = 0;
+    choices[1].requiredCopies = 5;
+    choices[1].sccMate = true;
+    EXPECT_EQ(selectBestCluster(choices, true, false, true), 1);
+}
+
+TEST(ForcedSelector, PrefersBareOpFit)
+{
+    std::vector<ClusterChoice> choices(3);
+    for (int c = 0; c < 3; ++c)
+        choices[c].cluster = c;
+    choices[1].bareOpFits = true;
+    choices[2].bareOpFits = true;
+    choices[1].conflictingNeighbors = 4;
+    choices[2].conflictingNeighbors = 1;
+    EXPECT_EQ(selectForcedCluster(choices, true), 2);
+}
+
+TEST(ForcedSelector, FallsBackWhenNothingFits)
+{
+    std::vector<ClusterChoice> choices(2);
+    choices[0].cluster = 0;
+    choices[1].cluster = 1;
+    choices[0].conflictingNeighbors = 3;
+    choices[1].conflictingNeighbors = 1;
+    EXPECT_EQ(selectForcedCluster(choices, true), 1);
+}
+
+TEST(ForcedSelector, AvoidsPreviouslyTried)
+{
+    std::vector<ClusterChoice> choices(2);
+    choices[0].cluster = 0;
+    choices[1].cluster = 1;
+    choices[0].previouslyTried = true;
+    choices[0].bareOpFits = true;
+    // Repetition avoidance outranks the bare-op fit.
+    EXPECT_EQ(selectForcedCluster(choices, true), 1);
+}
+
+} // namespace
+} // namespace cams

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator and the suite: Table 1
+ * calibration, determinism, structural invariants, kernel shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/recmii.hh"
+#include "graph/scc.hh"
+#include "graph/textio.hh"
+#include "workload/kernels.hh"
+#include "workload/suite.hh"
+
+namespace cams
+{
+namespace
+{
+
+TEST(Generator, Deterministic)
+{
+    const Dfg a = generateLoop(123);
+    const Dfg b = generateLoop(123);
+    EXPECT_EQ(serializeDfg(a), serializeDfg(b));
+    const Dfg c = generateLoop(124);
+    EXPECT_NE(serializeDfg(a), serializeDfg(c));
+}
+
+TEST(Generator, WellFormedAcrossSeeds)
+{
+    for (uint64_t seed = 0; seed < 200; ++seed) {
+        const Dfg graph = generateLoop(seed);
+        std::string why;
+        EXPECT_TRUE(graph.wellFormed(&why)) << "seed " << seed << ": "
+                                            << why;
+        EXPECT_GE(graph.numNodes(), 2);
+        EXPECT_LE(graph.numNodes(), 161);
+        EXPECT_GE(graph.numEdges(), 1);
+        EXPECT_LE(graph.numEdges(), 232);
+    }
+}
+
+TEST(Generator, ExactlyOneBranchAsSink)
+{
+    for (uint64_t seed = 0; seed < 100; ++seed) {
+        const Dfg graph = generateLoop(seed);
+        int branches = 0;
+        for (const DfgNode &node : graph.nodes()) {
+            if (node.op == Opcode::Branch) {
+                ++branches;
+                EXPECT_TRUE(graph.outEdges(node.id).empty());
+            }
+            if (node.op == Opcode::Store) {
+                EXPECT_TRUE(graph.outEdges(node.id).empty());
+            }
+            EXPECT_NE(node.op, Opcode::Copy);
+        }
+        EXPECT_EQ(branches, 1) << "seed " << seed;
+    }
+}
+
+TEST(Generator, RecMiiAlwaysFinite)
+{
+    // Every generated loop must be schedulable at some II: no
+    // zero-distance cycles (recMii would fatal on one).
+    for (uint64_t seed = 300; seed < 500; ++seed) {
+        const Dfg graph = generateLoop(seed);
+        EXPECT_GE(recMii(graph), 1) << "seed " << seed;
+    }
+}
+
+TEST(Suite, SizeAndDeterminism)
+{
+    const auto suite = buildSuite(50, 7);
+    EXPECT_EQ(suite.size(), 50u);
+    const auto again = buildSuite(50, 7);
+    for (size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(serializeDfg(suite[i]), serializeDfg(again[i]));
+}
+
+TEST(Suite, Table1Calibration)
+{
+    const auto suite = buildSuite(); // the full 1327 loops
+    const SuiteStats stats = computeSuiteStats(suite);
+
+    EXPECT_EQ(stats.totalLoops, 1327);
+
+    // Paper Table 1: nodes min 2 avg 17.5 max 161.
+    EXPECT_EQ(static_cast<int>(stats.nodes.min()), 2);
+    EXPECT_NEAR(stats.nodes.mean(), 17.5, 2.5);
+    EXPECT_LE(stats.nodes.max(), 161);
+    EXPECT_GE(stats.nodes.max(), 80);
+
+    // SCCs per loop: avg 0.4, max 6; ~301 loops with SCCs.
+    EXPECT_NEAR(stats.sccsPerLoop.mean(), 0.4, 0.15);
+    EXPECT_LE(stats.sccsPerLoop.max(), 6);
+    EXPECT_NEAR(stats.loopsWithSccs, 301, 75);
+
+    // Nodes in non-trivial SCCs: min 2 avg 9.0 max 48.
+    EXPECT_GE(stats.sccNodes.min(), 2);
+    EXPECT_NEAR(stats.sccNodes.mean(), 9.0, 3.0);
+    EXPECT_LE(stats.sccNodes.max(), 48);
+
+    // Edges: min 1 avg 22.5 max 232.
+    EXPECT_GE(stats.edges.min(), 1);
+    EXPECT_NEAR(stats.edges.mean(), 22.5, 3.5);
+    EXPECT_LE(stats.edges.max(), 232);
+}
+
+TEST(Kernels, ExpectedRecurrences)
+{
+    EXPECT_EQ(recMii(kernelHydro()), 1);
+    EXPECT_EQ(recMii(kernelFirstDiff()), 1);
+    EXPECT_EQ(recMii(kernelStateEquation()), 1);
+    EXPECT_EQ(recMii(kernelFir4()), 1);
+    EXPECT_EQ(recMii(kernelInnerProduct()), 1);  // acc self-loop, lat 1
+    EXPECT_EQ(recMii(kernelTridiag()), 4);       // fadd + fmul cycle
+    EXPECT_EQ(recMii(kernelFirstOrderRecurrence()), 1);
+    EXPECT_EQ(recMii(kernelAddressChase()), 3); // alu + load cycle
+    EXPECT_EQ(recMii(kernelLinearRecurrence()), 4); // fmul + fadd
+    EXPECT_EQ(recMii(kernelPredictor()), 1);
+    EXPECT_EQ(recMii(kernelHydro2d()), 1);
+    // crc: xor_in -> mask -> ld_tab(2) -> xor_out -> (d1) xor_in:
+    // (1 + 1 + 2 + 1) / 1 = 5.
+    EXPECT_EQ(recMii(kernelCrc()), 5);
+}
+
+TEST(Kernels, SccShapes)
+{
+    const SccInfo tri = findSccs(kernelTridiag());
+    EXPECT_EQ(tri.numNonTrivial(), 1);
+    const SccInfo hydro = findSccs(kernelHydro());
+    EXPECT_EQ(hydro.numNonTrivial(), 0);
+}
+
+TEST(Kernels, AllWellFormedAndNamed)
+{
+    const auto kernels = allKernels();
+    EXPECT_EQ(kernels.size(), 12u);
+    for (const Dfg &kernel : kernels) {
+        std::string why;
+        EXPECT_TRUE(kernel.wellFormed(&why)) << kernel.name();
+        EXPECT_FALSE(kernel.name().empty());
+        EXPECT_GE(kernel.numNodes(), 4);
+    }
+}
+
+} // namespace
+} // namespace cams

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * camsc -- the command-line loop compiler.
+ *
+ * Reads a loop in the text DFG format and a machine description,
+ * runs cluster assignment + modulo scheduling, and reports the II
+ * against the equally wide unified machine. Optional outputs: DOT of
+ * the clustered graph, the VLIW kernel/pipeline listing with rotating
+ * registers, a stage-scheduling register post-pass, and a pipelined
+ * execution equivalence check.
+ *
+ * Usage:
+ *   camsc --loop FILE [--machine FILE] [--scheduler sms|ims]
+ *         [--simple] [--no-iterate] [--stage-schedule]
+ *         [--asm] [--dot] [--simulate N]
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "codegen/emit.hh"
+#include "frontend/parser.hh"
+#include "graph/dot.hh"
+#include "graph/textio.hh"
+#include "machine/configs.hh"
+#include "machine/machinetext.hh"
+#include "pipeline/driver.hh"
+#include "regalloc/regalloc.hh"
+#include "sched/regmetrics.hh"
+#include "sched/stage.hh"
+#include "sim/compare.hh"
+
+namespace
+{
+
+using namespace cams;
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream input(path);
+    if (!input)
+        return false;
+    std::ostringstream buffer;
+    buffer << input.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: camsc (--loop FILE | --source FILE) [--machine "
+           "FILE] [options]\n"
+           "  --source FILE      loop body in C-like source (see "
+           "frontend/parser.hh)\n"
+           "  --machine FILE     machine description (default: 2 "
+           "clusters x 4 GP, 2 buses, 1 port)\n"
+           "  --scheduler KIND   sms (default) or ims\n"
+           "  --simple           drop the selection heuristic\n"
+           "  --no-iterate       drop the eviction/repair iteration\n"
+           "  --stage-schedule   apply the register post-pass\n"
+           "  --asm              print the kernel and pipeline listing\n"
+           "  --emit-mve         print the MVE-unrolled kernel (no "
+           "rotating files)\n"
+           "  --dot              print the clustered graph as DOT\n"
+           "  --simulate N       check pipelined-vs-sequential "
+           "equivalence over N iterations\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string loop_path;
+    std::string source_path;
+    std::string machine_path;
+    CompileOptions options;
+    bool want_asm = false;
+    bool want_mve = false;
+    bool want_dot = false;
+    bool want_stage = false;
+    int simulate = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--loop") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            loop_path = value;
+        } else if (arg == "--source") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            source_path = value;
+        } else if (arg == "--machine") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            machine_path = value;
+        } else if (arg == "--scheduler") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            const std::string kind = value;
+            if (kind == "sms") {
+                options.scheduler = SchedulerKind::Swing;
+            } else if (kind == "ims") {
+                options.scheduler = SchedulerKind::Iterative;
+            } else {
+                return usage();
+            }
+        } else if (arg == "--simple") {
+            options.assign.fullHeuristic = false;
+        } else if (arg == "--no-iterate") {
+            options.assign.iterative = false;
+        } else if (arg == "--stage-schedule") {
+            want_stage = true;
+        } else if (arg == "--asm") {
+            want_asm = true;
+        } else if (arg == "--emit-mve") {
+            want_mve = true;
+        } else if (arg == "--dot") {
+            want_dot = true;
+        } else if (arg == "--simulate") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            simulate = std::atoi(value);
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            return usage();
+        }
+    }
+    if (loop_path.empty() == source_path.empty())
+        return usage(); // exactly one input form
+
+    std::string text;
+    Dfg loop;
+    std::string error;
+    if (!loop_path.empty()) {
+        if (!readFile(loop_path, text)) {
+            std::cerr << "cannot read " << loop_path << "\n";
+            return 1;
+        }
+        if (!parseDfg(text, loop, error)) {
+            std::cerr << loop_path << ": " << error << "\n";
+            return 1;
+        }
+    } else {
+        if (!readFile(source_path, text)) {
+            std::cerr << "cannot read " << source_path << "\n";
+            return 1;
+        }
+        if (!parseLoopSource(text, loop, error)) {
+            std::cerr << source_path << ": " << error << "\n";
+            return 1;
+        }
+    }
+
+    MachineDesc machine = busedGpMachine(2, 2, 1);
+    if (!machine_path.empty()) {
+        if (!readFile(machine_path, text)) {
+            std::cerr << "cannot read " << machine_path << "\n";
+            return 1;
+        }
+        if (!parseMachine(text, machine, error)) {
+            std::cerr << machine_path << ": " << error << "\n";
+            return 1;
+        }
+    }
+
+    const CompileResult unified =
+        compileUnified(loop, machine.unifiedEquivalent(), options);
+    const CompileResult result =
+        compileClustered(loop, machine, options);
+    if (!result.success) {
+        std::cerr << "compilation failed (no II up to the search "
+                     "limit)\n";
+        return 1;
+    }
+
+    Schedule schedule = result.schedule;
+    if (want_stage) {
+        const StageScheduleResult staged =
+            stageSchedule(result.loop, schedule);
+        std::cout << "stage scheduling: lifetime "
+                  << staged.lifetimeBefore << " -> "
+                  << staged.lifetimeAfter << " (" << staged.moves
+                  << " moves)\n";
+        schedule = staged.schedule;
+    }
+
+    const RegMetrics regs = computeRegMetrics(result.loop, schedule);
+    std::cout << "loop:      " << loop.name() << " (" << loop.numNodes()
+              << " ops)\n";
+    std::cout << "machine:   " << machine.name << "\n";
+    std::cout << "unified:   II=" << unified.ii << "\n";
+    std::cout << "clustered: II=" << result.ii << " (deviation "
+              << result.ii - unified.ii << "), copies=" << result.copies
+              << ", stages=" << schedule.stageCount() << "\n";
+    std::cout << "registers: MaxLive=" << regs.maxLive
+              << " MVE=" << regs.mveFactor << "\n";
+
+    const RegisterAllocation allocation =
+        allocateRegisters(result.loop, schedule, machine);
+    std::string why;
+    if (!verifyAllocation(result.loop, schedule, allocation, &why)) {
+        std::cerr << "register allocation invalid: " << why << "\n";
+        return 1;
+    }
+    std::cout << "files:    ";
+    for (int c = 0; c < machine.numClusters(); ++c)
+        std::cout << " C" << c << "=" << allocation.registersPerFile[c];
+    std::cout << " rotating registers\n";
+
+    if (want_asm) {
+        std::cout << "\n"
+                  << emitPipeline(result.loop, schedule, allocation,
+                                  machine);
+    }
+    if (want_mve) {
+        std::cout << "\n"
+                  << emitMveKernel(result.loop, schedule, allocation,
+                                   machine);
+    }
+    if (want_dot) {
+        std::vector<int> clusters;
+        for (const auto &place : result.loop.placement)
+            clusters.push_back(place.cluster);
+        std::cout << "\n" << toDot(result.loop.graph, &clusters);
+    }
+    if (simulate > 0) {
+        const EquivalenceReport report = checkEquivalence(
+            loop, result.loop, schedule, machine, simulate);
+        std::cout << "simulation: " << report.comparisons
+                  << " values over " << simulate << " iterations -> "
+                  << (report.equivalent ? "EQUIVALENT" : "MISMATCH")
+                  << "\n";
+        for (const std::string &issue : report.mismatches)
+            std::cout << "  " << issue << "\n";
+        if (!report.equivalent)
+            return 1;
+    }
+    return 0;
+}
