@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_assign.dir/ablation_assign.cpp.o"
+  "CMakeFiles/ablation_assign.dir/ablation_assign.cpp.o.d"
+  "ablation_assign"
+  "ablation_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_variants_2c.dir/fig12_variants_2c.cpp.o"
+  "CMakeFiles/fig12_variants_2c.dir/fig12_variants_2c.cpp.o.d"
+  "fig12_variants_2c"
+  "fig12_variants_2c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_variants_2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

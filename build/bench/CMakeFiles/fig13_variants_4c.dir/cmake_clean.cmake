@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_variants_4c.dir/fig13_variants_4c.cpp.o"
+  "CMakeFiles/fig13_variants_4c.dir/fig13_variants_4c.cpp.o.d"
+  "fig13_variants_4c"
+  "fig13_variants_4c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_variants_4c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_variants_4c.
+# This may be replaced when dependencies are built.

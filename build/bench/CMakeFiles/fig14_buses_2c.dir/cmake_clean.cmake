@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_buses_2c.dir/fig14_buses_2c.cpp.o"
+  "CMakeFiles/fig14_buses_2c.dir/fig14_buses_2c.cpp.o.d"
+  "fig14_buses_2c"
+  "fig14_buses_2c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_buses_2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_ports_2c.dir/fig15_ports_2c.cpp.o"
+  "CMakeFiles/fig15_ports_2c.dir/fig15_ports_2c.cpp.o.d"
+  "fig15_ports_2c"
+  "fig15_ports_2c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ports_2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_buses_4c.dir/fig16_buses_4c.cpp.o"
+  "CMakeFiles/fig16_buses_4c.dir/fig16_buses_4c.cpp.o.d"
+  "fig16_buses_4c"
+  "fig16_buses_4c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_buses_4c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

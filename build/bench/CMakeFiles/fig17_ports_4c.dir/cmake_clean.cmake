@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_ports_4c.dir/fig17_ports_4c.cpp.o"
+  "CMakeFiles/fig17_ports_4c.dir/fig17_ports_4c.cpp.o.d"
+  "fig17_ports_4c"
+  "fig17_ports_4c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_ports_4c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_ports_4c.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_buses_2c_fs.dir/fig18_buses_2c_fs.cpp.o"
+  "CMakeFiles/fig18_buses_2c_fs.dir/fig18_buses_2c_fs.cpp.o.d"
+  "fig18_buses_2c_fs"
+  "fig18_buses_2c_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_buses_2c_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_buses_4c_fs.dir/fig19_buses_4c_fs.cpp.o"
+  "CMakeFiles/fig19_buses_4c_fs.dir/fig19_buses_4c_fs.cpp.o.d"
+  "fig19_buses_4c_fs"
+  "fig19_buses_4c_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_buses_4c_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

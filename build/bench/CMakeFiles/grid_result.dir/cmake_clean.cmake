@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_result.dir/grid_result.cpp.o"
+  "CMakeFiles/grid_result.dir/grid_result.cpp.o.d"
+  "grid_result"
+  "grid_result.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_result.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

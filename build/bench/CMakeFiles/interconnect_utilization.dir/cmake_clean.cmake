@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_utilization.dir/interconnect_utilization.cpp.o"
+  "CMakeFiles/interconnect_utilization.dir/interconnect_utilization.cpp.o.d"
+  "interconnect_utilization"
+  "interconnect_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_bug.dir/related_bug.cpp.o"
+  "CMakeFiles/related_bug.dir/related_bug.cpp.o.d"
+  "related_bug"
+  "related_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

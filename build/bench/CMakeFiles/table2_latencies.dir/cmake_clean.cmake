@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_latencies.dir/table2_latencies.cpp.o"
+  "CMakeFiles/table2_latencies.dir/table2_latencies.cpp.o.d"
+  "table2_latencies"
+  "table2_latencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_latencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unroll_vs_modulo.dir/unroll_vs_modulo.cpp.o"
+  "CMakeFiles/unroll_vs_modulo.dir/unroll_vs_modulo.cpp.o.d"
+  "unroll_vs_modulo"
+  "unroll_vs_modulo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unroll_vs_modulo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for unroll_vs_modulo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_frontend_compile.dir/frontend_compile.cpp.o"
+  "CMakeFiles/example_frontend_compile.dir/frontend_compile.cpp.o.d"
+  "frontend_compile"
+  "frontend_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_frontend_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_grid_machine.dir/grid_machine.cpp.o"
+  "CMakeFiles/example_grid_machine.dir/grid_machine.cpp.o.d"
+  "grid_machine"
+  "grid_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_grid_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_livermore_pipeline.dir/livermore_pipeline.cpp.o"
+  "CMakeFiles/example_livermore_pipeline.dir/livermore_pipeline.cpp.o.d"
+  "livermore_pipeline"
+  "livermore_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_livermore_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/assigner.cc" "src/CMakeFiles/cams.dir/assign/assigner.cc.o" "gcc" "src/CMakeFiles/cams.dir/assign/assigner.cc.o.d"
+  "/root/repo/src/assign/assignment.cc" "src/CMakeFiles/cams.dir/assign/assignment.cc.o" "gcc" "src/CMakeFiles/cams.dir/assign/assignment.cc.o.d"
+  "/root/repo/src/assign/exhaustive.cc" "src/CMakeFiles/cams.dir/assign/exhaustive.cc.o" "gcc" "src/CMakeFiles/cams.dir/assign/exhaustive.cc.o.d"
+  "/root/repo/src/assign/router.cc" "src/CMakeFiles/cams.dir/assign/router.cc.o" "gcc" "src/CMakeFiles/cams.dir/assign/router.cc.o.d"
+  "/root/repo/src/assign/selector.cc" "src/CMakeFiles/cams.dir/assign/selector.cc.o" "gcc" "src/CMakeFiles/cams.dir/assign/selector.cc.o.d"
+  "/root/repo/src/codegen/emit.cc" "src/CMakeFiles/cams.dir/codegen/emit.cc.o" "gcc" "src/CMakeFiles/cams.dir/codegen/emit.cc.o.d"
+  "/root/repo/src/frontend/parser.cc" "src/CMakeFiles/cams.dir/frontend/parser.cc.o" "gcc" "src/CMakeFiles/cams.dir/frontend/parser.cc.o.d"
+  "/root/repo/src/graph/analysis.cc" "src/CMakeFiles/cams.dir/graph/analysis.cc.o" "gcc" "src/CMakeFiles/cams.dir/graph/analysis.cc.o.d"
+  "/root/repo/src/graph/builder.cc" "src/CMakeFiles/cams.dir/graph/builder.cc.o" "gcc" "src/CMakeFiles/cams.dir/graph/builder.cc.o.d"
+  "/root/repo/src/graph/dfg.cc" "src/CMakeFiles/cams.dir/graph/dfg.cc.o" "gcc" "src/CMakeFiles/cams.dir/graph/dfg.cc.o.d"
+  "/root/repo/src/graph/dot.cc" "src/CMakeFiles/cams.dir/graph/dot.cc.o" "gcc" "src/CMakeFiles/cams.dir/graph/dot.cc.o.d"
+  "/root/repo/src/graph/opcode.cc" "src/CMakeFiles/cams.dir/graph/opcode.cc.o" "gcc" "src/CMakeFiles/cams.dir/graph/opcode.cc.o.d"
+  "/root/repo/src/graph/recmii.cc" "src/CMakeFiles/cams.dir/graph/recmii.cc.o" "gcc" "src/CMakeFiles/cams.dir/graph/recmii.cc.o.d"
+  "/root/repo/src/graph/scc.cc" "src/CMakeFiles/cams.dir/graph/scc.cc.o" "gcc" "src/CMakeFiles/cams.dir/graph/scc.cc.o.d"
+  "/root/repo/src/graph/textio.cc" "src/CMakeFiles/cams.dir/graph/textio.cc.o" "gcc" "src/CMakeFiles/cams.dir/graph/textio.cc.o.d"
+  "/root/repo/src/machine/configs.cc" "src/CMakeFiles/cams.dir/machine/configs.cc.o" "gcc" "src/CMakeFiles/cams.dir/machine/configs.cc.o.d"
+  "/root/repo/src/machine/machine.cc" "src/CMakeFiles/cams.dir/machine/machine.cc.o" "gcc" "src/CMakeFiles/cams.dir/machine/machine.cc.o.d"
+  "/root/repo/src/machine/machinetext.cc" "src/CMakeFiles/cams.dir/machine/machinetext.cc.o" "gcc" "src/CMakeFiles/cams.dir/machine/machinetext.cc.o.d"
+  "/root/repo/src/mrt/mrt.cc" "src/CMakeFiles/cams.dir/mrt/mrt.cc.o" "gcc" "src/CMakeFiles/cams.dir/mrt/mrt.cc.o.d"
+  "/root/repo/src/order/scc_sets.cc" "src/CMakeFiles/cams.dir/order/scc_sets.cc.o" "gcc" "src/CMakeFiles/cams.dir/order/scc_sets.cc.o.d"
+  "/root/repo/src/order/swing_order.cc" "src/CMakeFiles/cams.dir/order/swing_order.cc.o" "gcc" "src/CMakeFiles/cams.dir/order/swing_order.cc.o.d"
+  "/root/repo/src/pipeline/driver.cc" "src/CMakeFiles/cams.dir/pipeline/driver.cc.o" "gcc" "src/CMakeFiles/cams.dir/pipeline/driver.cc.o.d"
+  "/root/repo/src/regalloc/regalloc.cc" "src/CMakeFiles/cams.dir/regalloc/regalloc.cc.o" "gcc" "src/CMakeFiles/cams.dir/regalloc/regalloc.cc.o.d"
+  "/root/repo/src/report/deviation.cc" "src/CMakeFiles/cams.dir/report/deviation.cc.o" "gcc" "src/CMakeFiles/cams.dir/report/deviation.cc.o.d"
+  "/root/repo/src/report/interconnect.cc" "src/CMakeFiles/cams.dir/report/interconnect.cc.o" "gcc" "src/CMakeFiles/cams.dir/report/interconnect.cc.o.d"
+  "/root/repo/src/report/table.cc" "src/CMakeFiles/cams.dir/report/table.cc.o" "gcc" "src/CMakeFiles/cams.dir/report/table.cc.o.d"
+  "/root/repo/src/sched/ims.cc" "src/CMakeFiles/cams.dir/sched/ims.cc.o" "gcc" "src/CMakeFiles/cams.dir/sched/ims.cc.o.d"
+  "/root/repo/src/sched/mii.cc" "src/CMakeFiles/cams.dir/sched/mii.cc.o" "gcc" "src/CMakeFiles/cams.dir/sched/mii.cc.o.d"
+  "/root/repo/src/sched/regmetrics.cc" "src/CMakeFiles/cams.dir/sched/regmetrics.cc.o" "gcc" "src/CMakeFiles/cams.dir/sched/regmetrics.cc.o.d"
+  "/root/repo/src/sched/schedule.cc" "src/CMakeFiles/cams.dir/sched/schedule.cc.o" "gcc" "src/CMakeFiles/cams.dir/sched/schedule.cc.o.d"
+  "/root/repo/src/sched/sms.cc" "src/CMakeFiles/cams.dir/sched/sms.cc.o" "gcc" "src/CMakeFiles/cams.dir/sched/sms.cc.o.d"
+  "/root/repo/src/sched/stage.cc" "src/CMakeFiles/cams.dir/sched/stage.cc.o" "gcc" "src/CMakeFiles/cams.dir/sched/stage.cc.o.d"
+  "/root/repo/src/sched/verifier.cc" "src/CMakeFiles/cams.dir/sched/verifier.cc.o" "gcc" "src/CMakeFiles/cams.dir/sched/verifier.cc.o.d"
+  "/root/repo/src/sim/compare.cc" "src/CMakeFiles/cams.dir/sim/compare.cc.o" "gcc" "src/CMakeFiles/cams.dir/sim/compare.cc.o.d"
+  "/root/repo/src/sim/reference.cc" "src/CMakeFiles/cams.dir/sim/reference.cc.o" "gcc" "src/CMakeFiles/cams.dir/sim/reference.cc.o.d"
+  "/root/repo/src/sim/semantics.cc" "src/CMakeFiles/cams.dir/sim/semantics.cc.o" "gcc" "src/CMakeFiles/cams.dir/sim/semantics.cc.o.d"
+  "/root/repo/src/sim/vliw.cc" "src/CMakeFiles/cams.dir/sim/vliw.cc.o" "gcc" "src/CMakeFiles/cams.dir/sim/vliw.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/cams.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/cams.dir/support/logging.cc.o.d"
+  "/root/repo/src/support/random.cc" "src/CMakeFiles/cams.dir/support/random.cc.o" "gcc" "src/CMakeFiles/cams.dir/support/random.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/CMakeFiles/cams.dir/support/stats.cc.o" "gcc" "src/CMakeFiles/cams.dir/support/stats.cc.o.d"
+  "/root/repo/src/support/str.cc" "src/CMakeFiles/cams.dir/support/str.cc.o" "gcc" "src/CMakeFiles/cams.dir/support/str.cc.o.d"
+  "/root/repo/src/transform/unroll.cc" "src/CMakeFiles/cams.dir/transform/unroll.cc.o" "gcc" "src/CMakeFiles/cams.dir/transform/unroll.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/cams.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/cams.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/kernels.cc" "src/CMakeFiles/cams.dir/workload/kernels.cc.o" "gcc" "src/CMakeFiles/cams.dir/workload/kernels.cc.o.d"
+  "/root/repo/src/workload/suite.cc" "src/CMakeFiles/cams.dir/workload/suite.cc.o" "gcc" "src/CMakeFiles/cams.dir/workload/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

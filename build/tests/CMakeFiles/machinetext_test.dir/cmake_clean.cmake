@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machinetext_test.dir/machinetext_test.cc.o"
+  "CMakeFiles/machinetext_test.dir/machinetext_test.cc.o.d"
+  "machinetext_test"
+  "machinetext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machinetext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrt_test.dir/mrt_test.cc.o"
+  "CMakeFiles/mrt_test.dir/mrt_test.cc.o.d"
+  "mrt_test"
+  "mrt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recmii_test.dir/recmii_test.cc.o"
+  "CMakeFiles/recmii_test.dir/recmii_test.cc.o.d"
+  "recmii_test"
+  "recmii_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recmii_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regmetrics_test.dir/regmetrics_test.cc.o"
+  "CMakeFiles/regmetrics_test.dir/regmetrics_test.cc.o.d"
+  "regmetrics_test"
+  "regmetrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regmetrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camsc.dir/camsc.cc.o"
+  "CMakeFiles/camsc.dir/camsc.cc.o.d"
+  "camsc"
+  "camsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(camsc_bused "/root/repo/build/tools/camsc" "--loop" "/root/repo/configs/dot_product.loop" "--machine" "/root/repo/configs/2c-gp.mach" "--simulate" "8" "--asm")
+set_tests_properties(camsc_bused PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(camsc_grid "/root/repo/build/tools/camsc" "--loop" "/root/repo/configs/tridiag.loop" "--machine" "/root/repo/configs/4c-grid.mach" "--simulate" "8" "--stage-schedule")
+set_tests_properties(camsc_grid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(camsc_fs_ims "/root/repo/build/tools/camsc" "--loop" "/root/repo/configs/tridiag.loop" "--machine" "/root/repo/configs/4c-fs.mach" "--scheduler" "ims" "--simulate" "6" "--dot")
+set_tests_properties(camsc_fs_ims PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(camsc_rejects_missing_loop "/root/repo/build/tools/camsc" "--loop" "/nonexistent")
+set_tests_properties(camsc_rejects_missing_loop PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(camsc_source_frontend "/root/repo/build/tools/camsc" "--source" "/root/repo/configs/smooth.src" "--machine" "/root/repo/configs/2c-gp.mach" "--simulate" "8")
+set_tests_properties(camsc_source_frontend PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
