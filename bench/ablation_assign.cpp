@@ -12,9 +12,10 @@
 #include "machine/configs.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cams;
+    benchutil::parseBatchArgs(argc, argv);
     const MachineDesc machine = busedGpMachine(2, 2, 1);
 
     struct Row

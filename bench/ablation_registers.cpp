@@ -18,9 +18,10 @@
 #include "support/str.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cams;
+    benchutil::parseBatchArgs(argc, argv);
     const MachineDesc machine = busedGpMachine(2, 2, 1);
 
     RunningStat live_plain;
@@ -32,8 +33,10 @@ main()
     long improved = 0;
     long total = 0;
 
-    for (const Dfg &loop : benchutil::sharedSuite()) {
-        const CompileResult result = compileClustered(loop, machine);
+    const BatchOutcome batch = BatchRunner::run(
+        clusteredJobs(benchutil::sharedSuite(), machine),
+        benchutil::jobCount());
+    for (const CompileResult &result : batch.results) {
         if (!result.success)
             continue;
         ++total;

@@ -1,11 +1,18 @@
 /**
  * @file
  * Shared plumbing for the experiment binaries: the cached loop suite,
- * per-unified-machine baseline caching, and figure printing.
+ * per-unified-machine baseline caching, figure printing, and the
+ * common command-line surface.
  *
- * Every figure/table binary runs the full 1327-loop suite by default;
- * set CAMS_SUITE_SIZE=<n> to subsample for a quick look (results are
- * then computed over the first n loops).
+ * Every figure/table binary runs the full 1327-loop suite by default
+ * and submits its compiles through the parallel batch engine. Knobs:
+ *
+ *   --jobs N          worker threads (default: CAMS_JOBS env or the
+ *                     hardware concurrency); results are identical
+ *                     for every value
+ *   --seed S          master seed of the synthetic suite (default:
+ *                     the published experiments' seed)
+ *   CAMS_SUITE_SIZE   subsample to the first n loops for a quick look
  */
 
 #ifndef CAMS_BENCH_COMMON_HH
@@ -18,9 +25,11 @@
 #include <vector>
 
 #include "machine/machine.hh"
+#include "pipeline/batch.hh"
 #include "pipeline/driver.hh"
 #include "report/deviation.hh"
 #include "report/table.hh"
+#include "support/threadpool.hh"
 #include "workload/suite.hh"
 
 namespace cams
@@ -39,10 +48,54 @@ suiteSize()
     return 1327;
 }
 
+/** Worker-thread count used by every batch submission. */
+inline int &
+jobCount()
+{
+    static int jobs = ThreadPool::defaultThreads();
+    return jobs;
+}
+
+/** Master seed of the shared suite (settable before first use). */
+inline uint64_t &
+suiteSeed()
+{
+    static uint64_t seed = defaultSuiteSeed;
+    return seed;
+}
+
+/**
+ * Parses the common experiment flags (--jobs N, --seed S). Exits
+ * with a usage message on anything unrecognized, so every driver
+ * shares one flag surface. Call before the first sharedSuite() use.
+ */
+inline void
+parseBatchArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *value = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--jobs" && value) {
+            const int jobs = std::atoi(value);
+            if (jobs > 0)
+                jobCount() = jobs;
+            ++i;
+        } else if (arg == "--seed" && value) {
+            suiteSeed() = std::strtoull(value, nullptr, 0);
+            ++i;
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--jobs N] [--seed S]\n";
+            std::exit(2);
+        }
+    }
+}
+
 inline const std::vector<Dfg> &
 sharedSuite()
 {
-    static const std::vector<Dfg> suite = buildSuite(suiteSize());
+    static const std::vector<Dfg> suite =
+        buildSuite(suiteSize(), suiteSeed());
     return suite;
 }
 
@@ -59,7 +112,7 @@ baselineFor(const MachineDesc &clustered, const CompileOptions &options)
     if (it == cache.end()) {
         it = cache
                  .emplace(key, unifiedBaseline(sharedSuite(), unified,
-                                               options))
+                                               options, jobCount()))
                  .first;
     }
     return it->second;
@@ -71,10 +124,11 @@ runSeries(const std::string &label, const MachineDesc &machine,
           const CompileOptions &options = {})
 {
     std::cerr << "running " << label << " (" << sharedSuite().size()
-              << " loops on " << machine.name << ")..." << std::endl;
+              << " loops on " << machine.name << ", " << jobCount()
+              << " jobs)..." << std::endl;
     return runClusteredSeries(sharedSuite(), machine,
                               baselineFor(machine, options), options,
-                              label);
+                              label, jobCount());
 }
 
 inline void

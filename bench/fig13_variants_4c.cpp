@@ -8,9 +8,10 @@
 #include "machine/configs.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cams;
+    benchutil::parseBatchArgs(argc, argv);
     const MachineDesc machine = busedGpMachine(4, 4, 2);
 
     std::vector<DeviationSeries> series;

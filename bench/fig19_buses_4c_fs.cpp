@@ -9,9 +9,10 @@
 #include "machine/configs.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cams;
+    benchutil::parseBatchArgs(argc, argv);
     std::vector<DeviationSeries> series;
     for (int buses : {2, 4, 8}) {
         series.push_back(benchutil::runSeries(

@@ -12,9 +12,10 @@
 #include "machine/configs.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cams;
+    benchutil::parseBatchArgs(argc, argv);
     const DeviationSeries series =
         benchutil::runSeries("4c grid (2 links/cluster)", gridMachine());
     benchutil::printFigure(

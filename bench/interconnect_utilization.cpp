@@ -15,9 +15,10 @@
 #include "support/str.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cams;
+    benchutil::parseBatchArgs(argc, argv);
 
     const std::vector<MachineDesc> machines = {
         busedGpMachine(2, 1, 1), busedGpMachine(2, 2, 1),
@@ -34,8 +35,10 @@ main()
         RunningStat read_ports;
         RunningStat write_ports;
         RunningStat copies;
-        for (const Dfg &loop : benchutil::sharedSuite()) {
-            const CompileResult result = compileClustered(loop, machine);
+        const BatchOutcome batch = BatchRunner::run(
+            clusteredJobs(benchutil::sharedSuite(), machine),
+            benchutil::jobCount());
+        for (const CompileResult &result : batch.results) {
             if (!result.success)
                 continue;
             const InterconnectStats stats = computeInterconnectStats(

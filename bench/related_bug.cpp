@@ -17,9 +17,10 @@
 #include "machine/configs.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cams;
+    benchutil::parseBatchArgs(argc, argv);
 
     for (const MachineDesc &machine :
          {busedGpMachine(2, 2, 1), busedGpMachine(4, 4, 2)}) {

@@ -5,8 +5,15 @@
  * and on the clustered 2x4-GP machine over the full suite. Reports
  * how often each reaches the MII (unified) or the unified baseline II
  * (clustered), plus the average achieved II.
+ *
+ * The binary doubles as the batch-engine perf tracker: it re-runs the
+ * clustered Swing workload through BatchRunner at --jobs 1 and at the
+ * requested --jobs N, asserts the results match, and writes the
+ * timing summary to BENCH_batch.json so the speedup trajectory is
+ * recorded PR over PR.
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "bench/common.hh"
@@ -15,10 +22,65 @@
 #include "support/stats.hh"
 #include "support/str.hh"
 
+namespace
+{
+
+using namespace cams;
+
+/** Times the clustered suite at one thread and at --jobs threads and
+ *  writes BENCH_batch.json with the observed speedup. */
+void
+writeBatchBench(const MachineDesc &machine)
+{
+    const std::vector<CompileJob> jobs =
+        clusteredJobs(benchutil::sharedSuite(), machine);
+
+    std::cerr << "timing batch engine (" << jobs.size()
+              << " jobs, 1 vs " << benchutil::jobCount()
+              << " threads)..." << std::endl;
+    const BatchOutcome serial = BatchRunner::run(jobs, 1);
+    const BatchOutcome parallel =
+        BatchRunner::run(jobs, benchutil::jobCount());
+
+    // The compile path is single-threaded per job: thread count must
+    // not change any result.
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const CompileResult &a = serial.results[i];
+        const CompileResult &b = parallel.results[i];
+        if (a.success != b.success || a.ii != b.ii ||
+            a.copies != b.copies || a.attempts != b.attempts) {
+            std::cerr << "batch determinism violation on job " << i
+                      << "\n";
+            std::abort();
+        }
+    }
+
+    const double speedup =
+        parallel.stats.wallMillis > 0.0
+            ? serial.stats.wallMillis / parallel.stats.wallMillis
+            : 0.0;
+    std::ofstream json("BENCH_batch.json");
+    json << "{\"bench\":\"scheduler_compare\","
+         << "\"loops\":" << jobs.size() << ","
+         << "\"machine\":\"" << machine.name << "\","
+         << "\"jobs\":" << benchutil::jobCount() << ","
+         << "\"serial_wall_ms\":" << serial.stats.wallMillis << ","
+         << "\"parallel_wall_ms\":" << parallel.stats.wallMillis << ","
+         << "\"speedup\":" << formatFixed(speedup, 3) << ","
+         << "\"serial\":" << serial.stats.toJson() << ","
+         << "\"parallel\":" << parallel.stats.toJson() << "}\n";
+    std::cout << "batch speedup at " << benchutil::jobCount()
+              << " jobs: " << formatFixed(speedup, 2)
+              << "x (BENCH_batch.json written)\n";
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cams;
+    benchutil::parseBatchArgs(argc, argv);
     const MachineDesc clustered = busedGpMachine(2, 2, 1);
     const MachineDesc unified = clustered.unifiedEquivalent();
 
@@ -33,9 +95,10 @@ main()
         long at_mii = 0;
         long total = 0;
         RunningStat ratio;
-        for (const Dfg &loop : benchutil::sharedSuite()) {
-            const CompileResult result =
-                compileUnified(loop, unified, options);
+        const BatchOutcome batch = BatchRunner::run(
+            unifiedJobs(benchutil::sharedSuite(), unified, options),
+            benchutil::jobCount());
+        for (const CompileResult &result : batch.results) {
             if (!result.success)
                 continue;
             ++total;
@@ -65,5 +128,7 @@ main()
     std::cout << "== Scheduler comparison (suite of "
               << benchutil::sharedSuite().size() << " loops) ==\n"
               << table.render();
+
+    writeBatchBench(clustered);
     return 0;
 }

@@ -15,9 +15,10 @@
 #include "support/str.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cams;
+    benchutil::parseBatchArgs(argc, argv);
     struct Config
     {
         int clusters;

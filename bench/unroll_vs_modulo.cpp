@@ -19,9 +19,10 @@
 #include "transform/unroll.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cams;
+    benchutil::parseBatchArgs(argc, argv);
     const MachineDesc machine = unifiedGpMachine(8);
 
     RunningStat modulo_all;
@@ -32,8 +33,12 @@ main()
 
     int wins = 0;
     int total = 0;
-    for (const Dfg &loop : benchutil::sharedSuite()) {
-        const CompileResult result = compileUnified(loop, machine);
+    const BatchOutcome batch = BatchRunner::run(
+        unifiedJobs(benchutil::sharedSuite(), machine),
+        benchutil::jobCount());
+    for (size_t i = 0; i < batch.results.size(); ++i) {
+        const Dfg &loop = benchutil::sharedSuite()[i];
+        const CompileResult &result = batch.results[i];
         if (!result.success)
             continue;
         const bool has_scc = findSccs(loop).numNonTrivial() > 0;

@@ -1,0 +1,115 @@
+#include "pipeline/batch.hh"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/threadpool.hh"
+
+namespace cams
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+} // namespace
+
+std::string
+BatchStats::toJson() const
+{
+    std::ostringstream os;
+    os << "{"
+       << "\"jobs\":" << jobs << ","
+       << "\"succeeded\":" << succeeded << ","
+       << "\"failed\":" << failed << ","
+       << "\"threads\":" << threads << ","
+       << "\"wall_ms\":" << wallMillis << ","
+       << "\"cpu_ms\":" << cpuMillis << ","
+       << "\"ii_attempts\":" << iiAttempts << ","
+       << "\"assign_retries\":" << assignRetries << ","
+       << "\"evictions\":" << evictions << ","
+       << "\"copies\":" << copies << "}";
+    return os.str();
+}
+
+BatchOutcome
+BatchRunner::run(const std::vector<CompileJob> &jobs, int threads)
+{
+    BatchOutcome outcome;
+    outcome.results.resize(jobs.size());
+    outcome.jobMillis.resize(jobs.size(), 0.0);
+
+    const Clock::time_point batchStart = Clock::now();
+    {
+        ThreadPool pool(threads);
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            pool.post([&jobs, &outcome, i] {
+                const CompileJob &job = jobs[i];
+                if (!job.loop || !job.machine) {
+                    throw std::invalid_argument(
+                        "CompileJob with null loop or machine");
+                }
+                const Clock::time_point jobStart = Clock::now();
+                outcome.results[i] =
+                    job.clustered
+                        ? compileClustered(*job.loop, *job.machine,
+                                           job.options)
+                        : compileUnified(*job.loop, *job.machine,
+                                         job.options);
+                outcome.jobMillis[i] = millisSince(jobStart);
+            });
+        }
+        pool.wait(); // rethrows the first job exception, if any
+        outcome.stats.threads = pool.threadCount();
+    }
+    outcome.stats.wallMillis = millisSince(batchStart);
+
+    outcome.stats.jobs = static_cast<int>(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const CompileResult &result = outcome.results[i];
+        if (result.success)
+            ++outcome.stats.succeeded;
+        else
+            ++outcome.stats.failed;
+        outcome.stats.cpuMillis += outcome.jobMillis[i];
+        outcome.stats.iiAttempts += result.attempts;
+        outcome.stats.assignRetries += result.assignRetries;
+        outcome.stats.evictions += result.evictions;
+        outcome.stats.copies += result.copies;
+    }
+    return outcome;
+}
+
+std::vector<CompileJob>
+clusteredJobs(const std::vector<Dfg> &suite, const MachineDesc &machine,
+              const CompileOptions &options)
+{
+    std::vector<CompileJob> jobs;
+    jobs.reserve(suite.size());
+    for (const Dfg &loop : suite)
+        jobs.push_back({&loop, &machine, options, true});
+    return jobs;
+}
+
+std::vector<CompileJob>
+unifiedJobs(const std::vector<Dfg> &suite, const MachineDesc &unified,
+            const CompileOptions &options)
+{
+    std::vector<CompileJob> jobs;
+    jobs.reserve(suite.size());
+    for (const Dfg &loop : suite)
+        jobs.push_back({&loop, &unified, options, false});
+    return jobs;
+}
+
+} // namespace cams

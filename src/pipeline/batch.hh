@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The parallel batch-compilation engine.
+ *
+ * Every paper figure compiles hundreds of loop x machine x variant
+ * pairs that are completely independent of one another, so the batch
+ * layer fans CompileJobs across a fixed ThreadPool and collects the
+ * CompileResults back **in input order**, regardless of the thread
+ * count. Each job runs the ordinary single-threaded compile path
+ * (compileClustered / compileUnified), which makes the results
+ * bit-identical to a serial loop -- a property the tests assert.
+ *
+ * Alongside the results the engine records per-job wall time and
+ * aggregates the pipeline's per-phase counters (II attempts, failed
+ * assignment retries, evictions) into a BatchStats summary that the
+ * experiment binaries publish for PR-over-PR tracking.
+ */
+
+#ifndef CAMS_PIPELINE_BATCH_HH
+#define CAMS_PIPELINE_BATCH_HH
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "pipeline/driver.hh"
+
+namespace cams
+{
+
+/** One independent unit of batch work: compile one loop for one
+ *  machine. Pointees must outlive the BatchRunner::run call. */
+struct CompileJob
+{
+    const Dfg *loop = nullptr;
+    const MachineDesc *machine = nullptr;
+    CompileOptions options;
+
+    /** False compiles the unified baseline path instead. */
+    bool clustered = true;
+};
+
+/** Aggregate accounting of one batch run. */
+struct BatchStats
+{
+    int jobs = 0;
+    int succeeded = 0;
+    int failed = 0;
+
+    /** Worker threads the batch ran on. */
+    int threads = 1;
+
+    /** Wall-clock time of the whole batch, milliseconds. */
+    double wallMillis = 0.0;
+
+    /** Sum of per-job wall times (the serial-equivalent cost). */
+    double cpuMillis = 0.0;
+
+    /** Total II values tried across all jobs. */
+    long iiAttempts = 0;
+
+    /** II attempts whose cluster assignment failed. */
+    long assignRetries = 0;
+
+    /** Evictions performed by the assignment iteration. */
+    long evictions = 0;
+
+    /** Copy operations inserted across all successful jobs. */
+    long copies = 0;
+
+    /** One-line JSON rendering for machine-readable logs. */
+    std::string toJson() const;
+};
+
+/** Everything a batch run produces, results in input order. */
+struct BatchOutcome
+{
+    std::vector<CompileResult> results;
+
+    /** Wall time of each job, milliseconds, input order. */
+    std::vector<double> jobMillis;
+
+    BatchStats stats;
+};
+
+/** Fans CompileJobs over a worker pool. */
+class BatchRunner
+{
+  public:
+    /**
+     * Runs every job and returns outcomes in input order.
+     *
+     * @param threads worker count (clamped to at least 1). The
+     *        compile path stays single-threaded per job, so the
+     *        results are identical for every thread count.
+     *
+     * A malformed job (null loop or machine) throws
+     * std::invalid_argument after the rest of the batch finished; the
+     * pool itself never deadlocks on a throwing job.
+     */
+    static BatchOutcome run(const std::vector<CompileJob> &jobs,
+                            int threads);
+};
+
+/** Builds one clustered job per suite loop on the given machine. */
+std::vector<CompileJob> clusteredJobs(const std::vector<Dfg> &suite,
+                                      const MachineDesc &machine,
+                                      const CompileOptions &options = {});
+
+/** Builds one unified-baseline job per suite loop. */
+std::vector<CompileJob> unifiedJobs(const std::vector<Dfg> &suite,
+                                    const MachineDesc &unified,
+                                    const CompileOptions &options = {});
+
+} // namespace cams
+
+#endif // CAMS_PIPELINE_BATCH_HH

@@ -50,8 +50,11 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
     for (int ii = result.mii.mii; ii <= limit; ++ii) {
         ++result.attempts;
         AssignResult assignment = assigner.run(graph, ii);
-        if (!assignment.success)
+        result.evictions += assignment.evictions;
+        if (!assignment.success) {
+            ++result.assignRetries;
             continue;
+        }
         Schedule schedule;
         if (!scheduler->schedule(assignment.loop, model, ii, schedule))
             continue;

@@ -65,6 +65,12 @@ struct CompileResult
 
     /** IIs tried before success (1 = first try). */
     int attempts = 0;
+
+    /** II attempts whose cluster assignment failed outright. */
+    int assignRetries = 0;
+
+    /** Evictions performed by the §4.3 iteration, over all attempts. */
+    int evictions = 0;
 };
 
 /** Creates a scheduler instance of the given kind. */

@@ -1,5 +1,6 @@
 #include "report/deviation.hh"
 
+#include "pipeline/batch.hh"
 #include "support/logging.hh"
 
 namespace cams
@@ -27,18 +28,18 @@ DeviationSeries::percentAtMost(int deviation) const
 
 std::vector<int>
 unifiedBaseline(const std::vector<Dfg> &suite, const MachineDesc &unified,
-                const CompileOptions &options)
+                const CompileOptions &options, int threads)
 {
+    const BatchOutcome batch =
+        BatchRunner::run(unifiedJobs(suite, unified, options), threads);
     std::vector<int> baseline;
     baseline.reserve(suite.size());
-    for (const Dfg &loop : suite) {
-        const CompileResult result =
-            compileUnified(loop, unified, options);
-        if (!result.success) {
-            cams_fatal("unified baseline failed on loop '", loop.name(),
-                       "'");
+    for (size_t i = 0; i < suite.size(); ++i) {
+        if (!batch.results[i].success) {
+            cams_fatal("unified baseline failed on loop '",
+                       suite[i].name(), "'");
         }
-        baseline.push_back(result.ii);
+        baseline.push_back(batch.results[i].ii);
     }
     return baseline;
 }
@@ -47,15 +48,17 @@ DeviationSeries
 runClusteredSeries(const std::vector<Dfg> &suite,
                    const MachineDesc &machine,
                    const std::vector<int> &baseline,
-                   const CompileOptions &options, const std::string &label)
+                   const CompileOptions &options, const std::string &label,
+                   int threads)
 {
     cams_assert(suite.size() == baseline.size(),
                 "baseline does not match the suite");
     DeviationSeries series;
     series.label = label;
+    const BatchOutcome batch =
+        BatchRunner::run(clusteredJobs(suite, machine, options), threads);
     for (size_t i = 0; i < suite.size(); ++i) {
-        const CompileResult result =
-            compileClustered(suite[i], machine, options);
+        const CompileResult &result = batch.results[i];
         if (!result.success) {
             ++series.failures;
             continue;

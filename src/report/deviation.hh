@@ -53,20 +53,26 @@ struct DeviationSeries
  * Baseline IIs of the suite on a unified machine (one entry per
  * loop). Fatal when the baseline itself cannot be scheduled -- the
  * unified machine always can, so that indicates a bug.
+ *
+ * @param threads worker count for the batch engine; the results are
+ *        identical for every value (each compile is independent).
  */
 std::vector<int> unifiedBaseline(const std::vector<Dfg> &suite,
                                  const MachineDesc &unified,
-                                 const CompileOptions &options = {});
+                                 const CompileOptions &options = {},
+                                 int threads = 1);
 
 /**
- * Runs the clustered pipeline over the suite and histograms the II
- * deviations against a precomputed baseline.
+ * Runs the clustered pipeline over the suite through the batch engine
+ * and histograms the II deviations against a precomputed baseline.
+ * Deterministic for every @p threads value.
  */
 DeviationSeries runClusteredSeries(const std::vector<Dfg> &suite,
                                    const MachineDesc &machine,
                                    const std::vector<int> &baseline,
                                    const CompileOptions &options,
-                                   const std::string &label);
+                                   const std::string &label,
+                                   int threads = 1);
 
 } // namespace cams
 

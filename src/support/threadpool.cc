@@ -1,0 +1,94 @@
+#include "support/threadpool.hh"
+
+#include <cstdlib>
+
+namespace cams
+{
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int count = threads < 1 ? 1 : threads;
+    workers_.reserve(count);
+    for (int i = 0; i < count; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] {
+        return queue_.empty() && running_ == 0;
+    });
+    if (firstError_) {
+        std::exception_ptr error = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("CAMS_JOBS")) {
+        const int jobs = std::atoi(env);
+        if (jobs > 0)
+            return jobs;
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+        }
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --running_;
+        }
+        idle_.notify_all();
+    }
+}
+
+} // namespace cams

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A fixed-size worker pool with a shared task queue and exception
+ * capture.
+ *
+ * Tasks are arbitrary callables posted with post(); a fixed set of
+ * worker threads drains the queue in FIFO order. A task that throws
+ * does not kill its worker: the exception is captured and rethrown
+ * from the next wait() on the submitting thread, after the queue has
+ * drained, so a failing task can never deadlock the pool. The pool is
+ * deliberately minimal -- no futures, no work stealing between pools,
+ * no dynamic resizing -- because the batch compilation layer above it
+ * only needs "run these N closures and tell me when done".
+ */
+
+#ifndef CAMS_SUPPORT_THREADPOOL_HH
+#define CAMS_SUPPORT_THREADPOOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cams
+{
+
+/** Fixed-size thread pool draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Starts @p threads workers (clamped to at least 1). A pool of
+     * one worker still runs tasks off-thread, which keeps the
+     * execution path identical across all pool sizes.
+     */
+    explicit ThreadPool(int threads);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueues one task; wakes an idle worker. */
+    void post(std::function<void()> task);
+
+    /**
+     * Blocks until every posted task has finished, then rethrows the
+     * first exception any task raised (if any). The pool stays usable
+     * afterwards: wait() is a barrier, not a shutdown.
+     */
+    void wait();
+
+    /** Number of worker threads. */
+    int threadCount() const
+    {
+        return static_cast<int>(workers_.size());
+    }
+
+    /**
+     * Pool size to use when the caller does not care: the
+     * CAMS_JOBS environment variable when set, otherwise the
+     * hardware concurrency (at least 1).
+     */
+    static int defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;   ///< workers wait for tasks here
+    std::condition_variable idle_;   ///< wait() blocks here
+    int running_ = 0;                ///< tasks currently executing
+    bool stopping_ = false;
+    std::exception_ptr firstError_;  ///< first captured task exception
+};
+
+} // namespace cams
+
+#endif // CAMS_SUPPORT_THREADPOOL_HH

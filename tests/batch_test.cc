@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests of the thread pool and the parallel batch-compilation engine:
+ * bit-identical results across thread counts, clean error surfacing
+ * from throwing jobs, and stats aggregation matching the serial sum.
+ */
+
+#include <atomic>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "machine/configs.hh"
+#include "pipeline/batch.hh"
+#include "support/threadpool.hh"
+#include "workload/suite.hh"
+
+namespace cams
+{
+namespace
+{
+
+/** Asserts two compile results are indistinguishable, field by field
+ *  down to every start cycle and placement. */
+void
+expectSameResult(const CompileResult &a, const CompileResult &b)
+{
+    ASSERT_EQ(a.success, b.success);
+    EXPECT_EQ(a.ii, b.ii);
+    EXPECT_EQ(a.mii.mii, b.mii.mii);
+    EXPECT_EQ(a.copies, b.copies);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.assignRetries, b.assignRetries);
+    EXPECT_EQ(a.evictions, b.evictions);
+    if (!a.success)
+        return;
+    EXPECT_EQ(a.schedule.ii, b.schedule.ii);
+    EXPECT_EQ(a.schedule.startCycle, b.schedule.startCycle);
+    ASSERT_EQ(a.loop.placement.size(), b.loop.placement.size());
+    for (size_t i = 0; i < a.loop.placement.size(); ++i) {
+        EXPECT_EQ(a.loop.placement[i].cluster,
+                  b.loop.placement[i].cluster);
+        EXPECT_EQ(a.loop.placement[i].copyDsts,
+                  b.loop.placement[i].copyDsts);
+    }
+}
+
+TEST(ThreadPool, RunsEveryPostedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.post([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ThrowingTaskSurfacesWithoutDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 10; ++i)
+        pool.post([&completed] { ++completed; });
+    pool.post([] { throw std::runtime_error("boom"); });
+    for (int i = 0; i < 10; ++i)
+        pool.post([&completed] { ++completed; });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The queue drained despite the throwing task, and the pool is
+    // still usable afterwards.
+    EXPECT_EQ(completed.load(), 20);
+    pool.post([&completed] { ++completed; });
+    pool.wait();
+    EXPECT_EQ(completed.load(), 21);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvironment)
+{
+    setenv("CAMS_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 3);
+    unsetenv("CAMS_JOBS");
+    EXPECT_GE(ThreadPool::defaultThreads(), 1);
+}
+
+TEST(Batch, ResultsIdenticalAcrossThreadCounts)
+{
+    const std::vector<Dfg> suite = buildSuite(24);
+    const MachineDesc machine = busedGpMachine(2, 2, 1);
+    const std::vector<CompileJob> jobs = clusteredJobs(suite, machine);
+
+    const BatchOutcome one = BatchRunner::run(jobs, 1);
+    const BatchOutcome two = BatchRunner::run(jobs, 2);
+    const BatchOutcome eight = BatchRunner::run(jobs, 8);
+
+    ASSERT_EQ(one.results.size(), suite.size());
+    ASSERT_EQ(two.results.size(), suite.size());
+    ASSERT_EQ(eight.results.size(), suite.size());
+    for (size_t i = 0; i < suite.size(); ++i) {
+        expectSameResult(one.results[i], two.results[i]);
+        expectSameResult(one.results[i], eight.results[i]);
+    }
+}
+
+TEST(Batch, ResultsComeBackInInputOrder)
+{
+    const std::vector<Dfg> suite = buildSuite(16);
+    const MachineDesc machine = busedGpMachine(2, 2, 1);
+    const BatchOutcome batch =
+        BatchRunner::run(clusteredJobs(suite, machine), 8);
+    for (size_t i = 0; i < suite.size(); ++i) {
+        if (!batch.results[i].success)
+            continue;
+        // The annotated loop keeps the input graph's name, which ties
+        // each slot back to the job that produced it.
+        EXPECT_EQ(batch.results[i].loop.graph.name(), suite[i].name());
+    }
+}
+
+TEST(Batch, MatchesDirectSerialCompilation)
+{
+    const std::vector<Dfg> suite = buildSuite(12);
+    const MachineDesc machine = busedGpMachine(2, 2, 1);
+    const BatchOutcome batch =
+        BatchRunner::run(clusteredJobs(suite, machine), 8);
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const CompileResult serial = compileClustered(suite[i], machine);
+        expectSameResult(serial, batch.results[i]);
+    }
+}
+
+TEST(Batch, StatsTotalsMatchSerialSum)
+{
+    const std::vector<Dfg> suite = buildSuite(24);
+    const MachineDesc machine = busedGpMachine(2, 2, 1);
+    const BatchOutcome batch =
+        BatchRunner::run(clusteredJobs(suite, machine), 8);
+
+    long attempts = 0;
+    long retries = 0;
+    long evictions = 0;
+    long copies = 0;
+    int succeeded = 0;
+    for (const Dfg &loop : suite) {
+        const CompileResult serial = compileClustered(loop, machine);
+        attempts += serial.attempts;
+        retries += serial.assignRetries;
+        evictions += serial.evictions;
+        copies += serial.copies;
+        if (serial.success)
+            ++succeeded;
+    }
+
+    EXPECT_EQ(batch.stats.jobs, static_cast<int>(suite.size()));
+    EXPECT_EQ(batch.stats.succeeded, succeeded);
+    EXPECT_EQ(batch.stats.failed,
+              static_cast<int>(suite.size()) - succeeded);
+    EXPECT_EQ(batch.stats.iiAttempts, attempts);
+    EXPECT_EQ(batch.stats.assignRetries, retries);
+    EXPECT_EQ(batch.stats.evictions, evictions);
+    EXPECT_EQ(batch.stats.copies, copies);
+    EXPECT_EQ(batch.stats.threads, 8);
+    ASSERT_EQ(batch.jobMillis.size(), suite.size());
+    EXPECT_GT(batch.stats.wallMillis, 0.0);
+}
+
+TEST(Batch, MalformedJobThrowsWithoutDeadlock)
+{
+    const std::vector<Dfg> suite = buildSuite(4);
+    const MachineDesc machine = busedGpMachine(2, 2, 1);
+    std::vector<CompileJob> jobs = clusteredJobs(suite, machine);
+    jobs[2].loop = nullptr; // poisoned job
+    EXPECT_THROW(BatchRunner::run(jobs, 2), std::invalid_argument);
+}
+
+TEST(Batch, UnifiedJobsProduceBaselineResults)
+{
+    const std::vector<Dfg> suite = buildSuite(8);
+    const MachineDesc unified = unifiedGpMachine(8);
+    const BatchOutcome batch =
+        BatchRunner::run(unifiedJobs(suite, unified), 4);
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const CompileResult serial = compileUnified(suite[i], unified);
+        expectSameResult(serial, batch.results[i]);
+        EXPECT_EQ(batch.results[i].copies, 0);
+    }
+}
+
+TEST(Batch, StatsRenderAsJson)
+{
+    BatchStats stats;
+    stats.jobs = 2;
+    stats.succeeded = 1;
+    stats.failed = 1;
+    stats.threads = 4;
+    stats.iiAttempts = 7;
+    const std::string json = stats.toJson();
+    EXPECT_NE(json.find("\"jobs\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"succeeded\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"threads\":4"), std::string::npos);
+    EXPECT_NE(json.find("\"ii_attempts\":7"), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+} // namespace
+} // namespace cams

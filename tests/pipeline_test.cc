@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/builder.hh"
 #include "machine/configs.hh"
 #include "pipeline/driver.hh"
 #include "sched/verifier.hh"
@@ -105,6 +106,67 @@ TEST(Pipeline, AttemptsCountIiSearch)
         compileClustered(kernelFirstDiff(), machine);
     ASSERT_TRUE(result.success);
     EXPECT_EQ(result.attempts, result.ii - result.mii.mii + 1);
+}
+
+TEST(Pipeline, IiSlackBackstopTriggersOnInfeasibleMachine)
+{
+    // Two FS clusters that must communicate every iteration: memory
+    // units live only on cluster 0, integer/FP only on cluster 1, so
+    // a load-accumulate recurrence is split across the bus and both
+    // of its copies add latency inside the cycle. The clustered II is
+    // therefore strictly above the unified MII, and an iiSlack that
+    // pulls the mii * 4 + iiSlack limit below that II makes the
+    // machine infeasible within the search window: the driver must
+    // try every II in [mii, limit], then give up cleanly.
+    MachineDesc machine;
+    machine.name = "split-fs";
+    machine.interconnect = InterconnectKind::Bus;
+    machine.numBuses = 1;
+    ClusterDesc memOnly;
+    memOnly.fsUnits[static_cast<int>(FuClass::Memory)] = 1;
+    ClusterDesc computeOnly;
+    computeOnly.fsUnits[static_cast<int>(FuClass::Integer)] = 1;
+    computeOnly.fsUnits[static_cast<int>(FuClass::Float)] = 1;
+    machine.clusters = {memOnly, computeOnly};
+    machine.validate();
+
+    const Dfg loop = DfgBuilder("cross-recurrence")
+                         .op("ld", Opcode::Load)
+                         .op("acc", Opcode::FpAdd)
+                         .flow("ld", "acc")
+                         .carried("acc", "ld", 1)
+                         .build();
+
+    const CompileResult feasible = compileClustered(loop, machine);
+    ASSERT_TRUE(feasible.success);
+    ASSERT_GT(feasible.ii, feasible.mii.mii)
+        << "copies in the recurrence must push the II above MII";
+
+    CompileOptions options;
+    options.iiSlack = feasible.ii - 1 - 4 * feasible.mii.mii;
+    const CompileResult result =
+        compileClustered(loop, machine, options);
+
+    EXPECT_FALSE(result.success);
+    EXPECT_EQ(result.ii, 0);
+    // The backstop formula is part of the contract: every II in
+    // [mii, mii * 4 + iiSlack] was attempted, then the driver gave up.
+    const int limit = result.mii.mii * 4 + options.iiSlack;
+    EXPECT_EQ(result.attempts, limit - result.mii.mii + 1);
+}
+
+TEST(Pipeline, NegativeIiSlackShrinksTheSearchWindow)
+{
+    // iiSlack is documented as a slack on top of mii * 4; a negative
+    // value pulling the limit below the MII must yield a clean "never
+    // tried anything" failure, not a crash.
+    const MachineDesc machine = busedGpMachine(2, 2, 1);
+    CompileOptions options;
+    options.iiSlack = -1000;
+    const CompileResult result =
+        compileClustered(kernelHydro(), machine, options);
+    EXPECT_FALSE(result.success);
+    EXPECT_EQ(result.attempts, 0);
 }
 
 TEST(Pipeline, UnifiedRequiresSingleCluster)

@@ -13,6 +13,11 @@
  *   camsc --loop FILE [--machine FILE] [--scheduler sms|ims]
  *         [--simple] [--no-iterate] [--stage-schedule]
  *         [--asm] [--dot] [--simulate N]
+ *
+ * Suite mode compiles the whole synthetic suite through the parallel
+ * batch engine instead of a single loop:
+ *   camsc --suite N [--jobs N] [--seed S] [--machine FILE]
+ *         [--scheduler sms|ims]
  */
 
 #include <fstream>
@@ -26,11 +31,15 @@
 #include "graph/textio.hh"
 #include "machine/configs.hh"
 #include "machine/machinetext.hh"
+#include "pipeline/batch.hh"
 #include "pipeline/driver.hh"
 #include "regalloc/regalloc.hh"
 #include "sched/regmetrics.hh"
 #include "sched/stage.hh"
 #include "sim/compare.hh"
+#include "support/stats.hh"
+#include "support/threadpool.hh"
+#include "workload/suite.hh"
 
 namespace
 {
@@ -53,10 +62,16 @@ int
 usage()
 {
     std::cerr
-        << "usage: camsc (--loop FILE | --source FILE) [--machine "
-           "FILE] [options]\n"
+        << "usage: camsc (--loop FILE | --source FILE | --suite N) "
+           "[--machine FILE] [options]\n"
            "  --source FILE      loop body in C-like source (see "
            "frontend/parser.hh)\n"
+           "  --suite N          compile the N-loop synthetic suite "
+           "through the batch engine\n"
+           "  --jobs N           batch worker threads (suite mode; "
+           "default: CAMS_JOBS or hardware)\n"
+           "  --seed S           master seed of the synthetic suite "
+           "(suite mode)\n"
            "  --machine FILE     machine description (default: 2 "
            "clusters x 4 GP, 2 buses, 1 port)\n"
            "  --scheduler KIND   sms (default) or ims\n"
@@ -70,6 +85,52 @@ usage()
            "  --simulate N       check pipelined-vs-sequential "
            "equivalence over N iterations\n";
     return 2;
+}
+
+/**
+ * Suite mode: compiles the synthetic suite (clustered and unified
+ * baseline) through the batch engine and reports the deviation
+ * summary plus the machine-readable batch statistics.
+ */
+int
+runSuiteMode(int count, uint64_t seed, int jobs,
+             const MachineDesc &machine, const CompileOptions &options)
+{
+    const std::vector<Dfg> suite = buildSuite(count, seed);
+    const MachineDesc unified = machine.unifiedEquivalent();
+    std::cerr << "compiling " << suite.size() << " loops on "
+              << machine.name << " with " << jobs << " jobs..."
+              << std::endl;
+
+    const BatchOutcome base =
+        BatchRunner::run(unifiedJobs(suite, unified, options), jobs);
+    const BatchOutcome clustered =
+        BatchRunner::run(clusteredJobs(suite, machine, options), jobs);
+
+    IntHistogram deviations;
+    int failures = 0;
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const CompileResult &b = base.results[i];
+        const CompileResult &c = clustered.results[i];
+        if (!b.success || !c.success) {
+            ++failures;
+            continue;
+        }
+        deviations.add(c.ii - b.ii);
+    }
+
+    std::cout << "suite:     " << suite.size() << " loops (seed 0x"
+              << std::hex << seed << std::dec << ")\n";
+    std::cout << "machine:   " << machine.name << "\n";
+    std::cout << "matched:   " << deviations.countAt(0) << " of "
+              << suite.size() << " at deviation 0";
+    if (deviations.total() > 0) {
+        std::cout << " (max deviation " << deviations.maxValue()
+                  << ")";
+    }
+    std::cout << "\nfailures:  " << failures << "\n";
+    std::cout << "batch:     " << clustered.stats.toJson() << "\n";
+    return failures == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -86,6 +147,9 @@ main(int argc, char **argv)
     bool want_dot = false;
     bool want_stage = false;
     int simulate = 0;
+    int suite_count = 0;
+    int jobs = ThreadPool::defaultThreads();
+    uint64_t seed = defaultSuiteSeed;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -136,17 +200,55 @@ main(int argc, char **argv)
             if (!value)
                 return usage();
             simulate = std::atoi(value);
+        } else if (arg == "--suite") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            suite_count = std::atoi(value);
+            if (suite_count <= 0)
+                return usage();
+        } else if (arg == "--jobs") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            jobs = std::atoi(value);
+            if (jobs <= 0)
+                return usage();
+        } else if (arg == "--seed") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            seed = std::strtoull(value, nullptr, 0);
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             return usage();
         }
     }
-    if (loop_path.empty() == source_path.empty())
+    const int input_forms = (!loop_path.empty() ? 1 : 0) +
+                            (!source_path.empty() ? 1 : 0) +
+                            (suite_count > 0 ? 1 : 0);
+    if (input_forms != 1)
         return usage(); // exactly one input form
 
     std::string text;
     Dfg loop;
     std::string error;
+
+    MachineDesc machine = busedGpMachine(2, 2, 1);
+    if (!machine_path.empty()) {
+        if (!readFile(machine_path, text)) {
+            std::cerr << "cannot read " << machine_path << "\n";
+            return 1;
+        }
+        if (!parseMachine(text, machine, error)) {
+            std::cerr << machine_path << ": " << error << "\n";
+            return 1;
+        }
+    }
+
+    if (suite_count > 0)
+        return runSuiteMode(suite_count, seed, jobs, machine, options);
+
     if (!loop_path.empty()) {
         if (!readFile(loop_path, text)) {
             std::cerr << "cannot read " << loop_path << "\n";
@@ -163,18 +265,6 @@ main(int argc, char **argv)
         }
         if (!parseLoopSource(text, loop, error)) {
             std::cerr << source_path << ": " << error << "\n";
-            return 1;
-        }
-    }
-
-    MachineDesc machine = busedGpMachine(2, 2, 1);
-    if (!machine_path.empty()) {
-        if (!readFile(machine_path, text)) {
-            std::cerr << "cannot read " << machine_path << "\n";
-            return 1;
-        }
-        if (!parseMachine(text, machine, error)) {
-            std::cerr << machine_path << ": " << error << "\n";
             return 1;
         }
     }
