@@ -37,7 +37,7 @@ main(int argc, char **argv)
         clusteredJobs(benchutil::sharedSuite(), machine),
         benchutil::jobCount());
     for (const CompileResult &result : batch.results) {
-        if (!result.success)
+        if (!result.success || result.degraded != DegradeLevel::None)
             continue;
         ++total;
 

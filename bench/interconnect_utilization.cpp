@@ -39,8 +39,10 @@ main(int argc, char **argv)
             clusteredJobs(benchutil::sharedSuite(), machine),
             benchutil::jobCount());
         for (const CompileResult &result : batch.results) {
-            if (!result.success)
+            if (!result.success ||
+                result.degraded != DegradeLevel::None) {
                 continue;
+            }
             const InterconnectStats stats = computeInterconnectStats(
                 result.loop, result.schedule, model);
             if (machine.broadcast()) {

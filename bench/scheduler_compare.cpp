@@ -48,7 +48,8 @@ writeBatchBench(const MachineDesc &machine)
         const CompileResult &a = serial.results[i];
         const CompileResult &b = parallel.results[i];
         if (a.success != b.success || a.ii != b.ii ||
-            a.copies != b.copies || a.attempts != b.attempts) {
+            a.copies != b.copies || a.attempts != b.attempts ||
+            a.failure != b.failure || a.degraded != b.degraded) {
             std::cerr << "batch determinism violation on job " << i
                       << "\n";
             std::abort();
@@ -99,8 +100,10 @@ main(int argc, char **argv)
             unifiedJobs(benchutil::sharedSuite(), unified, options),
             benchutil::jobCount());
         for (const CompileResult &result : batch.results) {
-            if (!result.success)
+            if (!result.success ||
+                result.degraded != DegradeLevel::None) {
                 continue;
+            }
             ++total;
             if (result.ii == result.mii.mii)
                 ++at_mii;

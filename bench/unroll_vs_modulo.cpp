@@ -39,7 +39,7 @@ main(int argc, char **argv)
     for (size_t i = 0; i < batch.results.size(); ++i) {
         const Dfg &loop = benchutil::sharedSuite()[i];
         const CompileResult &result = batch.results[i];
-        if (!result.success)
+        if (!result.success || result.degraded != DegradeLevel::None)
             continue;
         const bool has_scc = findSccs(loop).numNonTrivial() > 0;
         modulo_all.add(result.ii);

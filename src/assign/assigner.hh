@@ -27,11 +27,13 @@
 #ifndef CAMS_ASSIGN_ASSIGNER_HH
 #define CAMS_ASSIGN_ASSIGNER_HH
 
+#include <string>
 #include <vector>
 
 #include "assign/assignment.hh"
 #include "graph/dfg.hh"
 #include "mrt/mrt.hh"
+#include "support/fault.hh"
 
 namespace cams
 {
@@ -87,6 +89,13 @@ struct AssignOptions
      * attempt always uses the canonical (paper) tie-breaking.
      */
     int restartsPerIi = 3;
+
+    /**
+     * Optional fault injector (non-owning; stress testing only).
+     * Sites consulted: AssignEvictionStorm vetoes the selection
+     * cascade's winner, RouterBusExhaustion fails a copy reservation.
+     */
+    FaultInjector *faults = nullptr;
 };
 
 /** Outcome of one assignment attempt at a fixed II. */
@@ -105,6 +114,21 @@ struct AssignResult
 
     /** Evictions performed by the iterative mechanism. */
     int evictions = 0;
+
+    /**
+     * Failure classification (failures only). AssignLivelock when the
+     * §4.3 repair dead-ended or blew its eviction budget,
+     * InternalInvariant when every restart died in a cams_check; None
+     * for the ordinary no-feasible-cluster outcome (the driver maps
+     * that to IiExhausted after the II search runs dry).
+     */
+    FailureKind failure = FailureKind::None;
+
+    /** Human-readable diagnosis matching `failure`. */
+    std::string detail;
+
+    /** Restarts abandoned because a cams_check invariant fired. */
+    int invariantFailures = 0;
 };
 
 /** Runs cluster assignment for loops on one machine. */

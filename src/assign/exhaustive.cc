@@ -1,6 +1,7 @@
 #include "assign/exhaustive.hh"
 
 #include <set>
+#include <string>
 #include <vector>
 
 #include "assign/router.hh"
@@ -10,20 +11,18 @@
 namespace cams
 {
 
-namespace
+AnnotatedLoop
+annotatePartition(const Dfg &graph,
+                  const std::vector<ClusterId> &cluster_of,
+                  const MachineDesc &machine)
 {
-
-/**
- * Builds the copy-annotated graph of one partition (structure only;
- * no placements needed) so its RecMII can be checked.
- */
-Dfg
-annotate(const Dfg &graph, const std::vector<ClusterId> &cluster_of,
-         const MachineDesc &machine)
-{
-    Dfg out;
-    for (const DfgNode &node : graph.nodes())
-        out.addNode(node.op, node.latency, node.name);
+    AnnotatedLoop out;
+    out.numOriginalNodes = graph.numNodes();
+    out.graph.setName(graph.name());
+    for (const DfgNode &node : graph.nodes()) {
+        out.graph.addNode(node.op, node.latency, node.name);
+        out.placement.push_back({cluster_of[node.id], {}});
+    }
 
     // serving[value][cluster] = node delivering the value there.
     std::vector<std::vector<NodeId>> serving(
@@ -31,31 +30,37 @@ annotate(const Dfg &graph, const std::vector<ClusterId> &cluster_of,
         std::vector<NodeId>(machine.numClusters(), invalidNode));
 
     for (NodeId v = 0; v < graph.numNodes(); ++v) {
-        std::set<ClusterId> dsts;
+        std::set<ClusterId> dst_set;
         for (NodeId succ : graph.successors(v)) {
             if (succ != v && cluster_of[succ] != cluster_of[v])
-                dsts.insert(cluster_of[succ]);
+                dst_set.insert(cluster_of[succ]);
         }
-        if (dsts.empty())
+        if (dst_set.empty())
             continue;
+        const std::vector<ClusterId> dsts(dst_set.begin(),
+                                          dst_set.end());
+        const std::string base = "cp_" + graph.node(v).name;
         if (machine.broadcast()) {
-            const NodeId copy = out.addNode(Opcode::Copy);
-            out.addEdge(v, copy, graph.node(v).latency, 0);
+            const NodeId copy =
+                out.graph.addNode(Opcode::Copy, 1, base);
+            out.placement.push_back({cluster_of[v], dsts});
+            out.graph.addEdge(v, copy, graph.node(v).latency, 0);
             for (ClusterId dst : dsts)
                 serving[v][dst] = copy;
         } else {
-            const auto hops =
-                planHops(machine, cluster_of[v],
-                         std::vector<ClusterId>(dsts.begin(),
-                                                dsts.end()));
+            const auto hops = planHops(machine, cluster_of[v], dsts);
             std::vector<NodeId> landing(machine.numClusters(),
                                         invalidNode);
             for (const Hop &hop : hops) {
-                const NodeId copy = out.addNode(Opcode::Copy);
+                const NodeId copy = out.graph.addNode(
+                    Opcode::Copy, 1,
+                    base + "_" + std::to_string(hop.to));
+                out.placement.push_back({hop.from, {hop.to}});
                 if (hop.from == cluster_of[v]) {
-                    out.addEdge(v, copy, graph.node(v).latency, 0);
+                    out.graph.addEdge(v, copy, graph.node(v).latency,
+                                      0);
                 } else {
-                    out.addEdge(landing[hop.from], copy, 1, 0);
+                    out.graph.addEdge(landing[hop.from], copy, 1, 0);
                 }
                 landing[hop.to] = copy;
                 serving[v][hop.to] = copy;
@@ -65,15 +70,18 @@ annotate(const Dfg &graph, const std::vector<ClusterId> &cluster_of,
 
     for (const DfgEdge &edge : graph.edges()) {
         if (cluster_of[edge.src] == cluster_of[edge.dst]) {
-            out.addEdge(edge.src, edge.dst, edge.latency,
-                        edge.distance);
+            out.graph.addEdge(edge.src, edge.dst, edge.latency,
+                              edge.distance);
         } else {
-            out.addEdge(serving[edge.src][cluster_of[edge.dst]],
-                        edge.dst, 1, edge.distance);
+            out.graph.addEdge(serving[edge.src][cluster_of[edge.dst]],
+                              edge.dst, 1, edge.distance);
         }
     }
     return out;
 }
+
+namespace
+{
 
 bool
 partitionFeasible(const Dfg &graph, const ResourceModel &model, int ii,
@@ -121,15 +129,17 @@ partitionFeasible(const Dfg &graph, const ResourceModel &model, int ii,
     }
 
     // Recurrences pay the copy latency when split.
-    return recMii(annotate(graph, cluster_of, machine)) <= ii;
+    return recMii(annotatePartition(graph, cluster_of, machine).graph) <=
+           ii;
 }
 
 } // namespace
 
-ExhaustiveVerdict
-exhaustiveFeasible(const Dfg &graph, const ResourceModel &model, int ii,
-                   int max_nodes)
+ExhaustivePartition
+exhaustiveAssign(const Dfg &graph, const ResourceModel &model, int ii,
+                 int max_nodes)
 {
+    ExhaustivePartition out;
     const int n = graph.numNodes();
     const int clusters = model.machine().numClusters();
     cams_assert(clusters >= 1, "machine with no clusters");
@@ -138,8 +148,10 @@ exhaustiveFeasible(const Dfg &graph, const ResourceModel &model, int ii,
     long long total = 1;
     for (int i = 0; i < n; ++i) {
         total *= clusters;
-        if (total > (1LL << max_nodes))
-            return ExhaustiveVerdict::TooLarge;
+        if (total > (1LL << max_nodes)) {
+            out.verdict = ExhaustiveVerdict::TooLarge;
+            return out;
+        }
     }
 
     std::vector<ClusterId> cluster_of(n, 0);
@@ -149,10 +161,20 @@ exhaustiveFeasible(const Dfg &graph, const ResourceModel &model, int ii,
             cluster_of[v] = static_cast<ClusterId>(rest % clusters);
             rest /= clusters;
         }
-        if (partitionFeasible(graph, model, ii, cluster_of))
-            return ExhaustiveVerdict::Feasible;
+        if (partitionFeasible(graph, model, ii, cluster_of)) {
+            out.verdict = ExhaustiveVerdict::Feasible;
+            out.clusterOf = cluster_of;
+            return out;
+        }
     }
-    return ExhaustiveVerdict::Infeasible;
+    return out;
+}
+
+ExhaustiveVerdict
+exhaustiveFeasible(const Dfg &graph, const ResourceModel &model, int ii,
+                   int max_nodes)
+{
+    return exhaustiveAssign(graph, model, ii, max_nodes).verdict;
 }
 
 int

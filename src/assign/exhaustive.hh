@@ -16,6 +16,9 @@
 #ifndef CAMS_ASSIGN_EXHAUSTIVE_HH
 #define CAMS_ASSIGN_EXHAUSTIVE_HH
 
+#include <vector>
+
+#include "assign/assignment.hh"
 #include "graph/dfg.hh"
 #include "mrt/mrt.hh"
 
@@ -28,6 +31,15 @@ enum class ExhaustiveVerdict
     Feasible,   ///< some partition fits the resources at this II
     Infeasible, ///< no partition fits: a larger II is unavoidable
     TooLarge,   ///< the loop exceeds the enumeration budget
+};
+
+/** A verdict plus the witness partition (Feasible only). */
+struct ExhaustivePartition
+{
+    ExhaustiveVerdict verdict = ExhaustiveVerdict::Infeasible;
+
+    /** Cluster of each original node (verdict == Feasible only). */
+    std::vector<ClusterId> clusterOf;
 };
 
 /**
@@ -44,6 +56,26 @@ enum class ExhaustiveVerdict
 ExhaustiveVerdict exhaustiveFeasible(const Dfg &graph,
                                      const ResourceModel &model, int ii,
                                      int max_nodes = 14);
+
+/**
+ * Like exhaustiveFeasible, but returns the first feasible partition so
+ * it can actually be compiled. This is what the pipeline driver's
+ * degradation ladder runs when the heuristic assigner gives up on a
+ * small loop (see pipeline/driver.hh).
+ */
+ExhaustivePartition exhaustiveAssign(const Dfg &graph,
+                                     const ResourceModel &model, int ii,
+                                     int max_nodes = 14);
+
+/**
+ * Materializes a fixed partition into a schedulable AnnotatedLoop:
+ * copy nodes with placements for every crossing value (one broadcast
+ * copy on bused machines, a BFS hop chain on point-to-point ones),
+ * exactly as the heuristic assigner would have annotated it.
+ */
+AnnotatedLoop annotatePartition(const Dfg &graph,
+                                const std::vector<ClusterId> &cluster_of,
+                                const MachineDesc &machine);
 
 /**
  * Smallest II in [lower, limit] the oracle accepts, or 0 when the

@@ -40,11 +40,11 @@ planHops(const MachineDesc &machine, ClusterId src,
     // Collect every cluster on some source->destination path.
     std::vector<bool> needed(n, false);
     for (ClusterId dst : dsts) {
-        cams_assert(dst != src, "routing a value to its own cluster");
-        if (!seen[dst]) {
-            cams_fatal("cluster ", dst, " unreachable from ", src,
-                       " on machine '", machine.name, "'");
-        }
+        // Recoverable: these fire mid-assignment, where the driver can
+        // classify the failure and fall back (see support/logging.hh).
+        cams_check(dst != src, "routing a value to its own cluster");
+        cams_check(seen[dst], "cluster ", dst, " unreachable from ",
+                   src, " on machine '", machine.name, "'");
         for (ClusterId at = dst; at != src; at = parent[at])
             needed[at] = true;
     }

@@ -32,44 +32,84 @@ BatchStats::toJson() const
        << "\"jobs\":" << jobs << ","
        << "\"succeeded\":" << succeeded << ","
        << "\"failed\":" << failed << ","
+       << "\"degraded\":" << degraded << ","
+       << "\"captured_exceptions\":" << capturedExceptions << ","
        << "\"threads\":" << threads << ","
        << "\"wall_ms\":" << wallMillis << ","
        << "\"cpu_ms\":" << cpuMillis << ","
        << "\"ii_attempts\":" << iiAttempts << ","
        << "\"assign_retries\":" << assignRetries << ","
        << "\"evictions\":" << evictions << ","
-       << "\"copies\":" << copies << "}";
+       << "\"copies\":" << copies << ","
+       << "\"invariant_recoveries\":" << invariantRecoveries << ","
+       << "\"verifier_rejects\":" << verifierRejects << ","
+       << "\"fault_trips\":" << faultTrips << ","
+       << "\"failure_kinds\":{";
+    bool first = true;
+    for (int kind = 1; kind < numFailureKinds; ++kind) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << failureKindName(FailureKind(kind))
+           << "\":" << failuresByKind[kind];
+    }
+    os << "}}";
     return os.str();
 }
 
 BatchOutcome
-BatchRunner::run(const std::vector<CompileJob> &jobs, int threads)
+BatchRunner::run(const std::vector<CompileJob> &jobs, int threads,
+                 double jobDeadlineMs)
 {
     BatchOutcome outcome;
     outcome.results.resize(jobs.size());
     outcome.jobMillis.resize(jobs.size(), 0.0);
+    std::vector<char> captured(jobs.size(), 0);
 
     const Clock::time_point batchStart = Clock::now();
     {
         ThreadPool pool(threads);
         for (size_t i = 0; i < jobs.size(); ++i) {
-            pool.post([&jobs, &outcome, i] {
+            pool.post([&jobs, &outcome, &captured, jobDeadlineMs, i] {
                 const CompileJob &job = jobs[i];
                 if (!job.loop || !job.machine) {
                     throw std::invalid_argument(
                         "CompileJob with null loop or machine");
                 }
+                CompileOptions options = job.options;
+                if (options.timeBudgetMs <= 0.0)
+                    options.timeBudgetMs = jobDeadlineMs;
                 const Clock::time_point jobStart = Clock::now();
-                outcome.results[i] =
-                    job.clustered
-                        ? compileClustered(*job.loop, *job.machine,
-                                           job.options)
-                        : compileUnified(*job.loop, *job.machine,
-                                         job.options);
+                try {
+                    outcome.results[i] =
+                        job.clustered
+                            ? compileClustered(*job.loop, *job.machine,
+                                               options)
+                            : compileUnified(*job.loop, *job.machine,
+                                             options);
+                } catch (const std::exception &err) {
+                    // One pathological job must not kill the suite:
+                    // capture the escape as that job's classified
+                    // failure and keep going.
+                    CompileResult crashed;
+                    crashed.failure = FailureKind::InternalInvariant;
+                    crashed.failureDetail =
+                        std::string("uncaught exception: ") +
+                        err.what();
+                    outcome.results[i] = std::move(crashed);
+                    captured[i] = 1;
+                } catch (...) {
+                    CompileResult crashed;
+                    crashed.failure = FailureKind::InternalInvariant;
+                    crashed.failureDetail =
+                        "uncaught non-standard exception";
+                    outcome.results[i] = std::move(crashed);
+                    captured[i] = 1;
+                }
                 outcome.jobMillis[i] = millisSince(jobStart);
             });
         }
-        pool.wait(); // rethrows the first job exception, if any
+        pool.wait(); // rethrows a harness bug (null job), if any
         outcome.stats.threads = pool.threadCount();
     }
     outcome.stats.wallMillis = millisSince(batchStart);
@@ -77,15 +117,24 @@ BatchRunner::run(const std::vector<CompileJob> &jobs, int threads)
     outcome.stats.jobs = static_cast<int>(jobs.size());
     for (size_t i = 0; i < jobs.size(); ++i) {
         const CompileResult &result = outcome.results[i];
-        if (result.success)
+        if (result.success) {
             ++outcome.stats.succeeded;
-        else
+            if (result.degraded != DegradeLevel::None)
+                ++outcome.stats.degraded;
+        } else {
             ++outcome.stats.failed;
+            ++outcome.stats.failuresByKind[int(result.failure)];
+        }
+        if (captured[i])
+            ++outcome.stats.capturedExceptions;
         outcome.stats.cpuMillis += outcome.jobMillis[i];
         outcome.stats.iiAttempts += result.attempts;
         outcome.stats.assignRetries += result.assignRetries;
         outcome.stats.evictions += result.evictions;
         outcome.stats.copies += result.copies;
+        outcome.stats.invariantRecoveries += result.invariantRecoveries;
+        outcome.stats.verifierRejects += result.verifierRejects;
+        outcome.stats.faultTrips += result.faultTrips;
     }
     return outcome;
 }

@@ -14,13 +14,24 @@
  * aggregates the pipeline's per-phase counters (II attempts, failed
  * assignment retries, evictions) into a BatchStats summary that the
  * experiment binaries publish for PR-over-PR tracking.
+ *
+ * Robustness: one pathological job must not wedge or kill a suite. A
+ * job that throws (anything, not just InternalError -- bad_alloc,
+ * logic errors) is captured into its own CompileResult as a
+ * classified FailureKind::InternalInvariant failure instead of
+ * propagating out of the pool, and an optional per-job deadline is
+ * stamped into every job's CompileOptions so runaway searches time
+ * out individually. Failed jobs are tallied per FailureKind.
  */
 
 #ifndef CAMS_PIPELINE_BATCH_HH
 #define CAMS_PIPELINE_BATCH_HH
 
+#include <array>
 #include <string>
 #include <vector>
+
+#include "support/fault.hh"
 
 #include "machine/machine.hh"
 #include "pipeline/driver.hh"
@@ -68,6 +79,24 @@ struct BatchStats
     /** Copy operations inserted across all successful jobs. */
     long copies = 0;
 
+    /** Failed jobs per failure classification, FailureKind order. */
+    std::array<long, numFailureKinds> failuresByKind{};
+
+    /** Successes rescued by the driver's degradation ladder. */
+    int degraded = 0;
+
+    /** Jobs whose compile threw and was captured by the runner. */
+    int capturedExceptions = 0;
+
+    /** cams_check invariant violations recovered across all jobs. */
+    long invariantRecoveries = 0;
+
+    /** Verifier rejections absorbed mid-search across all jobs. */
+    long verifierRejects = 0;
+
+    /** Injected faults that fired across all jobs. */
+    long faultTrips = 0;
+
     /** One-line JSON rendering for machine-readable logs. */
     std::string toJson() const;
 };
@@ -93,13 +122,19 @@ class BatchRunner
      * @param threads worker count (clamped to at least 1). The
      *        compile path stays single-threaded per job, so the
      *        results are identical for every thread count.
+     * @param jobDeadlineMs per-job wall-clock budget applied to every
+     *        job that does not already carry one
+     *        (CompileOptions::timeBudgetMs); 0 applies none.
      *
-     * A malformed job (null loop or machine) throws
-     * std::invalid_argument after the rest of the batch finished; the
-     * pool itself never deadlocks on a throwing job.
+     * A compile that throws is captured as that job's classified
+     * FailureKind::InternalInvariant result; the other jobs are
+     * unaffected. A malformed job (null loop or machine) is a harness
+     * bug and still throws std::invalid_argument after the rest of
+     * the batch finished; the pool itself never deadlocks on a
+     * throwing job.
      */
     static BatchOutcome run(const std::vector<CompileJob> &jobs,
-                            int threads);
+                            int threads, double jobDeadlineMs = 0.0);
 };
 
 /** Builds one clustered job per suite loop on the given machine. */

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The last rung of the driver's degradation ladder: a single-cluster,
+ * fully serialized compile that needs no assignment search and no
+ * modulo scheduler.
+ *
+ * Every operation is placed on cluster 0 (via unifiedLoop) and issued
+ * in its own cycle, one per kernel row, in topological order of the
+ * intra-iteration dependences. With II = last start + max latency + 1
+ * every dependence -- loop-carried ones included -- holds by
+ * construction, and each MRT row carries exactly one operation, so
+ * any cluster with at least one unit per needed class fits. The
+ * result is a terrible but *correct* schedule, which is the point:
+ * when the real pipeline fails, the compile still ends in something
+ * the verifier signs off on instead of nothing.
+ */
+
+#ifndef CAMS_PIPELINE_DEGRADE_HH
+#define CAMS_PIPELINE_DEGRADE_HH
+
+#include <optional>
+
+#include "assign/assignment.hh"
+#include "sched/schedule.hh"
+
+namespace cams
+{
+
+/** A degraded (serialized, single-cluster) compile of one loop. */
+struct DegradedCompile
+{
+    AnnotatedLoop loop;
+    Schedule schedule;
+};
+
+/**
+ * Serializes the loop onto cluster 0 of the machine.
+ *
+ * Returns nullopt when even this cannot work: the graph contains
+ * copies already, cluster 0 lacks a unit class some operation needs,
+ * or a distance-0 dependence cycle makes the graph unschedulable at
+ * any II (a malformed input the caller should classify instead).
+ */
+std::optional<DegradedCompile>
+degradeToSingleCluster(const Dfg &graph, const ResourceModel &model);
+
+} // namespace cams
+
+#endif // CAMS_PIPELINE_DEGRADE_HH

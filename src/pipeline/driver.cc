@@ -1,5 +1,9 @@
 #include "pipeline/driver.hh"
 
+#include <chrono>
+
+#include "assign/exhaustive.hh"
+#include "pipeline/degrade.hh"
 #include "sched/ims.hh"
 #include "sched/sms.hh"
 #include "sched/verifier.hh"
@@ -20,16 +24,93 @@ makeScheduler(SchedulerKind kind)
     cams_panic("unknown scheduler kind");
 }
 
+const char *
+degradeLevelName(DegradeLevel level)
+{
+    switch (level) {
+      case DegradeLevel::None:
+        return "none";
+      case DegradeLevel::ExhaustiveAssign:
+        return "exhaustive_assign";
+      case DegradeLevel::SingleCluster:
+        return "single_cluster";
+    }
+    cams_panic("unknown DegradeLevel ", int(level));
+}
+
 namespace
 {
 
-void
-checkSchedule(const AnnotatedLoop &loop, const ResourceModel &model,
-              const Schedule &schedule)
+/** Wall-clock budget; disarmed when the budget is zero. */
+class Deadline
+{
+  public:
+    explicit Deadline(double budget_ms)
+        : armed_(budget_ms > 0.0),
+          end_(std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<
+                   std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::milli>(
+                       budget_ms)))
+    {
+    }
+
+    bool
+    expired() const
+    {
+        return armed_ && std::chrono::steady_clock::now() >= end_;
+    }
+
+  private:
+    bool armed_;
+    std::chrono::steady_clock::time_point end_;
+};
+
+/**
+ * Rejects inputs the assigner would cams_fatal on, as a classified
+ * result instead: a driver compile must never take the process down.
+ */
+bool
+compilablePrecondition(const Dfg &graph, const MachineDesc &machine,
+                       CompileResult &result)
 {
     std::string why;
-    if (!verifySchedule(loop, model, schedule, &why))
-        cams_panic("scheduler produced an illegal schedule: ", why);
+    if (!graph.wellFormed(&why)) {
+        result.failure = FailureKind::InternalInvariant;
+        result.failureDetail = "malformed input graph: " + why;
+        return false;
+    }
+    for (const DfgNode &node : graph.nodes()) {
+        if (node.op == Opcode::Copy) {
+            result.failure = FailureKind::InternalInvariant;
+            result.failureDetail =
+                "input graph already contains copies";
+            return false;
+        }
+        if (!machine.canExecute(node.op)) {
+            result.failure = FailureKind::InternalInvariant;
+            result.failureDetail = detail::concat(
+                "machine '", machine.name, "' cannot execute ",
+                opcodeName(node.op));
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Accepts a verified success into the result. */
+void
+acceptSchedule(CompileResult &result, AnnotatedLoop loop,
+               Schedule schedule, int ii, DegradeLevel level)
+{
+    result.success = true;
+    result.failure = FailureKind::None;
+    result.failureDetail.clear();
+    result.degraded = level;
+    result.ii = ii;
+    result.loop = std::move(loop);
+    result.schedule = std::move(schedule);
+    result.copies = result.loop.numCopies();
 }
 
 } // namespace
@@ -39,34 +120,178 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
                  const CompileOptions &options)
 {
     CompileResult result;
+    if (!compilablePrecondition(graph, machine, result))
+        return result;
+
     const MachineDesc unified = machine.unifiedEquivalent();
     result.mii = computeMii(graph, unified);
 
     const ResourceModel model(machine);
-    const ClusterAssigner assigner(model, options.assign);
+    FaultInjector *faults = options.faults.get();
+    const long fault_base = faults ? faults->totalTrips() : 0;
+    const Deadline deadline(options.timeBudgetMs);
+
+    AssignOptions assign_options = options.assign;
+    assign_options.faults = faults;
+    const ClusterAssigner assigner(model, assign_options);
     const auto scheduler = makeScheduler(options.scheduler);
     const int limit = result.mii.mii * 4 + options.iiSlack;
 
+    // The primary Figure 5 search. Every way an II can die updates
+    // the running classification, so a final failure reports the last
+    // (deepest) cause rather than a generic "gave up".
+    result.failure = FailureKind::IiExhausted;
+    result.failureDetail = detail::concat(
+        "empty II search window [", result.mii.mii, ", ", limit, "]");
+    bool timed_out = false;
+
     for (int ii = result.mii.mii; ii <= limit; ++ii) {
-        ++result.attempts;
-        AssignResult assignment = assigner.run(graph, ii);
-        result.evictions += assignment.evictions;
-        if (!assignment.success) {
-            ++result.assignRetries;
-            continue;
+        if (deadline.expired()) {
+            timed_out = true;
+            break;
         }
-        Schedule schedule;
-        if (!scheduler->schedule(assignment.loop, model, ii, schedule))
-            continue;
-        if (options.verify)
-            checkSchedule(assignment.loop, model, schedule);
-        result.success = true;
-        result.ii = ii;
-        result.loop = std::move(assignment.loop);
-        result.schedule = std::move(schedule);
-        result.copies = result.loop.numCopies();
+        ++result.attempts;
+        result.finalIiTried = ii;
+        try {
+            AssignResult assignment = assigner.run(graph, ii);
+            result.evictions += assignment.evictions;
+            result.invariantRecoveries += assignment.invariantFailures;
+            if (!assignment.success) {
+                ++result.assignRetries;
+                if (assignment.failure != FailureKind::None) {
+                    result.failure = assignment.failure;
+                    result.failureDetail = assignment.detail;
+                } else {
+                    result.failure = FailureKind::IiExhausted;
+                    result.failureDetail = detail::concat(
+                        "assignment infeasible at II ", ii);
+                }
+                continue;
+            }
+            Schedule schedule;
+            bool scheduled = scheduler->schedule(assignment.loop,
+                                                 model, ii, schedule);
+            if (scheduled && faults &&
+                faults->trip(FaultSite::SchedulerSlotDeny)) {
+                // Injected: pretend the scheduler found no slot.
+                scheduled = false;
+            }
+            if (!scheduled) {
+                result.failure = FailureKind::IiExhausted;
+                result.failureDetail =
+                    detail::concat("no schedule found at II ", ii);
+                continue;
+            }
+            if (options.verify) {
+                std::string why;
+                if (!verifySchedule(assignment.loop, model, schedule,
+                                    &why)) {
+                    ++result.verifierRejects;
+                    result.failure = FailureKind::VerifierReject;
+                    result.failureDetail = detail::concat(
+                        "verifier rejected II ", ii, ": ", why);
+                    continue;
+                }
+            }
+            acceptSchedule(result, std::move(assignment.loop),
+                           std::move(schedule), ii,
+                           DegradeLevel::None);
+            break;
+        } catch (const InternalError &err) {
+            // A cams_check fired outside the assigner's own recovery
+            // (router, materialization): charge this II and move on.
+            ++result.invariantRecoveries;
+            result.failure = FailureKind::InternalInvariant;
+            result.failureDetail = err.what();
+        }
+    }
+
+    if (timed_out) {
+        result.failure = FailureKind::Timeout;
+        result.failureDetail = detail::concat(
+            "time budget of ", options.timeBudgetMs,
+            " ms expired after ", result.attempts, " II attempts");
+    }
+
+    auto stamp_faults = [&]() {
+        if (faults)
+            result.faultTrips = faults->totalTrips() - fault_base;
+    };
+    if (result.success || !options.fallback) {
+        stamp_faults();
         return result;
     }
+
+    // Degradation ladder, rung 1: exhaustive assignment for small
+    // loops. Runs injection-free on purpose -- faults model the
+    // primary path; the ladder is the recovery mechanism under test.
+    if (!timed_out && machine.numClusters() > 1 &&
+        graph.numNodes() <= options.exhaustiveFallbackNodes) {
+        for (int ii = result.mii.mii; ii <= limit && !result.success;
+             ++ii) {
+            if (deadline.expired()) {
+                result.failure = FailureKind::Timeout;
+                result.failureDetail = detail::concat(
+                    "time budget expired in the exhaustive fallback "
+                    "at II ",
+                    ii);
+                break;
+            }
+            try {
+                const ExhaustivePartition partition =
+                    exhaustiveAssign(graph, model, ii);
+                if (partition.verdict == ExhaustiveVerdict::TooLarge)
+                    break;
+                if (partition.verdict != ExhaustiveVerdict::Feasible)
+                    continue;
+                AnnotatedLoop loop = annotatePartition(
+                    graph, partition.clusterOf, machine);
+                Schedule schedule;
+                if (!scheduler->schedule(loop, model, ii, schedule))
+                    continue; // count-feasible but not schedulable
+                if (options.verify) {
+                    std::string why;
+                    if (!verifySchedule(loop, model, schedule, &why)) {
+                        ++result.verifierRejects;
+                        continue;
+                    }
+                }
+                acceptSchedule(result, std::move(loop),
+                               std::move(schedule), ii,
+                               DegradeLevel::ExhaustiveAssign);
+            } catch (const InternalError &err) {
+                ++result.invariantRecoveries;
+                result.failure = FailureKind::InternalInvariant;
+                result.failureDetail = err.what();
+            }
+        }
+        if (result.success) {
+            stamp_faults();
+            return result;
+        }
+    }
+
+    // Rung 2: single cluster, fully serialized. Cheap enough to run
+    // even after a timeout -- recovering a classified-failure compile
+    // beats reporting it.
+    if (auto degraded = degradeToSingleCluster(graph, model)) {
+        std::string why;
+        if (!options.verify ||
+            verifySchedule(degraded->loop, model, degraded->schedule,
+                           &why)) {
+            const int ii = degraded->schedule.ii;
+            acceptSchedule(result, std::move(degraded->loop),
+                           std::move(degraded->schedule), ii,
+                           DegradeLevel::SingleCluster);
+        } else {
+            ++result.verifierRejects;
+            result.failure = FailureKind::VerifierReject;
+            result.failureDetail =
+                "verifier rejected the single-cluster fallback: " +
+                why;
+        }
+    }
+    stamp_faults();
     return result;
 }
 
@@ -77,26 +302,85 @@ compileUnified(const Dfg &graph, const MachineDesc &machine,
     cams_assert(machine.numClusters() == 1,
                 "compileUnified needs a single-cluster machine");
     CompileResult result;
+    if (!compilablePrecondition(graph, machine, result))
+        return result;
     result.mii = computeMii(graph, machine);
 
     const ResourceModel model(machine);
+    FaultInjector *faults = options.faults.get();
+    const long fault_base = faults ? faults->totalTrips() : 0;
+    const Deadline deadline(options.timeBudgetMs);
     const AnnotatedLoop loop = unifiedLoop(graph);
     const auto scheduler = makeScheduler(options.scheduler);
     const int limit = result.mii.mii * 4 + options.iiSlack;
 
+    result.failure = FailureKind::IiExhausted;
+    result.failureDetail = detail::concat(
+        "empty II search window [", result.mii.mii, ", ", limit, "]");
+    bool timed_out = false;
+
     for (int ii = result.mii.mii; ii <= limit; ++ii) {
+        if (deadline.expired()) {
+            timed_out = true;
+            break;
+        }
         ++result.attempts;
+        result.finalIiTried = ii;
         Schedule schedule;
-        if (!scheduler->schedule(loop, model, ii, schedule))
+        bool scheduled = scheduler->schedule(loop, model, ii, schedule);
+        if (scheduled && faults &&
+            faults->trip(FaultSite::SchedulerSlotDeny)) {
+            scheduled = false;
+        }
+        if (!scheduled) {
+            result.failure = FailureKind::IiExhausted;
+            result.failureDetail =
+                detail::concat("no schedule found at II ", ii);
             continue;
-        if (options.verify)
-            checkSchedule(loop, model, schedule);
-        result.success = true;
-        result.ii = ii;
-        result.loop = loop;
-        result.schedule = std::move(schedule);
-        return result;
+        }
+        if (options.verify) {
+            std::string why;
+            if (!verifySchedule(loop, model, schedule, &why)) {
+                ++result.verifierRejects;
+                result.failure = FailureKind::VerifierReject;
+                result.failureDetail = detail::concat(
+                    "verifier rejected II ", ii, ": ", why);
+                continue;
+            }
+        }
+        acceptSchedule(result, loop, std::move(schedule), ii,
+                       DegradeLevel::None);
+        break;
     }
+
+    if (timed_out) {
+        result.failure = FailureKind::Timeout;
+        result.failureDetail = detail::concat(
+            "time budget of ", options.timeBudgetMs,
+            " ms expired after ", result.attempts, " II attempts");
+    }
+
+    if (!result.success && options.fallback) {
+        if (auto degraded = degradeToSingleCluster(graph, model)) {
+            std::string why;
+            if (!options.verify ||
+                verifySchedule(degraded->loop, model,
+                               degraded->schedule, &why)) {
+                const int ii = degraded->schedule.ii;
+                acceptSchedule(result, std::move(degraded->loop),
+                               std::move(degraded->schedule), ii,
+                               DegradeLevel::SingleCluster);
+            } else {
+                ++result.verifierRejects;
+                result.failure = FailureKind::VerifierReject;
+                result.failureDetail =
+                    "verifier rejected the single-cluster fallback: " +
+                    why;
+            }
+        }
+    }
+    if (faults)
+        result.faultTrips = faults->totalTrips() - fault_base;
     return result;
 }
 

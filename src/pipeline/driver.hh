@@ -5,17 +5,38 @@
  * the current II, hand the annotated loop to a cluster-oblivious
  * modulo scheduler, and on any failure restart the whole pipeline --
  * including a fresh assignment -- at II + 1.
+ *
+ * Hardening: compileClustered never aborts and always returns a
+ * classified result. Invariant violations inside the search
+ * (InternalError from cams_check) are caught and charged to the
+ * current II; verifier rejections retry at II + 1 instead of
+ * panicking; an optional wall-clock budget bounds the search. When
+ * the primary search runs dry, a degradation ladder takes over:
+ *
+ *  1. ExhaustiveAssign -- for small loops, enumerate every cluster
+ *     partition (assign/exhaustive) and schedule the first feasible
+ *     one. Optimal placement, exponential cost, so gated on node
+ *     count.
+ *  2. SingleCluster -- place everything on cluster 0 and serialize
+ *     one op per cycle (pipeline/degrade). Always cheap; fails only
+ *     when cluster 0 cannot execute the loop at all.
+ *
+ * A fallback schedule still passes the independent verifier; callers
+ * that care about schedule *quality* (the paper's figures) must treat
+ * degraded > None as a failure, which bench/ and report/ do.
  */
 
 #ifndef CAMS_PIPELINE_DRIVER_HH
 #define CAMS_PIPELINE_DRIVER_HH
 
 #include <memory>
+#include <string>
 
 #include "assign/assigner.hh"
 #include "machine/machine.hh"
 #include "sched/mii.hh"
 #include "sched/schedule.hh"
+#include "support/fault.hh"
 
 namespace cams
 {
@@ -26,6 +47,17 @@ enum class SchedulerKind
     Swing,     ///< the paper's choice
     Iterative, ///< Rau's IMS (cross-check)
 };
+
+/** Which rung of the degradation ladder produced a result. */
+enum class DegradeLevel
+{
+    None,             ///< the primary Figure 5 search succeeded
+    ExhaustiveAssign, ///< exhaustive partition enumeration (small loops)
+    SingleCluster,    ///< everything on cluster 0, fully serialized
+};
+
+/** Stable snake_case name of a degrade level (for logs and JSON). */
+const char *degradeLevelName(DegradeLevel level);
 
 /** Driver knobs. */
 struct CompileOptions
@@ -41,6 +73,32 @@ struct CompileOptions
 
     /** Verify every produced schedule with the independent checker. */
     bool verify = true;
+
+    /**
+     * Run the degradation ladder when the primary search fails. Off,
+     * the driver reports the classified failure and nothing else
+     * (the paper-faithful behavior the figures are measured with).
+     */
+    bool fallback = true;
+
+    /** Node-count ceiling of the exhaustive fallback rung. */
+    int exhaustiveFallbackNodes = 8;
+
+    /**
+     * Wall-clock budget for one compile in milliseconds; 0 disables.
+     * Checked between II attempts and ladder rungs, so one attempt
+     * always runs to completion -- this bounds runaway *searches*,
+     * not single steps. Expiry classifies as FailureKind::Timeout
+     * (the cheap SingleCluster rung may still rescue the compile).
+     */
+    double timeBudgetMs = 0.0;
+
+    /**
+     * Fault injector for stress testing; null = no injection. The
+     * injector is stateful: share one per concurrent compile, never
+     * across compiles whose determinism matters.
+     */
+    std::shared_ptr<FaultInjector> faults;
 };
 
 /** Outcome of compiling one loop for one machine. */
@@ -71,6 +129,32 @@ struct CompileResult
 
     /** Evictions performed by the §4.3 iteration, over all attempts. */
     int evictions = 0;
+
+    /**
+     * Failure classification; None on success. On failure this names
+     * the *last* way the search died (e.g. VerifierReject when the
+     * final II's schedule was rejected), which is what a report needs
+     * to distinguish "infeasible machine" from "search exhausted".
+     */
+    FailureKind failure = FailureKind::None;
+
+    /** Human-readable diagnosis matching `failure` (failures only). */
+    std::string failureDetail;
+
+    /** Last II the primary search attempted; 0 when it never ran. */
+    int finalIiTried = 0;
+
+    /** Ladder rung that produced the result (None = primary path). */
+    DegradeLevel degraded = DegradeLevel::None;
+
+    /** cams_check invariant violations recovered during the search. */
+    int invariantRecoveries = 0;
+
+    /** Schedules the independent verifier rejected mid-search. */
+    int verifierRejects = 0;
+
+    /** Injected faults that fired during this compile. */
+    long faultTrips = 0;
 };
 
 /** Creates a scheduler instance of the given kind. */

@@ -35,9 +35,13 @@ unifiedBaseline(const std::vector<Dfg> &suite, const MachineDesc &unified,
     std::vector<int> baseline;
     baseline.reserve(suite.size());
     for (size_t i = 0; i < suite.size(); ++i) {
-        if (!batch.results[i].success) {
+        // A degraded (serialized) II is not a baseline: it would
+        // silently poison every deviation measured against it.
+        if (!batch.results[i].success ||
+            batch.results[i].degraded != DegradeLevel::None) {
             cams_fatal("unified baseline failed on loop '",
-                       suite[i].name(), "'");
+                       suite[i].name(), "': ",
+                       failureKindName(batch.results[i].failure));
         }
         baseline.push_back(batch.results[i].ii);
     }
@@ -59,7 +63,9 @@ runClusteredSeries(const std::vector<Dfg> &suite,
         BatchRunner::run(clusteredJobs(suite, machine, options), threads);
     for (size_t i = 0; i < suite.size(); ++i) {
         const CompileResult &result = batch.results[i];
-        if (!result.success) {
+        // The figures measure the paper's pipeline: a compile rescued
+        // by the degradation ladder counts as a failure here.
+        if (!result.success || result.degraded != DegradeLevel::None) {
             ++series.failures;
             continue;
         }

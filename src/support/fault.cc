@@ -1,0 +1,96 @@
+#include "support/fault.hh"
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+const char *
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::None:
+        return "none";
+      case FailureKind::AssignLivelock:
+        return "assign_livelock";
+      case FailureKind::IiExhausted:
+        return "ii_exhausted";
+      case FailureKind::VerifierReject:
+        return "verifier_reject";
+      case FailureKind::Timeout:
+        return "timeout";
+      case FailureKind::InternalInvariant:
+        return "internal_invariant";
+    }
+    cams_panic("unknown FailureKind ", int(kind));
+}
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::AssignEvictionStorm:
+        return "assign_eviction_storm";
+      case FaultSite::RouterBusExhaustion:
+        return "router_bus_exhaustion";
+      case FaultSite::SchedulerSlotDeny:
+        return "scheduler_slot_deny";
+    }
+    cams_panic("unknown FaultSite ", int(site));
+}
+
+bool
+FaultConfig::any() const
+{
+    for (double p : probability)
+        if (p > 0.0)
+            return true;
+    return false;
+}
+
+FaultConfig
+FaultConfig::uniform(double p, uint64_t seed)
+{
+    FaultConfig config;
+    config.seed = seed;
+    config.probability.fill(p);
+    return config;
+}
+
+FaultInjector::FaultInjector(const FaultConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    for (double p : config_.probability)
+        cams_assert(p >= 0.0 && p <= 1.0,
+                    "fault probability out of [0, 1]: ", p);
+}
+
+bool
+FaultInjector::trip(FaultSite site)
+{
+    const double p = config_.probability[int(site)];
+    if (p <= 0.0)
+        return false;
+    ++draws_;
+    if (!rng_.chance(p))
+        return false;
+    ++trips_[int(site)];
+    return true;
+}
+
+long
+FaultInjector::trips(FaultSite site) const
+{
+    return trips_[int(site)];
+}
+
+long
+FaultInjector::totalTrips() const
+{
+    long total = 0;
+    for (long t : trips_)
+        total += t;
+    return total;
+}
+
+} // namespace cams

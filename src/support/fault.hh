@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The robustness substrate: the structured failure taxonomy carried
+ * through CompileResult, and the seeded fault-injection facility the
+ * stress harness uses to drive the pipeline into its failure paths on
+ * purpose.
+ *
+ * Failure taxonomy. A compile that cannot produce a verified schedule
+ * must end in exactly one FailureKind instead of an abort -- the same
+ * discipline SAT-based exact mappers use to report UNSAT vs. timeout
+ * vs. model error. The kinds mirror the ways the Figure 5 iteration
+ * actually dies in practice: the eviction repair loop livelocks, the
+ * II search window is exhausted, the independent verifier rejects
+ * every produced schedule, the wall-clock deadline expires, or an
+ * internal invariant is violated mid-search (and recovered via
+ * cams_check, see support/logging.hh).
+ *
+ * Fault injection. A FaultInjector is a deterministic, seeded
+ * coin-flip stream consulted at named injection sites inside the
+ * pipeline: the assigner's cluster selection (eviction storms), the
+ * copy-reservation path (bus/link exhaustion), and the driver's
+ * scheduler hand-off (slot denial). Each injector serves exactly one
+ * compile at a time -- concurrent jobs need one injector each, or the
+ * coin-flip stream (and with it batch determinism) is lost.
+ */
+
+#ifndef CAMS_SUPPORT_FAULT_HH
+#define CAMS_SUPPORT_FAULT_HH
+
+#include <array>
+#include <cstdint>
+
+#include "support/random.hh"
+
+namespace cams
+{
+
+/** Why a compile (or one of its phases) failed. */
+enum class FailureKind
+{
+    None,              ///< no failure: the compile succeeded
+    AssignLivelock,    ///< the §4.3 eviction repair cycled or dead-ended
+    IiExhausted,       ///< no II up to the search limit worked
+    VerifierReject,    ///< the independent checker rejected the schedule
+    Timeout,           ///< the per-compile wall-clock deadline expired
+    InternalInvariant, ///< a cams_check invariant fired mid-search
+};
+
+/** Number of FailureKind values (None included). */
+constexpr int numFailureKinds = 6;
+
+/** Stable snake_case name of a failure kind (for logs and JSON). */
+const char *failureKindName(FailureKind kind);
+
+/** Named injection points inside the compile pipeline. */
+enum class FaultSite
+{
+    /** Veto the assigner's selected cluster, forcing the Figure 11
+     *  repair path and its evictions. */
+    AssignEvictionStorm,
+
+    /** Fail a copy reservation as if every bus/link slot were taken. */
+    RouterBusExhaustion,
+
+    /** Discard a successful schedule as if no slot had been found. */
+    SchedulerSlotDeny,
+};
+
+/** Number of FaultSite values. */
+constexpr int numFaultSites = 3;
+
+/** Stable snake_case name of an injection site. */
+const char *faultSiteName(FaultSite site);
+
+/** Per-site trip probabilities plus the coin-flip seed. */
+struct FaultConfig
+{
+    /** Seed of the injector's private coin-flip stream. */
+    uint64_t seed = 1;
+
+    /** Trip probability per FaultSite, in [0, 1]. */
+    std::array<double, numFaultSites> probability{};
+
+    /** True when any site can trip at all. */
+    bool any() const;
+
+    /** Same probability at every site (convenience for CLIs). */
+    static FaultConfig uniform(double p, uint64_t seed = 1);
+};
+
+/**
+ * Deterministic, seeded fault source. trip() draws one coin per call,
+ * so the trip pattern is a pure function of the config and the call
+ * sequence -- re-running a compile with an equally seeded injector
+ * reproduces every injected fault exactly.
+ */
+class FaultInjector
+{
+  public:
+    /** A disabled injector (never trips). */
+    FaultInjector() : FaultInjector(FaultConfig{}) {}
+
+    /** An injector with the given probabilities and seed. */
+    explicit FaultInjector(const FaultConfig &config);
+
+    /** Draws one coin; true = the site faults now. */
+    bool trip(FaultSite site);
+
+    /** Faults fired at one site so far. */
+    long trips(FaultSite site) const;
+
+    /** Faults fired across all sites. */
+    long totalTrips() const;
+
+    /** Coins drawn across all sites (trips + survivals). */
+    long draws() const { return draws_; }
+
+    /** The configuration the injector was built with. */
+    const FaultConfig &config() const { return config_; }
+
+  private:
+    FaultConfig config_;
+    Rng rng_;
+    std::array<long, numFaultSites> trips_{};
+    long draws_ = 0;
+};
+
+} // namespace cams
+
+#endif // CAMS_SUPPORT_FAULT_HH

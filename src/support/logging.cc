@@ -15,6 +15,14 @@ panicImpl(const char *file, int line, const std::string &msg)
 }
 
 void
+checkFailImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << msg << " @ " << file << ":" << line;
+    throw InternalError(os.str());
+}
+
+void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line

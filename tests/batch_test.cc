@@ -32,6 +32,8 @@ expectSameResult(const CompileResult &a, const CompileResult &b)
     EXPECT_EQ(a.attempts, b.attempts);
     EXPECT_EQ(a.assignRetries, b.assignRetries);
     EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.failure, b.failure);
+    EXPECT_EQ(a.degraded, b.degraded);
     if (!a.success)
         return;
     EXPECT_EQ(a.schedule.ii, b.schedule.ii);

@@ -144,29 +144,47 @@ TEST(Pipeline, IiSlackBackstopTriggersOnInfeasibleMachine)
 
     CompileOptions options;
     options.iiSlack = feasible.ii - 1 - 4 * feasible.mii.mii;
+    options.fallback = false; // measure the primary search, not rescue
     const CompileResult result =
         compileClustered(loop, machine, options);
 
     EXPECT_FALSE(result.success);
     EXPECT_EQ(result.ii, 0);
     // The backstop formula is part of the contract: every II in
-    // [mii, mii * 4 + iiSlack] was attempted, then the driver gave up.
+    // [mii, mii * 4 + iiSlack] was attempted, then the driver gave up
+    // with a classified failure naming the last II it tried.
     const int limit = result.mii.mii * 4 + options.iiSlack;
     EXPECT_EQ(result.attempts, limit - result.mii.mii + 1);
+    EXPECT_EQ(result.finalIiTried, limit);
+    EXPECT_NE(result.failure, FailureKind::None);
+    EXPECT_FALSE(result.failureDetail.empty());
 }
 
 TEST(Pipeline, NegativeIiSlackShrinksTheSearchWindow)
 {
     // iiSlack is documented as a slack on top of mii * 4; a negative
-    // value pulling the limit below the MII must yield a clean "never
-    // tried anything" failure, not a crash.
+    // value pulling the limit below the MII empties the search window.
+    // The primary search never runs, and the degradation ladder
+    // rescues the compile with a serialized single-cluster schedule.
     const MachineDesc machine = busedGpMachine(2, 2, 1);
     CompileOptions options;
     options.iiSlack = -1000;
     const CompileResult result =
         compileClustered(kernelHydro(), machine, options);
-    EXPECT_FALSE(result.success);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.degraded, DegradeLevel::SingleCluster);
     EXPECT_EQ(result.attempts, 0);
+    EXPECT_EQ(result.failure, FailureKind::None);
+
+    // With the ladder off, the same window yields a clean classified
+    // "never tried anything" failure, not a crash.
+    options.fallback = false;
+    const CompileResult bare =
+        compileClustered(kernelHydro(), machine, options);
+    EXPECT_FALSE(bare.success);
+    EXPECT_EQ(bare.attempts, 0);
+    EXPECT_EQ(bare.finalIiTried, 0);
+    EXPECT_EQ(bare.failure, FailureKind::IiExhausted);
 }
 
 TEST(Pipeline, UnifiedRequiresSingleCluster)

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "support/fault.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
 #include "support/stats.hh"
@@ -237,6 +238,95 @@ TEST(Logging, ConcatFormatsAllArguments)
 TEST(Logging, AssertDeathOnFalse)
 {
     EXPECT_DEATH({ cams_assert(1 == 2, "boom"); }, "assertion");
+}
+
+TEST(Logging, CheckPassesOnTrue)
+{
+    EXPECT_NO_THROW({ cams_check(1 + 1 == 2, "fine"); });
+}
+
+TEST(Logging, CheckThrowsRecoverableInternalError)
+{
+    // cams_check is the recoverable sibling of cams_assert: it throws
+    // instead of aborting, with the condition, the message and the
+    // source location in what().
+    try {
+        cams_check(1 == 2, "value was ", 42);
+        FAIL() << "cams_check(false) did not throw";
+    } catch (const InternalError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("1 == 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("value was 42"), std::string::npos) << what;
+        EXPECT_NE(what.find("support_test.cc"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(Fault, NamesAreStable)
+{
+    EXPECT_STREQ(failureKindName(FailureKind::None), "none");
+    EXPECT_STREQ(failureKindName(FailureKind::AssignLivelock),
+                 "assign_livelock");
+    EXPECT_STREQ(failureKindName(FailureKind::IiExhausted),
+                 "ii_exhausted");
+    EXPECT_STREQ(failureKindName(FailureKind::VerifierReject),
+                 "verifier_reject");
+    EXPECT_STREQ(failureKindName(FailureKind::Timeout), "timeout");
+    EXPECT_STREQ(failureKindName(FailureKind::InternalInvariant),
+                 "internal_invariant");
+    EXPECT_STREQ(faultSiteName(FaultSite::AssignEvictionStorm),
+                 "assign_eviction_storm");
+    EXPECT_STREQ(faultSiteName(FaultSite::RouterBusExhaustion),
+                 "router_bus_exhaustion");
+    EXPECT_STREQ(faultSiteName(FaultSite::SchedulerSlotDeny),
+                 "scheduler_slot_deny");
+}
+
+TEST(Fault, ZeroProbabilityNeverTripsOrDraws)
+{
+    FaultInjector injector; // default config: all sites at zero
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(injector.trip(FaultSite::AssignEvictionStorm));
+        EXPECT_FALSE(injector.trip(FaultSite::RouterBusExhaustion));
+    }
+    EXPECT_EQ(injector.totalTrips(), 0);
+    // Disabled sites draw no coins, so enabling one site later does
+    // not perturb another site's stream.
+    EXPECT_EQ(injector.draws(), 0);
+}
+
+TEST(Fault, CertainProbabilityAlwaysTrips)
+{
+    FaultInjector injector(FaultConfig::uniform(1.0));
+    for (int i = 0; i < 50; ++i)
+        EXPECT_TRUE(injector.trip(FaultSite::SchedulerSlotDeny));
+    EXPECT_EQ(injector.trips(FaultSite::SchedulerSlotDeny), 50);
+    EXPECT_EQ(injector.totalTrips(), 50);
+    EXPECT_EQ(injector.draws(), 50);
+}
+
+TEST(Fault, SameSeedSameTripSequence)
+{
+    FaultInjector a(FaultConfig::uniform(0.4, 99));
+    FaultInjector b(FaultConfig::uniform(0.4, 99));
+    for (int i = 0; i < 200; ++i) {
+        const FaultSite site = FaultSite(i % numFaultSites);
+        EXPECT_EQ(a.trip(site), b.trip(site)) << i;
+    }
+    EXPECT_EQ(a.totalTrips(), b.totalTrips());
+}
+
+TEST(Fault, PerSiteCountersSumToTotal)
+{
+    FaultInjector injector(FaultConfig::uniform(0.5, 7));
+    for (int i = 0; i < 300; ++i)
+        injector.trip(FaultSite(i % numFaultSites));
+    long sum = 0;
+    for (int site = 0; site < numFaultSites; ++site)
+        sum += injector.trips(FaultSite(site));
+    EXPECT_EQ(sum, injector.totalTrips());
+    EXPECT_GT(injector.totalTrips(), 0);
+    EXPECT_LT(injector.totalTrips(), 300);
 }
 
 } // namespace

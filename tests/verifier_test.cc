@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Negative tests of the independent schedule verifier: every class of
+ * corruption -- bad II, truncated schedule, invalid placement
+ * annotation, violated dependence, over-subscribed MRT row -- must be
+ * rejected with a distinct diagnosis. The verifier is the oracle the
+ * fuzz harness and the driver's retry loop both lean on, so its
+ * rejections have to be trustworthy and tell the classes apart.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+#include "machine/configs.hh"
+#include "pipeline/driver.hh"
+#include "sched/verifier.hh"
+#include "workload/kernels.hh"
+
+namespace cams
+{
+namespace
+{
+
+/** A known-good compiled kernel to corrupt, plus its machine model. */
+struct GoodSchedule
+{
+    GoodSchedule()
+        : machine(busedGpMachine(2, 2, 1)), model(machine)
+    {
+        const CompileResult result =
+            compileClustered(kernelTridiag(), machine);
+        EXPECT_TRUE(result.success);
+        EXPECT_EQ(result.degraded, DegradeLevel::None);
+        loop = result.loop;
+        schedule = result.schedule;
+    }
+
+    MachineDesc machine;
+    ResourceModel model;
+    AnnotatedLoop loop;
+    Schedule schedule;
+};
+
+TEST(Verifier, AcceptsTheUncorruptedSchedule)
+{
+    GoodSchedule good;
+    std::string why = "stale";
+    EXPECT_TRUE(
+        verifySchedule(good.loop, good.model, good.schedule, &why));
+    EXPECT_TRUE(why.empty()) << "accept must clear the diagnosis";
+}
+
+TEST(Verifier, RejectsNonPositiveIi)
+{
+    GoodSchedule good;
+    Schedule bad = good.schedule;
+    bad.ii = 0;
+    std::string why;
+    EXPECT_FALSE(verifySchedule(good.loop, good.model, bad, &why));
+    EXPECT_NE(why.find("non-positive II"), std::string::npos) << why;
+}
+
+TEST(Verifier, RejectsTruncatedSchedule)
+{
+    GoodSchedule good;
+    Schedule bad = good.schedule;
+    bad.startCycle.pop_back();
+    std::string why;
+    EXPECT_FALSE(verifySchedule(good.loop, good.model, bad, &why));
+    EXPECT_NE(why.find("schedule size mismatch"), std::string::npos)
+        << why;
+}
+
+TEST(Verifier, RejectsBadPlacementAnnotation)
+{
+    GoodSchedule good;
+    AnnotatedLoop bad = good.loop;
+    bad.placement[0].cluster = 7; // machine has two clusters
+    std::string why;
+    EXPECT_FALSE(verifySchedule(bad, good.model, good.schedule, &why));
+    EXPECT_NE(why.find("bad annotation"), std::string::npos) << why;
+}
+
+TEST(Verifier, RejectsViolatedDependence)
+{
+    GoodSchedule good;
+    // Pull the sink of an intra-iteration edge one cycle too early.
+    Schedule bad = good.schedule;
+    bool corrupted = false;
+    for (const DfgEdge &edge : good.loop.graph.edges()) {
+        if (edge.distance != 0)
+            continue;
+        bad.startCycle[edge.dst] =
+            bad.startCycle[edge.src] + edge.latency - 1;
+        corrupted = true;
+        break;
+    }
+    ASSERT_TRUE(corrupted) << "kernel has no intra-iteration edge";
+    std::string why;
+    EXPECT_FALSE(verifySchedule(good.loop, good.model, bad, &why));
+    EXPECT_NE(why.find("dependence violated"), std::string::npos)
+        << why;
+}
+
+TEST(Verifier, RejectsOverSubscribedMrtRow)
+{
+    // Five independent integer ops forced into the same row of a
+    // one-wide machine at II 1: dependences all hold (there are
+    // none), so only the MRT check can catch this.
+    DfgBuilder builder("port-storm");
+    for (int i = 0; i < 5; ++i)
+        builder.op("op" + std::to_string(i), Opcode::IntAlu);
+    const Dfg graph = builder.build();
+
+    const MachineDesc machine = unifiedGpMachine(1);
+    const ResourceModel model(machine);
+    const AnnotatedLoop loop = unifiedLoop(graph);
+    Schedule schedule;
+    schedule.ii = 1;
+    schedule.startCycle.assign(graph.numNodes(), 0);
+
+    std::string why;
+    EXPECT_FALSE(verifySchedule(loop, model, schedule, &why));
+    EXPECT_NE(why.find("resource overflow"), std::string::npos) << why;
+}
+
+} // namespace
+} // namespace cams

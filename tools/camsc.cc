@@ -77,6 +77,12 @@ usage()
            "  --scheduler KIND   sms (default) or ims\n"
            "  --simple           drop the selection heuristic\n"
            "  --no-iterate       drop the eviction/repair iteration\n"
+           "  --no-fallback      disable the degradation ladder\n"
+           "  --fault P          inject faults with probability P per "
+           "site (stress testing)\n"
+           "  --fault-seed S     seed of the fault injector "
+           "(default 1)\n"
+           "  --deadline-ms D    wall-clock budget per compile\n"
            "  --stage-schedule   apply the register post-pass\n"
            "  --asm              print the kernel and pipeline listing\n"
            "  --emit-mve         print the MVE-unrolled kernel (no "
@@ -109,9 +115,18 @@ runSuiteMode(int count, uint64_t seed, int jobs,
 
     IntHistogram deviations;
     int failures = 0;
+    int degraded = 0;
     for (size_t i = 0; i < suite.size(); ++i) {
         const CompileResult &b = base.results[i];
         const CompileResult &c = clustered.results[i];
+        // A degraded II measures the fallback, not the paper's
+        // pipeline: exclude it from the deviation summary.
+        if (b.degraded != DegradeLevel::None ||
+            c.degraded != DegradeLevel::None) {
+            ++degraded;
+            ++failures;
+            continue;
+        }
         if (!b.success || !c.success) {
             ++failures;
             continue;
@@ -128,7 +143,8 @@ runSuiteMode(int count, uint64_t seed, int jobs,
         std::cout << " (max deviation " << deviations.maxValue()
                   << ")";
     }
-    std::cout << "\nfailures:  " << failures << "\n";
+    std::cout << "\nfailures:  " << failures << " (" << degraded
+              << " degraded)\n";
     std::cout << "batch:     " << clustered.stats.toJson() << "\n";
     return failures == 0 ? 0 : 1;
 }
@@ -150,6 +166,8 @@ main(int argc, char **argv)
     int suite_count = 0;
     int jobs = ThreadPool::defaultThreads();
     uint64_t seed = defaultSuiteSeed;
+    double fault_prob = 0.0;
+    uint64_t fault_seed = 1;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -187,6 +205,25 @@ main(int argc, char **argv)
             options.assign.fullHeuristic = false;
         } else if (arg == "--no-iterate") {
             options.assign.iterative = false;
+        } else if (arg == "--no-fallback") {
+            options.fallback = false;
+        } else if (arg == "--fault") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            fault_prob = std::atof(value);
+            if (fault_prob < 0.0 || fault_prob > 1.0)
+                return usage();
+        } else if (arg == "--fault-seed") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            fault_seed = std::strtoull(value, nullptr, 0);
+        } else if (arg == "--deadline-ms") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            options.timeBudgetMs = std::atof(value);
         } else if (arg == "--stage-schedule") {
             want_stage = true;
         } else if (arg == "--asm") {
@@ -246,6 +283,11 @@ main(int argc, char **argv)
         }
     }
 
+    if (fault_prob > 0.0) {
+        options.faults = std::make_shared<FaultInjector>(
+            FaultConfig::uniform(fault_prob, fault_seed));
+    }
+
     if (suite_count > 0)
         return runSuiteMode(suite_count, seed, jobs, machine, options);
 
@@ -274,9 +316,18 @@ main(int argc, char **argv)
     const CompileResult result =
         compileClustered(loop, machine, options);
     if (!result.success) {
-        std::cerr << "compilation failed (no II up to the search "
-                     "limit)\n";
+        std::cerr << "compilation failed: "
+                  << failureKindName(result.failure) << " (final II "
+                  << "tried " << result.finalIiTried << ")";
+        if (!result.failureDetail.empty())
+            std::cerr << "\n  " << result.failureDetail;
+        std::cerr << "\n";
         return 1;
+    }
+    if (result.degraded != DegradeLevel::None) {
+        std::cerr << "note: the primary pipeline failed; this is the "
+                  << degradeLevelName(result.degraded)
+                  << " fallback schedule\n";
     }
 
     Schedule schedule = result.schedule;
