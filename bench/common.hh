@@ -19,8 +19,10 @@
 #define CAMS_BENCH_COMMON_HH
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,7 +31,9 @@
 #include "pipeline/driver.hh"
 #include "report/deviation.hh"
 #include "report/table.hh"
+#include "support/metrics.hh"
 #include "support/threadpool.hh"
+#include "support/trace.hh"
 #include "workload/suite.hh"
 
 namespace cams
@@ -64,10 +68,53 @@ suiteSeed()
     return seed;
 }
 
+/** Trace output path; empty = tracing off. */
+inline std::string &
+tracePath()
+{
+    static std::string path;
+    return path;
+}
+
+/** Metrics output path; empty = no metrics file. */
+inline std::string &
+metricsPath()
+{
+    static std::string path;
+    return path;
+}
+
+/** Level of the shared sink (set before the first batch). */
+inline TraceLevel &
+traceLevel()
+{
+    static TraceLevel level = TraceLevel::Phase;
+    return level;
+}
+
+/** The binary-wide sink; null until --trace asked for one. */
+inline TraceSink *
+traceSink()
+{
+    static std::unique_ptr<TraceSink> sink;
+    if (!sink && !tracePath().empty())
+        sink = std::make_unique<TraceSink>(traceLevel());
+    return sink.get();
+}
+
+/** Registry aggregating every batch this binary runs. */
+inline MetricsRegistry &
+sharedRegistry()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
 /**
- * Parses the common experiment flags (--jobs N, --seed S). Exits
- * with a usage message on anything unrecognized, so every driver
- * shares one flag surface. Call before the first sharedSuite() use.
+ * Parses the common experiment flags (--jobs N, --seed S, --trace
+ * FILE, --trace-level L, --metrics FILE). Exits with a usage message
+ * on anything unrecognized, so every driver shares one flag surface.
+ * Call before the first sharedSuite() use.
  */
 inline void
 parseBatchArgs(int argc, char **argv)
@@ -83,12 +130,33 @@ parseBatchArgs(int argc, char **argv)
         } else if (arg == "--seed" && value) {
             suiteSeed() = std::strtoull(value, nullptr, 0);
             ++i;
+        } else if (arg == "--trace" && value) {
+            tracePath() = value;
+            ++i;
+        } else if (arg == "--trace-level" && value) {
+            if (!parseTraceLevel(value, traceLevel())) {
+                std::cerr << "unknown trace level: " << value << "\n";
+                std::exit(2);
+            }
+            ++i;
+        } else if (arg == "--metrics" && value) {
+            metricsPath() = value;
+            ++i;
         } else {
             std::cerr << "usage: " << argv[0]
-                      << " [--jobs N] [--seed S]\n";
+                      << " [--jobs N] [--seed S] [--trace FILE]"
+                         " [--trace-level L] [--metrics FILE]\n";
             std::exit(2);
         }
     }
+}
+
+/** Attaches the shared sink to one batch's options. */
+inline CompileOptions
+withTrace(CompileOptions options)
+{
+    options.trace.sink = traceSink();
+    return options;
 }
 
 inline const std::vector<Dfg> &
@@ -111,8 +179,10 @@ baselineFor(const MachineDesc &clustered, const CompileOptions &options)
     auto it = cache.find(key);
     if (it == cache.end()) {
         it = cache
-                 .emplace(key, unifiedBaseline(sharedSuite(), unified,
-                                               options, jobCount()))
+                 .emplace(key, unifiedBaseline(
+                                   sharedSuite(), unified,
+                                   withTrace(options), jobCount(),
+                                   &sharedRegistry()))
                  .first;
     }
     return it->second;
@@ -127,8 +197,32 @@ runSeries(const std::string &label, const MachineDesc &machine,
               << " loops on " << machine.name << ", " << jobCount()
               << " jobs)..." << std::endl;
     return runClusteredSeries(sharedSuite(), machine,
-                              baselineFor(machine, options), options,
-                              label, jobCount());
+                              baselineFor(machine, options),
+                              withTrace(options), label, jobCount(),
+                              &sharedRegistry());
+}
+
+/**
+ * Writes the trace and metrics files when asked for. Called after
+ * every figure; the sink and registry are cumulative, so the last
+ * write of a multi-figure binary carries everything.
+ */
+inline void
+writeObservability()
+{
+    if (TraceSink *sink = traceSink()) {
+        if (!sink->writeFile(tracePath()))
+            std::cerr << "cannot write " << tracePath() << "\n";
+        else
+            std::cerr << tracePath() << " written\n";
+    }
+    if (!metricsPath().empty()) {
+        std::ofstream out(metricsPath());
+        if (!out)
+            std::cerr << "cannot write " << metricsPath() << "\n";
+        else
+            out << sharedRegistry().toJson() << "\n";
+    }
 }
 
 inline void
@@ -140,6 +234,7 @@ printFigure(const std::string &title,
     // external plotting.
     if (std::getenv("CAMS_CSV"))
         std::cout << renderDeviationCsv(series) << std::endl;
+    writeObservability();
 }
 
 } // namespace benchutil

@@ -34,6 +34,7 @@
 #include "graph/dfg.hh"
 #include "mrt/mrt.hh"
 #include "support/fault.hh"
+#include "support/trace.hh"
 
 namespace cams
 {
@@ -96,6 +97,15 @@ struct AssignOptions
      * cascade's winner, RouterBusExhaustion fails a copy reservation.
      */
     FaultInjector *faults = nullptr;
+
+    /**
+     * Decision tracing (non-owning sink; off when null). At
+     * TraceLevel::Decision the assigner emits one "assign_decide"
+     * instant per placement with the Figure 10 per-cluster verdicts,
+     * plus "force_place" instants for every Figure 11 repair round
+     * with the evictor, the evictees and the tried-list size.
+     */
+    TraceConfig trace;
 };
 
 /** Outcome of one assignment attempt at a fixed II. */
@@ -129,6 +139,17 @@ struct AssignResult
 
     /** Restarts abandoned because a cams_check invariant fired. */
     int invariantFailures = 0;
+
+    /**
+     * Wall time of the §4.1 ordering work (SCC sets, timing, swing
+     * order) and of the copy-routing work (planning + reserving
+     * communication inside tentative and committed placements),
+     * accumulated over restarts. Always recorded -- the driver folds
+     * these into CompileResult's per-phase times whether or not a
+     * trace sink is attached.
+     */
+    double orderMillis = 0.0;
+    double routeMillis = 0.0;
 };
 
 /** Runs cluster assignment for loops on one machine. */

@@ -13,101 +13,187 @@ namespace
 
 using Filter = std::function<bool(const ClusterChoice &)>;
 
-/** Figure 9: keep the old list when the filter would empty it. */
-void
-softSelect(std::vector<const ClusterChoice *> &list, const Filter &keep)
+/**
+ * The surviving-cluster list plus the optional decision record. Every
+ * Select step runs through here so the Figure 9 soft-keep rule and
+ * the explain bookkeeping exist once.
+ */
+class Cascade
 {
-    std::vector<const ClusterChoice *> filtered;
-    for (const ClusterChoice *choice : list) {
-        if (keep(*choice))
-            filtered.push_back(choice);
+  public:
+    Cascade(const std::vector<ClusterChoice> &choices,
+            SelectionExplain *explain)
+        : base_(choices.data()), explain_(explain)
+    {
+        if (explain_) {
+            explain_->verdicts.assign(choices.size(), {});
+            for (size_t i = 0; i < choices.size(); ++i)
+                explain_->verdicts[i].cluster = choices[i].cluster;
+            explain_->winner = invalidCluster;
+            explain_->decidingStep = nullptr;
+        }
     }
-    if (!filtered.empty())
-        list = std::move(filtered);
-}
 
-/** Keeps the minimizers of a metric (soft: a min always exists). */
-void
-softSelectMin(std::vector<const ClusterChoice *> &list,
+    /** Admits a choice into the initial list. */
+    void
+    admit(const ClusterChoice &choice)
+    {
+        list_.push_back(&choice);
+    }
+
+    /** Records a choice excluded from the initial list. */
+    void
+    exclude(const ClusterChoice &choice, const char *step)
+    {
+        if (explain_)
+            verdictOf(choice).eliminatedBy = step;
+    }
+
+    bool empty() const { return list_.empty(); }
+
+    size_t size() const { return list_.size(); }
+
+    const ClusterChoice &at(size_t i) const { return *list_[i]; }
+
+    /** Figure 9: keep the old list when the filter would empty it. */
+    void
+    select(const char *step, const Filter &keep)
+    {
+        std::vector<const ClusterChoice *> filtered;
+        for (const ClusterChoice *choice : list_) {
+            if (keep(*choice))
+                filtered.push_back(choice);
+        }
+        if (filtered.empty() || filtered.size() == list_.size())
+            return; // vacuous or would empty the list: soft-keep
+        if (explain_) {
+            for (const ClusterChoice *choice : list_) {
+                if (!keep(*choice) &&
+                    !verdictOf(*choice).eliminatedBy) {
+                    verdictOf(*choice).eliminatedBy = step;
+                }
+            }
+            explain_->decidingStep = step;
+        }
+        list_ = std::move(filtered);
+    }
+
+    /** Keeps the minimizers of a metric (soft: a min always exists). */
+    void
+    selectMin(const char *step,
               const std::function<int(const ClusterChoice &)> &metric)
-{
-    if (list.empty())
-        return;
-    int best = metric(*list.front());
-    for (const ClusterChoice *choice : list)
-        best = std::min(best, metric(*choice));
-    softSelect(list, [&](const ClusterChoice &choice) {
-        return metric(choice) == best;
-    });
-}
+    {
+        if (list_.empty())
+            return;
+        int best = metric(*list_.front());
+        for (const ClusterChoice *choice : list_)
+            best = std::min(best, metric(*choice));
+        select(step, [&](const ClusterChoice &choice) {
+            return metric(choice) == best;
+        });
+    }
+
+    /** Stamps the final pick and the tie-break survivors. */
+    ClusterId
+    finish(const ClusterChoice &picked)
+    {
+        if (explain_) {
+            for (const ClusterChoice *choice : list_)
+                verdictOf(*choice).survived = true;
+            explain_->winner = picked.cluster;
+        }
+        return picked.cluster;
+    }
+
+  private:
+    SelectionExplain::Verdict &
+    verdictOf(const ClusterChoice &choice)
+    {
+        return explain_->verdicts[static_cast<size_t>(&choice - base_)];
+    }
+
+    const ClusterChoice *base_;
+    SelectionExplain *explain_;
+    std::vector<const ClusterChoice *> list_;
+};
 
 } // namespace
 
 ClusterId
 selectBestCluster(const std::vector<ClusterChoice> &choices,
                   bool full_heuristic, bool avoid_previous, bool in_scc,
-                  int rotation, bool use_scc_affinity, bool use_pcr)
+                  int rotation, bool use_scc_affinity, bool use_pcr,
+                  SelectionExplain *explain)
 {
-    std::vector<const ClusterChoice *> list;
+    Cascade cascade(choices, explain);
     for (const ClusterChoice &choice : choices) {
         if (choice.feasible)
-            list.push_back(&choice);
+            cascade.admit(choice);
+        else
+            cascade.exclude(choice, "feasible");
     }
-    if (list.empty())
+    if (cascade.empty())
         return invalidCluster;
 
     if (avoid_previous) {
-        softSelect(list, [](const ClusterChoice &choice) {
-            return !choice.previouslyTried;
-        });
+        cascade.select("avoid_previous",
+                       [](const ClusterChoice &choice) {
+                           return !choice.previouslyTried;
+                       });
     }
 
     if (full_heuristic) {
         if (in_scc && use_scc_affinity) {
-            softSelect(list, [](const ClusterChoice &choice) {
-                return choice.sccMate;
-            });
+            cascade.select("scc_affinity",
+                           [](const ClusterChoice &choice) {
+                               return choice.sccMate;
+                           });
         }
         if (use_pcr) {
-            softSelect(list, [](const ClusterChoice &choice) {
+            cascade.select("pcr", [](const ClusterChoice &choice) {
                 return choice.pcrOk;
             });
-            softSelect(list, [](const ClusterChoice &choice) {
+            cascade.select("pcr_in", [](const ClusterChoice &choice) {
                 return choice.pcrInOk;
             });
         }
-        softSelectMin(list, [](const ClusterChoice &choice) {
-            return choice.requiredCopies;
-        });
-        softSelectMin(list, [](const ClusterChoice &choice) {
-            return -choice.freeResources;
-        });
+        cascade.selectMin("required_copies",
+                          [](const ClusterChoice &choice) {
+                              return choice.requiredCopies;
+                          });
+        cascade.selectMin("free_resources",
+                          [](const ClusterChoice &choice) {
+                              return -choice.freeResources;
+                          });
     }
 
-    return list[static_cast<size_t>(rotation) % list.size()]->cluster;
+    return cascade.finish(
+        cascade.at(static_cast<size_t>(rotation) % cascade.size()));
 }
 
 ClusterId
 selectForcedCluster(const std::vector<ClusterChoice> &choices,
-                    bool avoid_previous)
+                    bool avoid_previous, SelectionExplain *explain)
 {
     cams_assert(!choices.empty(), "forced selection over no clusters");
-    std::vector<const ClusterChoice *> list;
+    Cascade cascade(choices, explain);
     for (const ClusterChoice &choice : choices)
-        list.push_back(&choice);
+        cascade.admit(choice);
 
     if (avoid_previous) {
-        softSelect(list, [](const ClusterChoice &choice) {
-            return !choice.previouslyTried;
-        });
+        cascade.select("avoid_previous",
+                       [](const ClusterChoice &choice) {
+                           return !choice.previouslyTried;
+                       });
     }
-    softSelect(list, [](const ClusterChoice &choice) {
+    cascade.select("bare_op_fits", [](const ClusterChoice &choice) {
         return choice.bareOpFits;
     });
-    softSelectMin(list, [](const ClusterChoice &choice) {
-        return choice.conflictingNeighbors;
-    });
-    return list.front()->cluster;
+    cascade.selectMin("conflicting_neighbors",
+                      [](const ClusterChoice &choice) {
+                          return choice.conflictingNeighbors;
+                      });
+    return cascade.finish(cascade.at(0));
 }
 
 } // namespace cams

@@ -68,6 +68,41 @@ struct ClusterChoice
 };
 
 /**
+ * Why the cascade picked what it picked: one verdict per input
+ * choice, naming the cascade step that eliminated each loser. Filled
+ * only when a caller asks for it (decision tracing); the cascade
+ * itself pays nothing when the pointer is null.
+ *
+ * Step names (stable, snake_case): "feasible", "avoid_previous",
+ * "scc_affinity", "pcr" (Figure 10's PCR > MRC outgoing-copy filter),
+ * "pcr_in" (the incoming-copy extension), "required_copies",
+ * "free_resources" for selectBestCluster; "avoid_previous",
+ * "bare_op_fits", "conflicting_neighbors" for selectForcedCluster.
+ */
+struct SelectionExplain
+{
+    struct Verdict
+    {
+        ClusterId cluster = invalidCluster;
+
+        /** Survived the whole cascade (lost only to the tie-break). */
+        bool survived = false;
+
+        /** First cascade step that removed this cluster, or null. */
+        const char *eliminatedBy = nullptr;
+    };
+
+    /** One verdict per entry of the input choice vector, in order. */
+    std::vector<Verdict> verdicts;
+
+    /** The picked cluster (invalidCluster when nothing is feasible). */
+    ClusterId winner = invalidCluster;
+
+    /** Last cascade step that actually narrowed the list, or null. */
+    const char *decidingStep = nullptr;
+};
+
+/**
  * Figure 10 cascade over tentatively evaluated clusters.
  *
  * @param choices one entry per feasible cluster (infeasible entries
@@ -80,6 +115,8 @@ struct ClusterChoice
  *        clusters; the assigner advances it after every forced
  *        placement so repeated repair rounds explore different
  *        tie-breaks instead of cycling (§4.3.2's goal).
+ * @param explain when non-null, filled with per-cluster verdicts for
+ *        the decision trace (adds no cost when null).
  * @return the selected cluster, or invalidCluster when nothing is
  *         feasible.
  */
@@ -87,17 +124,20 @@ ClusterId selectBestCluster(const std::vector<ClusterChoice> &choices,
                             bool full_heuristic, bool avoid_previous,
                             bool in_scc, int rotation = 0,
                             bool use_scc_affinity = true,
-                            bool use_pcr = true);
+                            bool use_pcr = true,
+                            SelectionExplain *explain = nullptr);
 
 /**
  * Figure 11 cascade: where to force a node nothing can host.
  *
  * @param choices one entry per cluster of the machine.
+ * @param explain when non-null, filled with per-cluster verdicts.
  * @return the selected cluster (never invalidCluster for a non-empty
  *         input).
  */
 ClusterId selectForcedCluster(const std::vector<ClusterChoice> &choices,
-                              bool avoid_previous);
+                              bool avoid_previous,
+                              SelectionExplain *explain = nullptr);
 
 } // namespace cams
 

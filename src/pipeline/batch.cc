@@ -1,28 +1,13 @@
 #include "pipeline/batch.hh"
 
-#include <chrono>
 #include <sstream>
 #include <stdexcept>
 
 #include "support/threadpool.hh"
+#include "support/time.hh"
 
 namespace cams
 {
-
-namespace
-{
-
-using Clock = std::chrono::steady_clock;
-
-double
-millisSince(Clock::time_point start)
-{
-    return std::chrono::duration<double, std::milli>(Clock::now() -
-                                                     start)
-        .count();
-}
-
-} // namespace
 
 std::string
 BatchStats::toJson() const
@@ -53,20 +38,23 @@ BatchStats::toJson() const
         os << "\"" << failureKindName(FailureKind(kind))
            << "\":" << failuresByKind[kind];
     }
-    os << "}}";
+    os << "}";
+    if (!metricsJson.empty())
+        os << ",\"metrics\":" << metricsJson;
+    os << "}";
     return os.str();
 }
 
 BatchOutcome
 BatchRunner::run(const std::vector<CompileJob> &jobs, int threads,
-                 double jobDeadlineMs)
+                 double jobDeadlineMs, MetricsRegistry *metrics)
 {
     BatchOutcome outcome;
     outcome.results.resize(jobs.size());
     outcome.jobMillis.resize(jobs.size(), 0.0);
     std::vector<char> captured(jobs.size(), 0);
 
-    const Clock::time_point batchStart = Clock::now();
+    const Stopwatch batch_watch;
     {
         ThreadPool pool(threads);
         for (size_t i = 0; i < jobs.size(); ++i) {
@@ -79,7 +67,13 @@ BatchRunner::run(const std::vector<CompileJob> &jobs, int threads,
                 CompileOptions options = job.options;
                 if (options.timeBudgetMs <= 0.0)
                     options.timeBudgetMs = jobDeadlineMs;
-                const Clock::time_point jobStart = Clock::now();
+                if (options.trace.sink && options.trace.tag.empty())
+                    options.trace.tag = "job" + std::to_string(i);
+                // One scope per job in the worker's lane, so a trace
+                // shows the batch fan-out at a glance.
+                TraceScope job_scope(options.trace, TraceLevel::Phase,
+                                     "batch_job", "batch");
+                const Stopwatch job_watch;
                 try {
                     outcome.results[i] =
                         job.clustered
@@ -106,13 +100,28 @@ BatchRunner::run(const std::vector<CompileJob> &jobs, int threads,
                     outcome.results[i] = std::move(crashed);
                     captured[i] = 1;
                 }
-                outcome.jobMillis[i] = millisSince(jobStart);
+                outcome.jobMillis[i] = job_watch.elapsedMs();
             });
         }
         pool.wait(); // rethrows a harness bug (null job), if any
         outcome.stats.threads = pool.threadCount();
     }
-    outcome.stats.wallMillis = millisSince(batchStart);
+    outcome.stats.wallMillis = batch_watch.elapsedMs();
+
+    // The snapshot registry is fresh per run; the caller's registry
+    // (if any) receives the same records on top, so suite-wide
+    // aggregation never contaminates per-run numbers.
+    MetricsRegistry internal;
+    auto record = [&](const char *name, double value) {
+        internal.record(name, value);
+        if (metrics)
+            metrics->record(name, value);
+    };
+    auto count = [&](const char *name, int64_t delta) {
+        internal.add(name, delta);
+        if (metrics)
+            metrics->add(name, delta);
+    };
 
     outcome.stats.jobs = static_cast<int>(jobs.size());
     for (size_t i = 0; i < jobs.size(); ++i) {
@@ -121,12 +130,17 @@ BatchRunner::run(const std::vector<CompileJob> &jobs, int threads,
             ++outcome.stats.succeeded;
             if (result.degraded != DegradeLevel::None)
                 ++outcome.stats.degraded;
+            else
+                record("ii_slack", result.ii - result.mii.mii);
         } else {
             ++outcome.stats.failed;
             ++outcome.stats.failuresByKind[int(result.failure)];
+            record("final_ii_tried", result.finalIiTried);
         }
         if (captured[i])
             ++outcome.stats.capturedExceptions;
+        record("job_ms", outcome.jobMillis[i]);
+        record("assign_ms", result.phaseMs.assignMs);
         outcome.stats.cpuMillis += outcome.jobMillis[i];
         outcome.stats.iiAttempts += result.attempts;
         outcome.stats.assignRetries += result.assignRetries;
@@ -136,6 +150,10 @@ BatchRunner::run(const std::vector<CompileJob> &jobs, int threads,
         outcome.stats.verifierRejects += result.verifierRejects;
         outcome.stats.faultTrips += result.faultTrips;
     }
+    count("jobs_succeeded", outcome.stats.succeeded);
+    count("jobs_failed", outcome.stats.failed);
+    count("jobs_degraded", outcome.stats.degraded);
+    outcome.stats.metricsJson = internal.toJson();
     return outcome;
 }
 
@@ -145,8 +163,11 @@ clusteredJobs(const std::vector<Dfg> &suite, const MachineDesc &machine,
 {
     std::vector<CompileJob> jobs;
     jobs.reserve(suite.size());
-    for (const Dfg &loop : suite)
+    for (const Dfg &loop : suite) {
         jobs.push_back({&loop, &machine, options, true});
+        if (options.trace.sink && !loop.name().empty())
+            jobs.back().options.trace.tag = "c:" + loop.name();
+    }
     return jobs;
 }
 
@@ -156,8 +177,11 @@ unifiedJobs(const std::vector<Dfg> &suite, const MachineDesc &unified,
 {
     std::vector<CompileJob> jobs;
     jobs.reserve(suite.size());
-    for (const Dfg &loop : suite)
+    for (const Dfg &loop : suite) {
         jobs.push_back({&loop, &unified, options, false});
+        if (options.trace.sink && !loop.name().empty())
+            jobs.back().options.trace.tag = "u:" + loop.name();
+    }
     return jobs;
 }
 

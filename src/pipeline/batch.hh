@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "support/fault.hh"
+#include "support/metrics.hh"
 
 #include "machine/machine.hh"
 #include "pipeline/driver.hh"
@@ -97,6 +98,13 @@ struct BatchStats
     /** Injected faults that fired across all jobs. */
     long faultTrips = 0;
 
+    /**
+     * Metrics snapshot of this run (MetricsRegistry::toJson of the
+     * run's internal registry: ii_slack and friends). Embedded in
+     * toJson() under "metrics" when non-empty.
+     */
+    std::string metricsJson;
+
     /** One-line JSON rendering for machine-readable logs. */
     std::string toJson() const;
 };
@@ -125,6 +133,16 @@ class BatchRunner
      * @param jobDeadlineMs per-job wall-clock budget applied to every
      *        job that does not already carry one
      *        (CompileOptions::timeBudgetMs); 0 applies none.
+     * @param metrics optional registry that additionally receives
+     *        every record of this run, for aggregation across several
+     *        batches (suite mode runs unified + clustered). The
+     *        BatchStats snapshot always comes from a fresh internal
+     *        registry, so per-run numbers never mix.
+     *
+     * Metrics recorded per run: counter jobs_succeeded/jobs_failed/
+     * jobs_degraded; histograms job_ms and assign_ms over all jobs,
+     * ii_slack (achieved II - MII) over non-degraded successes, and
+     * final_ii_tried over failures.
      *
      * A compile that throws is captured as that job's classified
      * FailureKind::InternalInvariant result; the other jobs are
@@ -134,7 +152,8 @@ class BatchRunner
      * throwing job.
      */
     static BatchOutcome run(const std::vector<CompileJob> &jobs,
-                            int threads, double jobDeadlineMs = 0.0);
+                            int threads, double jobDeadlineMs = 0.0,
+                            MetricsRegistry *metrics = nullptr);
 };
 
 /** Builds one clustered job per suite loop on the given machine. */

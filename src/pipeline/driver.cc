@@ -1,13 +1,12 @@
 #include "pipeline/driver.hh"
 
-#include <chrono>
-
 #include "assign/exhaustive.hh"
 #include "pipeline/degrade.hh"
 #include "sched/ims.hh"
 #include "sched/sms.hh"
 #include "sched/verifier.hh"
 #include "support/logging.hh"
+#include "support/time.hh"
 
 namespace cams
 {
@@ -41,30 +40,17 @@ degradeLevelName(DegradeLevel level)
 namespace
 {
 
-/** Wall-clock budget; disarmed when the budget is zero. */
-class Deadline
+/** Emits a Decision-level pipeline instant tagged with the job. */
+void
+traceDecision(const TraceConfig &trace, const char *name,
+              TraceArgs args)
 {
-  public:
-    explicit Deadline(double budget_ms)
-        : armed_(budget_ms > 0.0),
-          end_(std::chrono::steady_clock::now() +
-               std::chrono::duration_cast<
-                   std::chrono::steady_clock::duration>(
-                   std::chrono::duration<double, std::milli>(
-                       budget_ms)))
-    {
-    }
-
-    bool
-    expired() const
-    {
-        return armed_ && std::chrono::steady_clock::now() >= end_;
-    }
-
-  private:
-    bool armed_;
-    std::chrono::steady_clock::time_point end_;
-};
+    if (!trace.active(TraceLevel::Decision))
+        return;
+    if (!trace.tag.empty())
+        args.emplace_back("job", trace.tag);
+    trace.sink->instant(name, "pipeline", std::move(args));
+}
 
 /**
  * Rejects inputs the assigner would cams_fatal on, as a classified
@@ -123,6 +109,11 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
     if (!compilablePrecondition(graph, machine, result))
         return result;
 
+    const Stopwatch total_watch;
+    TraceScope compile_scope(options.trace, TraceLevel::Phase,
+                             "compile_clustered", "pipeline");
+    compile_scope.arg("machine", machine.name);
+
     const MachineDesc unified = machine.unifiedEquivalent();
     result.mii = computeMii(graph, unified);
 
@@ -133,9 +124,32 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
 
     AssignOptions assign_options = options.assign;
     assign_options.faults = faults;
+    assign_options.trace = options.trace;
     const ClusterAssigner assigner(model, assign_options);
     const auto scheduler = makeScheduler(options.scheduler);
+    scheduler->setTrace(options.trace);
     const int limit = result.mii.mii * 4 + options.iiSlack;
+
+    // Stamps everything that must be correct on every exit path.
+    auto finish = [&]() {
+        if (faults)
+            result.faultTrips = faults->totalTrips() - fault_base;
+        result.phaseMs.totalMs = total_watch.elapsedMs();
+        if (result.faultTrips > 0) {
+            traceDecision(
+                options.trace, "fault_trips",
+                {{"count", std::to_string(result.faultTrips)}});
+        }
+        compile_scope.arg("success",
+                          result.success ? "true" : "false");
+        compile_scope.arg("ii", std::to_string(result.ii));
+        compile_scope.arg("degraded",
+                          degradeLevelName(result.degraded));
+        if (!result.success) {
+            compile_scope.arg("failure",
+                              failureKindName(result.failure));
+        }
+    };
 
     // The primary Figure 5 search. Every way an II can die updates
     // the running classification, so a final failure reports the last
@@ -152,8 +166,26 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
         }
         ++result.attempts;
         result.finalIiTried = ii;
+        TraceScope ii_scope(options.trace, TraceLevel::Phase,
+                            "ii_attempt", "pipeline");
+        ii_scope.arg("ii", std::to_string(ii));
+        auto escalate = [&](const char *reason) {
+            ii_scope.arg("outcome", reason);
+            traceDecision(options.trace, "ii_escalate",
+                          {{"ii", std::to_string(ii)},
+                           {"reason", reason}});
+        };
         try {
-            AssignResult assignment = assigner.run(graph, ii);
+            const Stopwatch assign_watch;
+            AssignResult assignment;
+            {
+                TraceScope scope(options.trace, TraceLevel::Phase,
+                                 "assign", "phase");
+                assignment = assigner.run(graph, ii);
+            }
+            result.phaseMs.assignMs += assign_watch.elapsedMs();
+            result.phaseMs.orderMs += assignment.orderMillis;
+            result.phaseMs.routeMs += assignment.routeMillis;
             result.evictions += assignment.evictions;
             result.invariantRecoveries += assignment.invariantFailures;
             if (!assignment.success) {
@@ -166,11 +198,19 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
                     result.failureDetail = detail::concat(
                         "assignment infeasible at II ", ii);
                 }
+                escalate("assign_fail");
                 continue;
             }
             Schedule schedule;
-            bool scheduled = scheduler->schedule(assignment.loop,
-                                                 model, ii, schedule);
+            const Stopwatch sched_watch;
+            bool scheduled;
+            {
+                TraceScope scope(options.trace, TraceLevel::Phase,
+                                 "schedule", "phase");
+                scheduled = scheduler->schedule(assignment.loop,
+                                                model, ii, schedule);
+            }
+            result.phaseMs.scheduleMs += sched_watch.elapsedMs();
             if (scheduled && faults &&
                 faults->trip(FaultSite::SchedulerSlotDeny)) {
                 // Injected: pretend the scheduler found no slot.
@@ -180,19 +220,30 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
                 result.failure = FailureKind::IiExhausted;
                 result.failureDetail =
                     detail::concat("no schedule found at II ", ii);
+                escalate("sched_fail");
                 continue;
             }
             if (options.verify) {
+                const Stopwatch verify_watch;
                 std::string why;
-                if (!verifySchedule(assignment.loop, model, schedule,
-                                    &why)) {
+                bool verified;
+                {
+                    TraceScope scope(options.trace, TraceLevel::Phase,
+                                     "verify", "phase");
+                    verified = verifySchedule(assignment.loop, model,
+                                              schedule, &why);
+                }
+                result.phaseMs.verifyMs += verify_watch.elapsedMs();
+                if (!verified) {
                     ++result.verifierRejects;
                     result.failure = FailureKind::VerifierReject;
                     result.failureDetail = detail::concat(
                         "verifier rejected II ", ii, ": ", why);
+                    escalate("verifier_reject");
                     continue;
                 }
             }
+            ii_scope.arg("outcome", "success");
             acceptSchedule(result, std::move(assignment.loop),
                            std::move(schedule), ii,
                            DegradeLevel::None);
@@ -203,6 +254,7 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
             ++result.invariantRecoveries;
             result.failure = FailureKind::InternalInvariant;
             result.failureDetail = err.what();
+            escalate("invariant");
         }
     }
 
@@ -211,14 +263,14 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
         result.failureDetail = detail::concat(
             "time budget of ", options.timeBudgetMs,
             " ms expired after ", result.attempts, " II attempts");
+        traceDecision(options.trace, "timeout",
+                      {{"attempts", std::to_string(result.attempts)},
+                       {"budget_ms",
+                        std::to_string(options.timeBudgetMs)}});
     }
 
-    auto stamp_faults = [&]() {
-        if (faults)
-            result.faultTrips = faults->totalTrips() - fault_base;
-    };
     if (result.success || !options.fallback) {
-        stamp_faults();
+        finish();
         return result;
     }
 
@@ -227,6 +279,10 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
     // primary path; the ladder is the recovery mechanism under test.
     if (!timed_out && machine.numClusters() > 1 &&
         graph.numNodes() <= options.exhaustiveFallbackNodes) {
+        traceDecision(options.trace, "degrade_rung",
+                      {{"rung", "exhaustive_assign"}});
+        TraceScope rung_scope(options.trace, TraceLevel::Phase,
+                              "exhaustive_assign", "pipeline");
         for (int ii = result.mii.mii; ii <= limit && !result.success;
              ++ii) {
             if (deadline.expired()) {
@@ -266,7 +322,7 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
             }
         }
         if (result.success) {
-            stamp_faults();
+            finish();
             return result;
         }
     }
@@ -274,6 +330,10 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
     // Rung 2: single cluster, fully serialized. Cheap enough to run
     // even after a timeout -- recovering a classified-failure compile
     // beats reporting it.
+    traceDecision(options.trace, "degrade_rung",
+                  {{"rung", "single_cluster"}});
+    TraceScope rung_scope(options.trace, TraceLevel::Phase,
+                          "single_cluster", "pipeline");
     if (auto degraded = degradeToSingleCluster(graph, model)) {
         std::string why;
         if (!options.verify ||
@@ -291,7 +351,7 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
                 why;
         }
     }
-    stamp_faults();
+    finish();
     return result;
 }
 
@@ -304,6 +364,12 @@ compileUnified(const Dfg &graph, const MachineDesc &machine,
     CompileResult result;
     if (!compilablePrecondition(graph, machine, result))
         return result;
+
+    const Stopwatch total_watch;
+    TraceScope compile_scope(options.trace, TraceLevel::Phase,
+                             "compile_unified", "pipeline");
+    compile_scope.arg("machine", machine.name);
+
     result.mii = computeMii(graph, machine);
 
     const ResourceModel model(machine);
@@ -312,7 +378,19 @@ compileUnified(const Dfg &graph, const MachineDesc &machine,
     const Deadline deadline(options.timeBudgetMs);
     const AnnotatedLoop loop = unifiedLoop(graph);
     const auto scheduler = makeScheduler(options.scheduler);
+    scheduler->setTrace(options.trace);
     const int limit = result.mii.mii * 4 + options.iiSlack;
+
+    auto finish = [&]() {
+        if (faults)
+            result.faultTrips = faults->totalTrips() - fault_base;
+        result.phaseMs.totalMs = total_watch.elapsedMs();
+        compile_scope.arg("success",
+                          result.success ? "true" : "false");
+        compile_scope.arg("ii", std::to_string(result.ii));
+        compile_scope.arg("degraded",
+                          degradeLevelName(result.degraded));
+    };
 
     result.failure = FailureKind::IiExhausted;
     result.failureDetail = detail::concat(
@@ -326,8 +404,18 @@ compileUnified(const Dfg &graph, const MachineDesc &machine,
         }
         ++result.attempts;
         result.finalIiTried = ii;
+        TraceScope ii_scope(options.trace, TraceLevel::Phase,
+                            "ii_attempt", "pipeline");
+        ii_scope.arg("ii", std::to_string(ii));
         Schedule schedule;
-        bool scheduled = scheduler->schedule(loop, model, ii, schedule);
+        const Stopwatch sched_watch;
+        bool scheduled;
+        {
+            TraceScope scope(options.trace, TraceLevel::Phase,
+                             "schedule", "phase");
+            scheduled = scheduler->schedule(loop, model, ii, schedule);
+        }
+        result.phaseMs.scheduleMs += sched_watch.elapsedMs();
         if (scheduled && faults &&
             faults->trip(FaultSite::SchedulerSlotDeny)) {
             scheduled = false;
@@ -336,18 +424,29 @@ compileUnified(const Dfg &graph, const MachineDesc &machine,
             result.failure = FailureKind::IiExhausted;
             result.failureDetail =
                 detail::concat("no schedule found at II ", ii);
+            ii_scope.arg("outcome", "sched_fail");
             continue;
         }
         if (options.verify) {
+            const Stopwatch verify_watch;
             std::string why;
-            if (!verifySchedule(loop, model, schedule, &why)) {
+            bool verified;
+            {
+                TraceScope scope(options.trace, TraceLevel::Phase,
+                                 "verify", "phase");
+                verified = verifySchedule(loop, model, schedule, &why);
+            }
+            result.phaseMs.verifyMs += verify_watch.elapsedMs();
+            if (!verified) {
                 ++result.verifierRejects;
                 result.failure = FailureKind::VerifierReject;
                 result.failureDetail = detail::concat(
                     "verifier rejected II ", ii, ": ", why);
+                ii_scope.arg("outcome", "verifier_reject");
                 continue;
             }
         }
+        ii_scope.arg("outcome", "success");
         acceptSchedule(result, loop, std::move(schedule), ii,
                        DegradeLevel::None);
         break;
@@ -361,6 +460,8 @@ compileUnified(const Dfg &graph, const MachineDesc &machine,
     }
 
     if (!result.success && options.fallback) {
+        traceDecision(options.trace, "degrade_rung",
+                      {{"rung", "single_cluster"}});
         if (auto degraded = degradeToSingleCluster(graph, model)) {
             std::string why;
             if (!options.verify ||
@@ -379,8 +480,7 @@ compileUnified(const Dfg &graph, const MachineDesc &machine,
             }
         }
     }
-    if (faults)
-        result.faultTrips = faults->totalTrips() - fault_base;
+    finish();
     return result;
 }
 

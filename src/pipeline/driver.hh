@@ -37,6 +37,7 @@
 #include "sched/mii.hh"
 #include "sched/schedule.hh"
 #include "support/fault.hh"
+#include "support/trace.hh"
 
 namespace cams
 {
@@ -99,6 +100,32 @@ struct CompileOptions
      * across compiles whose determinism matters.
      */
     std::shared_ptr<FaultInjector> faults;
+
+    /**
+     * Tracing: the shared sink (null = off) and this compile's job
+     * tag. Propagated into the assigner and the scheduler so one
+     * compile produces one coherent event stream. Per-phase wall
+     * times in CompileResult are recorded regardless of this.
+     */
+    TraceConfig trace;
+};
+
+/**
+ * Wall-clock cost of each pipeline phase, milliseconds, summed over
+ * every II attempt of one compile. Always recorded, tracing on or
+ * off. orderMs and routeMs are sub-slices of assignMs (the §4.1
+ * ordering work and the copy-routing work inside the assigner);
+ * totalMs is the whole compile including MII computation and the
+ * degradation ladder.
+ */
+struct PhaseTimes
+{
+    double orderMs = 0.0;
+    double assignMs = 0.0;
+    double routeMs = 0.0;
+    double scheduleMs = 0.0;
+    double verifyMs = 0.0;
+    double totalMs = 0.0;
 };
 
 /** Outcome of compiling one loop for one machine. */
@@ -155,6 +182,9 @@ struct CompileResult
 
     /** Injected faults that fired during this compile. */
     long faultTrips = 0;
+
+    /** Per-phase wall-time breakdown (always recorded). */
+    PhaseTimes phaseMs;
 };
 
 /** Creates a scheduler instance of the given kind. */

@@ -28,10 +28,11 @@ DeviationSeries::percentAtMost(int deviation) const
 
 std::vector<int>
 unifiedBaseline(const std::vector<Dfg> &suite, const MachineDesc &unified,
-                const CompileOptions &options, int threads)
+                const CompileOptions &options, int threads,
+                MetricsRegistry *metrics)
 {
-    const BatchOutcome batch =
-        BatchRunner::run(unifiedJobs(suite, unified, options), threads);
+    const BatchOutcome batch = BatchRunner::run(
+        unifiedJobs(suite, unified, options), threads, 0.0, metrics);
     std::vector<int> baseline;
     baseline.reserve(suite.size());
     for (size_t i = 0; i < suite.size(); ++i) {
@@ -53,14 +54,14 @@ runClusteredSeries(const std::vector<Dfg> &suite,
                    const MachineDesc &machine,
                    const std::vector<int> &baseline,
                    const CompileOptions &options, const std::string &label,
-                   int threads)
+                   int threads, MetricsRegistry *metrics)
 {
     cams_assert(suite.size() == baseline.size(),
                 "baseline does not match the suite");
     DeviationSeries series;
     series.label = label;
-    const BatchOutcome batch =
-        BatchRunner::run(clusteredJobs(suite, machine, options), threads);
+    const BatchOutcome batch = BatchRunner::run(
+        clusteredJobs(suite, machine, options), threads, 0.0, metrics);
     for (size_t i = 0; i < suite.size(); ++i) {
         const CompileResult &result = batch.results[i];
         // The figures measure the paper's pipeline: a compile rescued

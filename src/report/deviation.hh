@@ -18,6 +18,7 @@
 
 #include "machine/machine.hh"
 #include "pipeline/driver.hh"
+#include "support/metrics.hh"
 #include "support/stats.hh"
 #include "workload/suite.hh"
 
@@ -56,11 +57,14 @@ struct DeviationSeries
  *
  * @param threads worker count for the batch engine; the results are
  *        identical for every value (each compile is independent).
+ * @param metrics optional registry the batch run aggregates into
+ *        (see BatchRunner::run).
  */
 std::vector<int> unifiedBaseline(const std::vector<Dfg> &suite,
                                  const MachineDesc &unified,
                                  const CompileOptions &options = {},
-                                 int threads = 1);
+                                 int threads = 1,
+                                 MetricsRegistry *metrics = nullptr);
 
 /**
  * Runs the clustered pipeline over the suite through the batch engine
@@ -72,7 +76,8 @@ DeviationSeries runClusteredSeries(const std::vector<Dfg> &suite,
                                    const std::vector<int> &baseline,
                                    const CompileOptions &options,
                                    const std::string &label,
-                                   int threads = 1);
+                                   int threads = 1,
+                                   MetricsRegistry *metrics = nullptr);
 
 } // namespace cams
 

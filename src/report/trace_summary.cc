@@ -1,0 +1,92 @@
+#include "report/trace_summary.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "report/table.hh"
+#include "support/str.hh"
+
+namespace cams
+{
+
+namespace
+{
+
+std::string
+labelOf(const std::vector<std::string> &names, size_t i)
+{
+    if (i < names.size() && !names[i].empty())
+        return names[i];
+    return "job" + std::to_string(i);
+}
+
+std::string
+outcomeOf(const CompileResult &result)
+{
+    if (!result.success)
+        return failureKindName(result.failure);
+    if (result.degraded != DegradeLevel::None)
+        return degradeLevelName(result.degraded);
+    return "ok";
+}
+
+/** Indices of the top @p n jobs by @p key, descending, ties by id. */
+template <typename Key>
+std::vector<size_t>
+topBy(size_t jobs, int n, Key key)
+{
+    std::vector<size_t> order(jobs);
+    std::iota(order.begin(), order.end(), size_t(0));
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (key(a) != key(b))
+            return key(a) > key(b);
+        return a < b;
+    });
+    if (static_cast<int>(order.size()) > n)
+        order.resize(n);
+    return order;
+}
+
+} // namespace
+
+std::string
+renderTraceSummary(const std::vector<std::string> &names,
+                   const BatchOutcome &outcome, int topN)
+{
+    const std::vector<CompileResult> &results = outcome.results;
+    std::ostringstream os;
+
+    os << "Top " << topN << " loops by assignment time\n";
+    TextTable assign_table(
+        {"loop", "assign_ms", "total_ms", "ii", "attempts"});
+    for (size_t i : topBy(results.size(), topN, [&](size_t j) {
+             return results[j].phaseMs.assignMs;
+         })) {
+        const CompileResult &r = results[i];
+        assign_table.addRow({labelOf(names, i),
+                             formatFixed(r.phaseMs.assignMs, 2),
+                             formatFixed(r.phaseMs.totalMs, 2),
+                             std::to_string(r.ii),
+                             std::to_string(r.attempts)});
+    }
+    os << assign_table.render();
+
+    os << "\nEviction-storm leaderboard (top " << topN << ")\n";
+    TextTable evict_table({"loop", "evictions", "assign_retries",
+                           "attempts", "outcome"});
+    for (size_t i : topBy(results.size(), topN, [&](size_t j) {
+             return static_cast<double>(results[j].evictions);
+         })) {
+        const CompileResult &r = results[i];
+        evict_table.addRow({labelOf(names, i),
+                            std::to_string(r.evictions),
+                            std::to_string(r.assignRetries),
+                            std::to_string(r.attempts),
+                            outcomeOf(r)});
+    }
+    os << evict_table.render();
+    return os.str();
+}
+
+} // namespace cams

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Human-readable digest of a batch run's timing and assignment-churn
+ * profile: which loops cost the most assignment time, and which ones
+ * triggered eviction storms in the §4.3 iteration. Complements the
+ * Chrome trace (the full timeline) with the two leaderboards a person
+ * actually scans first.
+ */
+
+#ifndef CAMS_REPORT_TRACE_SUMMARY_HH
+#define CAMS_REPORT_TRACE_SUMMARY_HH
+
+#include <string>
+#include <vector>
+
+#include "pipeline/batch.hh"
+
+namespace cams
+{
+
+/**
+ * Renders two top-N tables over one batch outcome:
+ *
+ *  1. loops ranked by assignment wall time (assign ms, total ms,
+ *     achieved II, II attempts);
+ *  2. loops ranked by evictions -- the eviction-storm leaderboard
+ *     (evictions, failed assignment retries, attempts, outcome).
+ *
+ * @param names one label per job, parallel to outcome.results (loop
+ *        names from the suite; padded with "job<i>" when short).
+ */
+std::string renderTraceSummary(const std::vector<std::string> &names,
+                               const BatchOutcome &outcome,
+                               int topN = 10);
+
+} // namespace cams
+
+#endif // CAMS_REPORT_TRACE_SUMMARY_HH

@@ -49,17 +49,22 @@ IterativeModuloScheduler::schedule(const AnnotatedLoop &loop,
     Mrt mrt(model, ii);
     long budget =
         std::max<long>(32, static_cast<long>(budgetRatio_ * n));
+    long slot_conflicts = 0;
+    long ejections = 0;
 
     auto unschedule = [&](NodeId v) {
         cams_assert(placed[v], "displacing unplaced op ", v);
         mrt.release(slots[v]);
         placed[v] = false;
         worklist.insert(v);
+        ++ejections;
     };
 
     while (!worklist.empty()) {
-        if (budget-- <= 0)
+        if (budget-- <= 0) {
+            traceAttempt(ii, false, slot_conflicts, ejections);
             return false;
+        }
         const NodeId op = *worklist.begin();
         worklist.erase(worklist.begin());
 
@@ -88,6 +93,7 @@ IterativeModuloScheduler::schedule(const AnnotatedLoop &loop,
             // Forced placement: never earlier than last time + 1 so the
             // schedule makes progress (Rau's rule).
             forced = true;
+            ++slot_conflicts;
             chosen = static_cast<int>(
                 lastStart[op] < 0
                     ? estart
@@ -119,8 +125,11 @@ IterativeModuloScheduler::schedule(const AnnotatedLoop &loop,
                     }
                 }
             }
-            if (!mrt.canReserveAt(requests[op], row))
-                return false; // op needs more than the row can ever hold
+            if (!mrt.canReserveAt(requests[op], row)) {
+                // The op needs more than the row can ever hold.
+                traceAttempt(ii, false, slot_conflicts, ejections);
+                return false;
+            }
         }
 
         slots[op] = mrt.reserveAt(requests[op], chosen % ii);
@@ -156,6 +165,7 @@ IterativeModuloScheduler::schedule(const AnnotatedLoop &loop,
     out.ii = ii;
     out.startCycle = start;
     out.normalize();
+    traceAttempt(ii, true, slot_conflicts, ejections);
     return true;
 }
 

@@ -25,6 +25,24 @@ floorMod(int a, int b)
 
 } // namespace
 
+void
+ModuloScheduler::traceAttempt(int ii, bool success, long slotConflicts,
+                              long ejections) const
+{
+    if (!trace_.active(TraceLevel::Decision))
+        return;
+    TraceArgs args = {
+        {"scheduler", name()},
+        {"ii", std::to_string(ii)},
+        {"success", success ? "true" : "false"},
+        {"slot_conflicts", std::to_string(slotConflicts)},
+        {"ejections", std::to_string(ejections)},
+    };
+    if (!trace_.tag.empty())
+        args.emplace_back("job", trace_.tag);
+    trace_.sink->instant("sched_attempt", "sched", std::move(args));
+}
+
 int
 Schedule::row(NodeId node) const
 {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "assign/assignment.hh"
+#include "support/trace.hh"
 
 namespace cams
 {
@@ -62,6 +63,21 @@ class ModuloScheduler
 
     /** Algorithm name for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * Attaches tracing to subsequent schedule() calls. At
+     * TraceLevel::Decision every call emits one "sched_attempt"
+     * instant summarizing its slot conflicts and ejections at that
+     * II. Off (the default) the schedulers pay nothing.
+     */
+    void setTrace(TraceConfig trace) { trace_ = std::move(trace); }
+
+  protected:
+    /** Emits the per-II slot-conflict summary (no-op when off). */
+    void traceAttempt(int ii, bool success, long slotConflicts,
+                      long ejections) const;
+
+    TraceConfig trace_;
 };
 
 } // namespace cams

@@ -54,6 +54,8 @@ SwingModuloScheduler::schedule(const AnnotatedLoop &loop,
     Mrt mrt(model, ii);
     long budget = std::max<long>(32, 8L * n);
     constexpr long kNone = std::numeric_limits<long>::min();
+    long slot_conflicts = 0;
+    long ejections = 0;
 
     auto rowOf = [&](long t) {
         return static_cast<int>(((t % ii) + ii) % ii);
@@ -62,11 +64,14 @@ SwingModuloScheduler::schedule(const AnnotatedLoop &loop,
         mrt.release(slots[v]);
         placed[v] = false;
         worklist.insert(v);
+        ++ejections;
     };
 
     while (!worklist.empty()) {
-        if (budget-- <= 0)
+        if (budget-- <= 0) {
+            traceAttempt(ii, false, slot_conflicts, ejections);
             return false;
+        }
         const NodeId op = *worklist.begin();
         worklist.erase(worklist.begin());
 
@@ -126,6 +131,7 @@ SwingModuloScheduler::schedule(const AnnotatedLoop &loop,
         if (chosen == kNone) {
             // Forced placement with ejection. Never repeat the
             // previous spot so the schedule makes progress.
+            ++slot_conflicts;
             long t = early != kNone
                          ? early
                          : (late != kNone
@@ -160,8 +166,11 @@ SwingModuloScheduler::schedule(const AnnotatedLoop &loop,
                     progress = true;
                 }
             }
-            if (!mrt.canReserveAt(requests[op], row))
-                return false; // needs more than the row can ever hold
+            if (!mrt.canReserveAt(requests[op], row)) {
+                // The op needs more than the row can ever hold.
+                traceAttempt(ii, false, slot_conflicts, ejections);
+                return false;
+            }
             chosen = t;
         }
 
@@ -197,6 +206,7 @@ SwingModuloScheduler::schedule(const AnnotatedLoop &loop,
     for (NodeId v = 0; v < n; ++v)
         out.startCycle[v] = static_cast<int>(start[v]);
     out.normalize();
+    traceAttempt(ii, true, slot_conflicts, ejections);
     return true;
 }
 

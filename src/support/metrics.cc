@@ -1,0 +1,123 @@
+#include "support/metrics.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cams
+{
+
+void
+MetricsRegistry::add(const std::string &name, int64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[name] += delta;
+}
+
+int64_t
+MetricsRegistry::counter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+MetricsRegistry::record(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_[name].push_back(value);
+}
+
+namespace
+{
+
+/** Nearest-rank percentile over a sorted sample vector. */
+double
+percentileOf(const std::vector<double> &sorted, double fraction)
+{
+    if (sorted.empty())
+        return 0.0;
+    const size_t rank = static_cast<size_t>(
+        fraction * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+HistogramSummary
+summarize(std::vector<double> samples)
+{
+    HistogramSummary summary;
+    if (samples.empty())
+        return summary;
+    std::sort(samples.begin(), samples.end());
+    summary.count = samples.size();
+    summary.min = samples.front();
+    summary.max = samples.back();
+    double sum = 0.0;
+    for (const double sample : samples)
+        sum += sample;
+    summary.mean = sum / static_cast<double>(samples.size());
+    summary.p50 = percentileOf(samples, 0.5);
+    summary.p90 = percentileOf(samples, 0.9);
+    return summary;
+}
+
+} // namespace
+
+HistogramSummary
+MetricsRegistry::histogram(const std::string &name) const
+{
+    std::vector<double> samples;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = samples_.find(name);
+        if (it == samples_.end())
+            return HistogramSummary{};
+        samples = it->second;
+    }
+    return summarize(std::move(samples));
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.empty() && samples_.empty();
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, std::vector<double>> samples;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        counters = counters_;
+        samples = samples_;
+    }
+
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << name << "\":" << value;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (auto &[name, values] : samples) {
+        const HistogramSummary s = summarize(values);
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << name << "\":{\"count\":" << s.count
+           << ",\"min\":" << s.min << ",\"mean\":" << s.mean
+           << ",\"max\":" << s.max << ",\"p50\":" << s.p50
+           << ",\"p90\":" << s.p90 << "}";
+    }
+    os << "}}";
+    return os.str();
+}
+
+} // namespace cams

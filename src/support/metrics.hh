@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A named counter / histogram registry in the spirit of gem5's stats
+ * framework: pipeline layers record monotonic counters and value
+ * distributions under stable snake_case names, and a batch run
+ * snapshots the registry into its machine-readable JSON so BENCH_*
+ * trajectories carry distributions (ii_slack, per-phase times), not
+ * just sums.
+ *
+ * Thread safety: all mutating and reading calls take the registry
+ * mutex; concurrent batch workers record freely. Recording is an
+ * O(log n) map lookup plus a push_back -- cheap enough for per-job
+ * facts, not intended for per-node inner loops (that is what the
+ * decision trace is for).
+ */
+
+#ifndef CAMS_SUPPORT_METRICS_HH
+#define CAMS_SUPPORT_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cams
+{
+
+/** Snapshot summary of one value distribution. */
+struct HistogramSummary
+{
+    uint64_t count = 0;
+    double min = 0.0;
+    double mean = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+};
+
+/** Thread-safe registry of named counters and value distributions. */
+class MetricsRegistry
+{
+  public:
+    /** Increments a monotonic counter. */
+    void add(const std::string &name, int64_t delta = 1);
+
+    /** Current value of a counter (0 when never touched). */
+    int64_t counter(const std::string &name) const;
+
+    /** Records one sample into a distribution. */
+    void record(const std::string &name, double value);
+
+    /** Summary of a distribution (zeros when never touched). */
+    HistogramSummary histogram(const std::string &name) const;
+
+    /** True when nothing was recorded. */
+    bool empty() const;
+
+    /**
+     * One-line JSON snapshot:
+     * {"counters":{...},"histograms":{"name":{"count":..,"min":..,
+     * "mean":..,"max":..,"p50":..,"p90":..}}}
+     */
+    std::string toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, int64_t> counters_;
+    std::map<std::string, std::vector<double>> samples_;
+};
+
+} // namespace cams
+
+#endif // CAMS_SUPPORT_METRICS_HH

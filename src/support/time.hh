@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The one place wall-clock arithmetic lives. Every layer that used to
+ * hand-roll steady_clock deltas (the driver's deadline, the batch
+ * engine's per-job timing) goes through these helpers instead, so the
+ * clock, the unit (microseconds internally, milliseconds at the API)
+ * and the conversion boilerplate exist exactly once.
+ *
+ * Header-only on purpose: all three types are a handful of inline
+ * calls around std::chrono and get used on hot paths.
+ */
+
+#ifndef CAMS_SUPPORT_TIME_HH
+#define CAMS_SUPPORT_TIME_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace cams
+{
+
+/** Monotonic timestamp in microseconds (epoch: arbitrary but fixed). */
+inline int64_t
+nowMicros()
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Measures elapsed wall time from its construction. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(nowMicros()) {}
+
+    /** Elapsed microseconds since construction (or last restart). */
+    int64_t elapsedMicros() const { return nowMicros() - start_; }
+
+    /** Elapsed milliseconds since construction (or last restart). */
+    double elapsedMs() const
+    {
+        return static_cast<double>(elapsedMicros()) / 1000.0;
+    }
+
+    /** Restarts the measurement from now. */
+    void restart() { start_ = nowMicros(); }
+
+  private:
+    int64_t start_;
+};
+
+/** Wall-clock budget; disarmed when the budget is zero or negative. */
+class Deadline
+{
+  public:
+    explicit Deadline(double budget_ms)
+        : armed_(budget_ms > 0.0),
+          end_(nowMicros() + static_cast<int64_t>(budget_ms * 1000.0))
+    {
+    }
+
+    bool expired() const { return armed_ && nowMicros() >= end_; }
+
+  private:
+    bool armed_;
+    int64_t end_;
+};
+
+} // namespace cams
+
+#endif // CAMS_SUPPORT_TIME_HH

@@ -1,0 +1,221 @@
+#include "support/trace.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace cams
+{
+
+const char *
+traceLevelName(TraceLevel level)
+{
+    switch (level) {
+      case TraceLevel::Off:
+        return "off";
+      case TraceLevel::Phase:
+        return "phase";
+      case TraceLevel::Decision:
+        return "decision";
+    }
+    cams_panic("unknown TraceLevel ", int(level));
+}
+
+bool
+parseTraceLevel(const std::string &text, TraceLevel &out)
+{
+    if (text == "off") {
+        out = TraceLevel::Off;
+    } else if (text == "phase") {
+        out = TraceLevel::Phase;
+    } else if (text == "decision") {
+        out = TraceLevel::Decision;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+TraceSink::TraceSink(TraceLevel level)
+    : level_(level), epochMicros_(nowMicros())
+{
+}
+
+int
+TraceSink::laneOfCurrentThread()
+{
+    // Callers hold mutex_. Lanes are dense ints in registration
+    // order, so a batch run's workers land on lanes 1..N (the
+    // submitting thread usually registers first as lane 0).
+    const std::thread::id self = std::this_thread::get_id();
+    auto it = lanes_.find(self);
+    if (it == lanes_.end())
+        it = lanes_.emplace(self, static_cast<int>(lanes_.size())).first;
+    return it->second;
+}
+
+void
+TraceSink::complete(std::string name, std::string cat, int64_t startUs,
+                    int64_t durUs, TraceArgs args)
+{
+    TraceEvent event;
+    event.name = std::move(name);
+    event.cat = std::move(cat);
+    event.phase = 'X';
+    event.ts = startUs;
+    event.dur = durUs < 0 ? 0 : durUs;
+    event.args = std::move(args);
+    std::lock_guard<std::mutex> lock(mutex_);
+    event.tid = laneOfCurrentThread();
+    events_.push_back(std::move(event));
+}
+
+void
+TraceSink::instant(std::string name, std::string cat, TraceArgs args)
+{
+    TraceEvent event;
+    event.name = std::move(name);
+    event.cat = std::move(cat);
+    event.phase = 'i';
+    event.ts = now();
+    event.args = std::move(args);
+    std::lock_guard<std::mutex> lock(mutex_);
+    event.tid = laneOfCurrentThread();
+    events_.push_back(std::move(event));
+}
+
+size_t
+TraceSink::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::vector<TraceEvent>
+TraceSink::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+int
+TraceSink::laneCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(lanes_.size());
+}
+
+namespace
+{
+
+/** JSON string escaping (control characters, quotes, backslashes). */
+void
+appendJsonString(std::ostringstream &os, const std::string &text)
+{
+    os << '"';
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+std::string
+TraceSink::toJson() const
+{
+    std::vector<TraceEvent> events;
+    std::map<std::thread::id, int> lanes;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        events = events_;
+        lanes = lanes_;
+    }
+
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    // Lane metadata first, so Perfetto names the swim-lanes.
+    for (const auto &[id, lane] : lanes) {
+        (void)id;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+           << "\"tid\":" << lane << ",\"args\":{\"name\":";
+        appendJsonString(os, lane == 0
+                                 ? "main"
+                                 : "worker-" + std::to_string(lane));
+        os << "}}";
+    }
+    for (const TraceEvent &event : events) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":";
+        appendJsonString(os, event.name);
+        os << ",\"cat\":";
+        appendJsonString(os, event.cat.empty() ? "cams" : event.cat);
+        os << ",\"ph\":\"" << event.phase << "\",\"pid\":1,\"tid\":"
+           << event.tid << ",\"ts\":" << event.ts;
+        if (event.phase == 'X')
+            os << ",\"dur\":" << event.dur;
+        if (event.phase == 'i')
+            os << ",\"s\":\"t\""; // instant scoped to its thread lane
+        if (!event.args.empty()) {
+            os << ",\"args\":{";
+            bool firstArg = true;
+            for (const auto &[key, value] : event.args) {
+                if (!firstArg)
+                    os << ",";
+                firstArg = false;
+                appendJsonString(os, key);
+                os << ":";
+                appendJsonString(os, value);
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+bool
+TraceSink::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toJson() << "\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace cams

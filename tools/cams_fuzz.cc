@@ -23,6 +23,7 @@
  * Usage:
  *   cams_fuzz [--iters N] [--seed S] [--jobs N] [--fault P]
  *             [--deadline-ms D] [--max-nodes N] [--out FILE]
+ *             [--trace FILE] [--trace-level L] [--metrics FILE]
  */
 
 #include <fstream>
@@ -35,8 +36,10 @@
 #include "pipeline/batch.hh"
 #include "pipeline/driver.hh"
 #include "sched/verifier.hh"
+#include "support/metrics.hh"
 #include "support/random.hh"
 #include "support/threadpool.hh"
+#include "support/trace.hh"
 #include "workload/generator.hh"
 
 namespace
@@ -61,7 +64,10 @@ usage()
            "(default 5000)\n"
            "  --max-nodes N    loop size ceiling (default 48)\n"
            "  --out FILE       stats JSON (default "
-           "BENCH_stress.json)\n";
+           "BENCH_stress.json)\n"
+           "  --trace FILE     write a Chrome trace-event JSON\n"
+           "  --trace-level L  phase (default) or decision\n"
+           "  --metrics FILE   write the metrics registry as JSON\n";
     return 2;
 }
 
@@ -96,6 +102,9 @@ main(int argc, char **argv)
     double deadline_ms = 5000.0;
     int max_nodes = 48;
     std::string out_path = "BENCH_stress.json";
+    std::string trace_path;
+    std::string metrics_path;
+    TraceLevel trace_level = TraceLevel::Phase;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -120,6 +129,16 @@ main(int argc, char **argv)
             ++i;
         } else if (arg == "--out" && value) {
             out_path = value;
+            ++i;
+        } else if (arg == "--trace" && value) {
+            trace_path = value;
+            ++i;
+        } else if (arg == "--trace-level" && value) {
+            if (!parseTraceLevel(value, trace_level))
+                return usage();
+            ++i;
+        } else if (arg == "--metrics" && value) {
+            metrics_path = value;
             ++i;
         } else {
             return usage();
@@ -159,6 +178,7 @@ main(int argc, char **argv)
         job.machine = &machines.back();
         job.clustered = true;
         job.options.verify = true;
+        job.options.trace.tag = "fuzz_" + std::to_string(i);
         if (i % 16 == 7) {
             // Guaranteed scheduler denial: the primary search cannot
             // succeed, so the degradation ladder must rescue the job.
@@ -173,11 +193,19 @@ main(int argc, char **argv)
         batch_jobs.push_back(std::move(job));
     }
 
+    std::unique_ptr<TraceSink> sink;
+    if (!trace_path.empty()) {
+        sink = std::make_unique<TraceSink>(trace_level);
+        for (CompileJob &job : batch_jobs)
+            job.options.trace.sink = sink.get();
+    }
+
     std::cerr << "cams_fuzz: " << iters << " jobs (seed " << seed
               << ", fault ceiling " << fault_max << ", " << jobs
               << " threads)..." << std::endl;
+    MetricsRegistry registry;
     const BatchOutcome outcome =
-        BatchRunner::run(batch_jobs, jobs, deadline_ms);
+        BatchRunner::run(batch_jobs, jobs, deadline_ms, &registry);
 
     // Oracle pass: every outcome is a verified schedule or a
     // classified failure.
@@ -247,5 +275,22 @@ main(int argc, char **argv)
          << "\"degraded_single_cluster\":" << degraded_single << ","
          << "\"stats\":" << stats.toJson() << "}\n";
     std::cout << out_path << " written\n";
+    if (sink) {
+        if (!sink->writeFile(trace_path)) {
+            std::cerr << "cannot write " << trace_path << "\n";
+            return 1;
+        }
+        std::cout << trace_path << " written (" << sink->eventCount()
+                  << " events, " << sink->laneCount() << " lanes)\n";
+    }
+    if (!metrics_path.empty()) {
+        std::ofstream metrics_out(metrics_path);
+        if (!metrics_out) {
+            std::cerr << "cannot write " << metrics_path << "\n";
+            return 1;
+        }
+        metrics_out << registry.toJson() << "\n";
+        std::cout << metrics_path << " written\n";
+    }
     return violations == 0 ? 0 : 1;
 }

@@ -34,11 +34,15 @@
 #include "pipeline/batch.hh"
 #include "pipeline/driver.hh"
 #include "regalloc/regalloc.hh"
+#include "report/trace_summary.hh"
 #include "sched/regmetrics.hh"
 #include "sched/stage.hh"
 #include "sim/compare.hh"
+#include "support/metrics.hh"
 #include "support/stats.hh"
+#include "support/str.hh"
 #include "support/threadpool.hh"
+#include "support/trace.hh"
 #include "workload/suite.hh"
 
 namespace
@@ -83,6 +87,12 @@ usage()
            "  --fault-seed S     seed of the fault injector "
            "(default 1)\n"
            "  --deadline-ms D    wall-clock budget per compile\n"
+           "  --trace FILE       write a Chrome trace-event JSON "
+           "(chrome://tracing, Perfetto)\n"
+           "  --trace-level L    phase (default) or decision "
+           "(per-node assignment verdicts)\n"
+           "  --metrics FILE     write the counter/histogram registry "
+           "as JSON\n"
            "  --stage-schedule   apply the register post-pass\n"
            "  --asm              print the kernel and pipeline listing\n"
            "  --emit-mve         print the MVE-unrolled kernel (no "
@@ -100,7 +110,8 @@ usage()
  */
 int
 runSuiteMode(int count, uint64_t seed, int jobs,
-             const MachineDesc &machine, const CompileOptions &options)
+             const MachineDesc &machine, const CompileOptions &options,
+             const std::string &metrics_path)
 {
     const std::vector<Dfg> suite = buildSuite(count, seed);
     const MachineDesc unified = machine.unifiedEquivalent();
@@ -108,10 +119,11 @@ runSuiteMode(int count, uint64_t seed, int jobs,
               << machine.name << " with " << jobs << " jobs..."
               << std::endl;
 
-    const BatchOutcome base =
-        BatchRunner::run(unifiedJobs(suite, unified, options), jobs);
-    const BatchOutcome clustered =
-        BatchRunner::run(clusteredJobs(suite, machine, options), jobs);
+    MetricsRegistry registry;
+    const BatchOutcome base = BatchRunner::run(
+        unifiedJobs(suite, unified, options), jobs, 0.0, &registry);
+    const BatchOutcome clustered = BatchRunner::run(
+        clusteredJobs(suite, machine, options), jobs, 0.0, &registry);
 
     IntHistogram deviations;
     int failures = 0;
@@ -146,6 +158,22 @@ runSuiteMode(int count, uint64_t seed, int jobs,
     std::cout << "\nfailures:  " << failures << " (" << degraded
               << " degraded)\n";
     std::cout << "batch:     " << clustered.stats.toJson() << "\n";
+
+    if (options.trace.sink) {
+        std::vector<std::string> names;
+        names.reserve(suite.size());
+        for (const Dfg &loop : suite)
+            names.push_back(loop.name());
+        std::cout << "\n" << renderTraceSummary(names, clustered);
+    }
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        if (!out) {
+            std::cerr << "cannot write " << metrics_path << "\n";
+            return 1;
+        }
+        out << registry.toJson() << "\n";
+    }
     return failures == 0 ? 0 : 1;
 }
 
@@ -168,10 +196,23 @@ main(int argc, char **argv)
     uint64_t seed = defaultSuiteSeed;
     double fault_prob = 0.0;
     uint64_t fault_seed = 1;
+    std::string trace_path;
+    std::string metrics_path;
+    TraceLevel trace_level = TraceLevel::Phase;
 
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        // Every value option accepts both "--opt VALUE" and
+        // "--opt=VALUE".
+        std::string inline_value;
+        const size_t eq = arg.find('=');
+        if (eq != std::string::npos && arg.rfind("--", 0) == 0) {
+            inline_value = arg.substr(eq + 1);
+            arg.resize(eq);
+        }
         auto next = [&]() -> const char * {
+            if (!inline_value.empty())
+                return inline_value.c_str();
             return i + 1 < argc ? argv[++i] : nullptr;
         };
         if (arg == "--loop") {
@@ -224,6 +265,20 @@ main(int argc, char **argv)
             if (!value)
                 return usage();
             options.timeBudgetMs = std::atof(value);
+        } else if (arg == "--trace") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            trace_path = value;
+        } else if (arg == "--trace-level") {
+            const char *value = next();
+            if (!value || !parseTraceLevel(value, trace_level))
+                return usage();
+        } else if (arg == "--metrics") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            metrics_path = value;
         } else if (arg == "--stage-schedule") {
             want_stage = true;
         } else if (arg == "--asm") {
@@ -288,8 +343,26 @@ main(int argc, char **argv)
             FaultConfig::uniform(fault_prob, fault_seed));
     }
 
-    if (suite_count > 0)
-        return runSuiteMode(suite_count, seed, jobs, machine, options);
+    std::unique_ptr<TraceSink> sink;
+    if (!trace_path.empty()) {
+        sink = std::make_unique<TraceSink>(trace_level);
+        options.trace.sink = sink.get();
+    }
+    auto write_trace = [&]() {
+        if (!sink)
+            return true;
+        if (!sink->writeFile(trace_path)) {
+            std::cerr << "cannot write " << trace_path << "\n";
+            return false;
+        }
+        return true;
+    };
+
+    if (suite_count > 0) {
+        const int rc = runSuiteMode(suite_count, seed, jobs, machine,
+                                    options, metrics_path);
+        return write_trace() ? rc : 1;
+    }
 
     if (!loop_path.empty()) {
         if (!readFile(loop_path, text)) {
@@ -311,10 +384,33 @@ main(int argc, char **argv)
         }
     }
 
+    if (!loop.name().empty())
+        options.trace.tag = loop.name();
     const CompileResult unified =
         compileUnified(loop, machine.unifiedEquivalent(), options);
     const CompileResult result =
         compileClustered(loop, machine, options);
+
+    // Trace and metrics files are worth having even when the compile
+    // failed -- that is when the timeline matters most.
+    if (!write_trace())
+        return 1;
+    if (!metrics_path.empty()) {
+        MetricsRegistry registry;
+        registry.record("total_ms", result.phaseMs.totalMs);
+        registry.record("assign_ms", result.phaseMs.assignMs);
+        registry.record("schedule_ms", result.phaseMs.scheduleMs);
+        registry.record("verify_ms", result.phaseMs.verifyMs);
+        if (result.success && result.degraded == DegradeLevel::None)
+            registry.record("ii_slack", result.ii - result.mii.mii);
+        std::ofstream out(metrics_path);
+        if (!out) {
+            std::cerr << "cannot write " << metrics_path << "\n";
+            return 1;
+        }
+        out << registry.toJson() << "\n";
+    }
+
     if (!result.success) {
         std::cerr << "compilation failed: "
                   << failureKindName(result.failure) << " (final II "
@@ -349,6 +445,15 @@ main(int argc, char **argv)
     std::cout << "clustered: II=" << result.ii << " (deviation "
               << result.ii - unified.ii << "), copies=" << result.copies
               << ", stages=" << schedule.stageCount() << "\n";
+    std::cout << "phases:    assign=" << formatFixed(
+                     result.phaseMs.assignMs, 2)
+              << "ms (order=" << formatFixed(result.phaseMs.orderMs, 2)
+              << " route=" << formatFixed(result.phaseMs.routeMs, 2)
+              << ") schedule="
+              << formatFixed(result.phaseMs.scheduleMs, 2)
+              << "ms verify=" << formatFixed(result.phaseMs.verifyMs, 2)
+              << "ms total=" << formatFixed(result.phaseMs.totalMs, 2)
+              << "ms over " << result.attempts << " II attempts\n";
     std::cout << "registers: MaxLive=" << regs.maxLive
               << " MVE=" << regs.mveFactor << "\n";
 

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON produced by --trace.
+
+Checks the shape Perfetto/chrome://tracing require: a traceEvents
+list whose entries carry name/ph/pid/tid/ts, complete ('X') events
+with a non-negative dur, and thread_name metadata for every lane that
+recorded events. With --expect-decisions it additionally requires at
+least one assignment-cascade decision event with per-cluster
+verdicts.
+
+Usage: check_trace.py TRACE.json [--expect-decisions] [--min-lanes N]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("trace")
+    parser.add_argument("--expect-decisions", action="store_true",
+                        help="require assign_decide events with "
+                             "per-cluster verdicts")
+    parser.add_argument("--min-lanes", type=int, default=1,
+                        help="minimum distinct tids with events")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot load {args.trace}: {err}")
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    lanes = set()
+    named_lanes = set()
+    scopes = 0
+    decisions = 0
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                fail(f"event {i} lacks '{key}': {event}")
+        ph = event["ph"]
+        if ph == "M":
+            if event["name"] == "thread_name":
+                named_lanes.add(event["tid"])
+            continue
+        if "ts" not in event:
+            fail(f"event {i} lacks 'ts': {event}")
+        lanes.add(event["tid"])
+        if ph == "X":
+            scopes += 1
+            if event.get("dur", -1) < 0:
+                fail(f"complete event {i} has negative/missing dur")
+        elif ph == "i":
+            if event["name"] == "assign_decide":
+                verdicts = event.get("args", {}).get("verdicts", "")
+                if ":" not in verdicts:
+                    fail(f"assign_decide without verdicts: {event}")
+                decisions += 1
+        else:
+            fail(f"event {i} has unexpected ph '{ph}'")
+
+    if scopes == 0:
+        fail("no phase scopes ('X' events) recorded")
+    if len(lanes) < args.min_lanes:
+        fail(f"{len(lanes)} lanes recorded, expected >= "
+             f"{args.min_lanes}")
+    if missing := lanes - named_lanes:
+        fail(f"lanes without thread_name metadata: {sorted(missing)}")
+    if args.expect_decisions and decisions == 0:
+        fail("no assign_decide events (is --trace-level decision on?)")
+
+    print(f"check_trace: OK: {len(events)} events, {scopes} scopes, "
+          f"{decisions} decisions, {len(lanes)} lanes")
+
+
+if __name__ == "__main__":
+    main()
