@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Compile-time benchmark of the incremental pipeline: runs the shared
+ * suite through the clustered driver twice -- once with the per-loop
+ * LoopContext cache and word-scan MRTs (CompileOptions::incremental,
+ * the default) and once with the from-scratch pre-cache pipeline --
+ * and writes the per-loop latency comparison to
+ * BENCH_compile_perf.json.
+ *
+ * The run doubles as the A/B determinism harness: every loop's result
+ * must be byte-identical between the two arms (II, every start cycle,
+ * every placement, every bookkeeping counter), or the binary aborts.
+ * That is the contract that makes the caching safe to leave on.
+ *
+ * Both arms run on one worker thread so per-loop wall times measure
+ * the compile itself, not scheduler contention; each arm is repeated
+ * --reps times (default 3) and the fastest repetition is reported.
+ * CI gates on the output via tools/check_compile_perf.py against the
+ * checked-in bench/baselines/compile_perf_baseline.json.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "machine/configs.hh"
+#include "support/str.hh"
+
+namespace
+{
+
+using namespace cams;
+
+/** Per-arm latency summary over the suite. */
+struct ArmTimes
+{
+    BatchOutcome outcome; ///< fastest repetition
+    double wallMs = 0.0;
+    double meanNs = 0.0;
+    double p50Ns = 0.0;
+    double p90Ns = 0.0;
+};
+
+double
+percentileNs(std::vector<double> sortedMs, double fraction)
+{
+    if (sortedMs.empty())
+        return 0.0;
+    const size_t index = std::min(
+        sortedMs.size() - 1,
+        static_cast<size_t>(fraction * (sortedMs.size() - 1) + 0.5));
+    return sortedMs[index] * 1e6;
+}
+
+ArmTimes
+timeArm(const std::vector<CompileJob> &jobs, int reps)
+{
+    ArmTimes arm;
+    for (int rep = 0; rep < reps; ++rep) {
+        BatchOutcome outcome = BatchRunner::run(jobs, 1);
+        if (rep == 0 || outcome.stats.cpuMillis < arm.wallMs) {
+            arm.wallMs = outcome.stats.cpuMillis;
+            arm.outcome = std::move(outcome);
+        }
+    }
+    std::vector<double> sorted = arm.outcome.jobMillis;
+    std::sort(sorted.begin(), sorted.end());
+    arm.meanNs = jobs.empty()
+                     ? 0.0
+                     : arm.outcome.stats.cpuMillis * 1e6 / jobs.size();
+    arm.p50Ns = percentileNs(sorted, 0.50);
+    arm.p90Ns = percentileNs(sorted, 0.90);
+    return arm;
+}
+
+/** Demands byte-identical compile results between the arms. */
+void
+checkDeterminism(const BatchOutcome &cached,
+                 const BatchOutcome &scratch)
+{
+    auto die = [](size_t i, const char *what) {
+        std::cerr << "A/B determinism violation on loop " << i << ": "
+                  << what << " differs between the incremental and "
+                  << "from-scratch pipelines\n";
+        std::abort();
+    };
+    for (size_t i = 0; i < cached.results.size(); ++i) {
+        const CompileResult &a = cached.results[i];
+        const CompileResult &b = scratch.results[i];
+        if (a.success != b.success)
+            die(i, "success");
+        if (a.ii != b.ii || a.mii.mii != b.mii.mii)
+            die(i, "II");
+        if (a.attempts != b.attempts ||
+            a.assignRetries != b.assignRetries)
+            die(i, "search trajectory");
+        if (a.copies != b.copies || a.evictions != b.evictions)
+            die(i, "assignment");
+        if (a.failure != b.failure || a.degraded != b.degraded)
+            die(i, "failure classification");
+        if (!a.success)
+            continue;
+        if (a.schedule.startCycle != b.schedule.startCycle)
+            die(i, "schedule");
+        if (a.loop.placement.size() != b.loop.placement.size())
+            die(i, "placement count");
+        for (size_t v = 0; v < a.loop.placement.size(); ++v) {
+            if (a.loop.placement[v].cluster !=
+                    b.loop.placement[v].cluster ||
+                a.loop.placement[v].copyDsts !=
+                    b.loop.placement[v].copyDsts) {
+                die(i, "placement");
+            }
+        }
+    }
+}
+
+std::string
+armJson(const ArmTimes &arm, size_t loops)
+{
+    const BatchStats &stats = arm.outcome.stats;
+    const PhaseTimes totals = [&] {
+        PhaseTimes sum;
+        for (const CompileResult &result : arm.outcome.results) {
+            sum.orderMs += result.phaseMs.orderMs;
+            sum.assignMs += result.phaseMs.assignMs;
+            sum.routeMs += result.phaseMs.routeMs;
+            sum.scheduleMs += result.phaseMs.scheduleMs;
+            sum.verifyMs += result.phaseMs.verifyMs;
+            sum.totalMs += result.phaseMs.totalMs;
+        }
+        return sum;
+    }();
+    auto perLoopNs = [&](double ms) {
+        return loops == 0 ? 0.0 : ms * 1e6 / static_cast<double>(loops);
+    };
+    std::ostringstream os;
+    os << "{\"cpu_ms\":" << formatFixed(stats.cpuMillis, 3) << ","
+       << "\"mean_ns_per_loop\":" << formatFixed(arm.meanNs, 0) << ","
+       << "\"p50_ns\":" << formatFixed(arm.p50Ns, 0) << ","
+       << "\"p90_ns\":" << formatFixed(arm.p90Ns, 0) << ","
+       << "\"phase_ns_per_loop\":{"
+       << "\"assign\":" << formatFixed(perLoopNs(totals.assignMs), 0)
+       << ",\"order\":" << formatFixed(perLoopNs(totals.orderMs), 0)
+       << ",\"route\":" << formatFixed(perLoopNs(totals.routeMs), 0)
+       << ",\"schedule\":"
+       << formatFixed(perLoopNs(totals.scheduleMs), 0)
+       << ",\"verify\":" << formatFixed(perLoopNs(totals.verifyMs), 0)
+       << ",\"total\":" << formatFixed(perLoopNs(totals.totalMs), 0)
+       << "},"
+       << "\"ctx_hits\":" << stats.ctxHits << ","
+       << "\"ctx_misses\":" << stats.ctxMisses << ","
+       << "\"mrt_word_scans\":" << stats.mrtWordScans << "}";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cams;
+    benchutil::parseBatchArgs(argc, argv);
+    int reps = 3;
+    if (const char *env = std::getenv("CAMS_PERF_REPS")) {
+        const int value = std::atoi(env);
+        if (value > 0)
+            reps = value;
+    }
+
+    const MachineDesc machine = busedGpMachine(2, 2, 1);
+    const std::vector<Dfg> &suite = benchutil::sharedSuite();
+
+    CompileOptions cached;
+    cached.incremental = true;
+    CompileOptions scratch = cached;
+    scratch.incremental = false;
+
+    std::cerr << "timing " << suite.size() << " loops on "
+              << machine.name << ", " << reps
+              << " reps per arm (incremental vs from-scratch)..."
+              << std::endl;
+    const ArmTimes incremental =
+        timeArm(clusteredJobs(suite, machine, cached), reps);
+    const ArmTimes baseline =
+        timeArm(clusteredJobs(suite, machine, scratch), reps);
+    checkDeterminism(incremental.outcome, baseline.outcome);
+
+    const double speedupMean =
+        incremental.meanNs > 0.0 ? baseline.meanNs / incremental.meanNs
+                                 : 0.0;
+    const double speedupP50 =
+        incremental.p50Ns > 0.0 ? baseline.p50Ns / incremental.p50Ns
+                                : 0.0;
+    // Machine-independent cost of the incremental arm: its per-loop
+    // time in units of the same machine's from-scratch time. The CI
+    // gate tracks this ratio across PRs, so perf regressions surface
+    // without depending on runner hardware.
+    const double normalizedMean =
+        baseline.meanNs > 0.0 ? incremental.meanNs / baseline.meanNs
+                              : 0.0;
+
+    std::ofstream json("BENCH_compile_perf.json");
+    json << "{\"bench\":\"compile_perf\","
+         << "\"loops\":" << suite.size() << ","
+         << "\"machine\":\"" << machine.name << "\","
+         << "\"reps\":" << reps << ","
+         << "\"identical_schedules\":true,"
+         << "\"speedup_mean\":" << formatFixed(speedupMean, 3) << ","
+         << "\"speedup_p50\":" << formatFixed(speedupP50, 3) << ","
+         << "\"normalized_mean\":" << formatFixed(normalizedMean, 4)
+         << ","
+         << "\"incremental\":" << armJson(incremental, suite.size())
+         << ","
+         << "\"baseline\":" << armJson(baseline, suite.size()) << "}\n";
+
+    std::cout << "compile perf over " << suite.size()
+              << " loops (best of " << reps << " reps):\n"
+              << "  from-scratch: "
+              << formatFixed(baseline.meanNs / 1000.0, 1)
+              << " us/loop mean, p50 "
+              << formatFixed(baseline.p50Ns / 1000.0, 1) << " p90 "
+              << formatFixed(baseline.p90Ns / 1000.0, 1) << "\n"
+              << "  incremental:  "
+              << formatFixed(incremental.meanNs / 1000.0, 1)
+              << " us/loop mean, p50 "
+              << formatFixed(incremental.p50Ns / 1000.0, 1) << " p90 "
+              << formatFixed(incremental.p90Ns / 1000.0, 1) << "\n"
+              << "  speedup: " << formatFixed(speedupMean, 2)
+              << "x mean, " << formatFixed(speedupP50, 2)
+              << "x p50; schedules identical\n"
+              << "BENCH_compile_perf.json written\n";
+    benchutil::writeObservability();
+    return 0;
+}

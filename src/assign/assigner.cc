@@ -1,10 +1,12 @@
 #include "assign/assigner.hh"
 
 #include <algorithm>
+#include <array>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <set>
+#include <span>
 
 #include "assign/router.hh"
 #include "assign/selector.hh"
@@ -12,6 +14,7 @@
 #include "graph/scc.hh"
 #include "order/scc_sets.hh"
 #include "order/swing_order.hh"
+#include "pipeline/context.hh"
 #include "support/logging.hh"
 #include "support/time.hh"
 
@@ -90,18 +93,73 @@ class AssignState
     {
         NodeId node = invalidNode;
         bool fuSet = false;
-        Reservation fuRes;
         /** (value, previous comm or nullopt-as-empty) in log order. */
         std::vector<std::pair<NodeId, std::optional<ValueComm>>> oldComms;
     };
 
-    AssignState(const Dfg &graph, const ResourceModel &model, int ii,
-                FaultInjector *faults)
+    AssignState(const Dfg &graph, const ResourceModel &model, Mrt &mrt,
+                FaultInjector *faults, const Adjacency *adjacency)
         : graph_(graph), model_(model), machine_(model.machine()),
-          faults_(faults), mrt_(model, ii)
+          faults_(faults), adj_(adjacency), mrt_(mrt)
     {
         clusterOf_.assign(graph.numNodes(), invalidCluster);
         fuRes_.assign(graph.numNodes(), Reservation{});
+        if (adj_) {
+            // Pool lists per cluster, ascending and deduplicated like
+            // the per-call std::set in freeClusterResources.
+            clusterPools_.resize(machine_.numClusters());
+            for (ClusterId c = 0; c < machine_.numClusters(); ++c) {
+                std::set<PoolId> pools;
+                for (int cls = 0; cls < numFuClasses; ++cls) {
+                    const PoolId pool =
+                        model_.fuPool(c, static_cast<FuClass>(cls));
+                    if (pool != invalidPool)
+                        pools.insert(pool);
+                }
+                if (model_.readPool(c) != invalidPool)
+                    pools.insert(model_.readPool(c));
+                if (model_.writePool(c) != invalidPool)
+                    pools.insert(model_.writePool(c));
+                clusterPools_[c].assign(pools.begin(), pools.end());
+            }
+            opReq_.resize(machine_.numClusters());
+            for (ClusterId c = 0; c < machine_.numClusters(); ++c) {
+                for (int cls = 0; cls < numFuClasses; ++cls) {
+                    const PoolId pool =
+                        model_.fuPool(c, static_cast<FuClass>(cls));
+                    if (pool != invalidPool)
+                        opReq_[c][cls] = {pool};
+                }
+            }
+            seen_.assign(graph.numNodes(), false);
+            hasComm_.assign(graph.numNodes(), 0);
+        }
+    }
+
+    /**
+     * The node's distinct predecessors, ascending. Reads the packed
+     * adjacency when the compile carries one; otherwise falls back to
+     * the allocating Dfg query (the pre-cache behavior), staged
+     * through a scratch buffer. Iterations of predsOf and succsOf may
+     * nest with each other but not with themselves.
+     */
+    std::span<const NodeId>
+    predsOf(NodeId node) const
+    {
+        if (adj_)
+            return adj_->preds(node);
+        predScratch_ = graph_.predecessors(node);
+        return {predScratch_.data(), predScratch_.size()};
+    }
+
+    /** The node's distinct successors, ascending (see predsOf). */
+    std::span<const NodeId>
+    succsOf(NodeId node) const
+    {
+        if (adj_)
+            return adj_->succs(node);
+        succScratch_ = graph_.successors(node);
+        return {succScratch_.data(), succScratch_.size()};
     }
 
     ClusterId clusterOf(NodeId node) const { return clusterOf_[node]; }
@@ -120,6 +178,8 @@ class AssignState
     int
     totalCopies() const
     {
+        if (adj_)
+            return copyOps_;
         int total = 0;
         for (const auto &[value, comm] : comm_)
             total += comm.copyCount(machine_.broadcast());
@@ -154,18 +214,33 @@ class AssignState
         TryOutcome outcome;
 
         const Opcode op = graph_.node(node).op;
-        if (model_.fuPool(cluster, opcodeFuClass(op)) == invalidPool) {
+        const FuClass cls = opcodeFuClass(op);
+        if (model_.fuPool(cluster, cls) == invalidPool) {
             outcome.kind = FailKind::Fu;
             return outcome;
         }
-        auto fu = mrt_.reserve(model_.opRequest(cluster, op));
-        if (!fu) {
-            outcome.kind = FailKind::Fu;
-            return outcome;
+        // The request is one pool per (cluster, class); adjacency mode
+        // serves it from a table instead of allocating per probe.
+        if (adj_) {
+            const std::vector<PoolId> &req =
+                opReq_[cluster][static_cast<int>(cls)];
+            const int row = mrt_.findRow(req);
+            if (row < 0) {
+                outcome.kind = FailKind::Fu;
+                return outcome;
+            }
+            // Straight into the node's slot: its pools capacity
+            // survives from earlier probes of the same node.
+            mrt_.reserveAtInto(req, row, fuRes_[node]);
+        } else {
+            auto fu = mrt_.reserve(model_.opRequest(cluster, op));
+            if (!fu) {
+                outcome.kind = FailKind::Fu;
+                return outcome;
+            }
+            fuRes_[node] = std::move(*fu);
         }
         log.fuSet = true;
-        log.fuRes = *fu;
-        fuRes_[node] = *fu;
         clusterOf_[node] = cluster;
 
         // Communication of the node's own value, then of each newly
@@ -174,9 +249,11 @@ class AssignState
         // per-phase breakdown (timed per tryAssign, not per value, to
         // keep the always-on cost to two clock reads per placement).
         const Stopwatch route_watch;
-        std::vector<NodeId> values;
+        std::vector<NodeId> local_values;
+        std::vector<NodeId> &values = adj_ ? valuesScratch_ : local_values;
+        values.clear();
         values.push_back(node);
-        for (NodeId pred : graph_.predecessors(node)) {
+        for (NodeId pred : predsOf(node)) {
             if (pred != node && assigned(pred))
                 values.push_back(pred);
         }
@@ -208,20 +285,33 @@ class AssignState
             auto current = comm_.find(it->first);
             if (current != comm_.end()) {
                 releaseComm(current->second);
+                copyOps_ -= commOps(current->second);
                 comm_.erase(current);
+                if (adj_)
+                    hasComm_[it->first] = 0;
             }
         }
         for (auto &[value, old] : txn.oldComms) {
             if (old) {
                 restoreComm(*old);
-                comm_[value] = *old;
+                copyOps_ += commOps(*old);
+                comm_[value] = std::move(*old);
+                if (adj_)
+                    hasComm_[value] = 1;
             }
         }
         txn.oldComms.clear();
         if (txn.fuSet) {
-            mrt_.release(txn.fuRes);
+            // fuRes_[node] is exactly the reservation tryAssign made;
+            // releasing it here spares the Txn a second copy.
+            mrt_.release(fuRes_[txn.node]);
             clusterOf_[txn.node] = invalidCluster;
-            fuRes_[txn.node] = Reservation{};
+            if (adj_) {
+                fuRes_[txn.node].row = -1;
+                fuRes_[txn.node].pools.clear();
+            } else {
+                fuRes_[txn.node] = Reservation{};
+            }
             txn.fuSet = false;
         }
     }
@@ -235,16 +325,24 @@ class AssignState
         auto own = comm_.find(node);
         if (own != comm_.end()) {
             releaseComm(own->second);
+            copyOps_ -= commOps(own->second);
             comm_.erase(own);
+            if (adj_)
+                hasComm_[node] = 0;
         }
         mrt_.release(fuRes_[node]);
-        fuRes_[node] = Reservation{};
+        if (adj_) {
+            fuRes_[node].row = -1;
+            fuRes_[node].pools.clear();
+        } else {
+            fuRes_[node] = Reservation{};
+        }
         clusterOf_[node] = invalidCluster;
 
         // Predecessor values may stop crossing clusters: shrink their
         // communication. Shrinking can always be re-reserved because
         // the released slots strictly cover the new need.
-        for (NodeId pred : graph_.predecessors(node)) {
+        for (NodeId pred : predsOf(node)) {
             if (pred == node || !assigned(pred))
                 continue;
             Txn shrink;
@@ -275,7 +373,7 @@ class AssignState
             if (clusterOf_[v] != cluster)
                 continue;
             int unassigned_succs = 0;
-            for (NodeId succ : graph_.successors(v)) {
+            for (NodeId succ : succsOf(v)) {
                 if (succ != v && !assigned(succ))
                     ++unassigned_succs;
             }
@@ -311,6 +409,26 @@ class AssignState
     int
     predictedIncomingCopies(ClusterId cluster) const
     {
+        if (adj_) {
+            // Same distinct-producer count, via a reusable mark table
+            // instead of a per-call std::set.
+            int distinct = 0;
+            touched_.clear();
+            for (NodeId v = 0; v < graph_.numNodes(); ++v) {
+                if (clusterOf_[v] != cluster)
+                    continue;
+                for (NodeId pred : adj_->preds(v)) {
+                    if (pred != v && !assigned(pred) && !seen_[pred]) {
+                        seen_[pred] = true;
+                        touched_.push_back(pred);
+                        ++distinct;
+                    }
+                }
+            }
+            for (NodeId pred : touched_)
+                seen_[pred] = false;
+            return distinct;
+        }
         std::set<NodeId> producers;
         for (NodeId v = 0; v < graph_.numNodes(); ++v) {
             if (clusterOf_[v] != cluster)
@@ -354,6 +472,12 @@ class AssignState
     int
     freeClusterResources(ClusterId cluster) const
     {
+        if (adj_) {
+            int free = 0;
+            for (PoolId pool : clusterPools_[cluster])
+                free += mrt_.freeTotal(pool);
+            return free;
+        }
         int free = 0;
         std::set<PoolId> pools;
         for (int cls = 0; cls < numFuClasses; ++cls) {
@@ -385,7 +509,7 @@ class AssignState
     conflictingNeighbors(NodeId node, ClusterId cluster) const
     {
         int conflicts = 0;
-        auto count = [&](const std::vector<NodeId> &neighbors) {
+        auto count = [&](std::span<const NodeId> neighbors) {
             for (NodeId other : neighbors) {
                 if (other != node && assigned(other) &&
                     clusterOf_[other] != cluster) {
@@ -393,8 +517,8 @@ class AssignState
                 }
             }
         };
-        count(graph_.predecessors(node));
-        count(graph_.successors(node));
+        count(predsOf(node));
+        count(succsOf(node));
         return conflicts;
     }
 
@@ -403,7 +527,7 @@ class AssignState
     remoteConsumers(NodeId value) const
     {
         std::vector<NodeId> result;
-        for (NodeId succ : graph_.successors(value)) {
+        for (NodeId succ : succsOf(value)) {
             if (succ != value && assigned(succ) &&
                 clusterOf_[succ] != clusterOf_[value]) {
                 result.push_back(succ);
@@ -499,21 +623,49 @@ class AssignState
         cams_assert(assigned(value), "syncComm on unassigned value");
         const ClusterId src = clusterOf_[value];
 
-        std::set<ClusterId> desired_set;
-        for (NodeId succ : graph_.successors(value)) {
-            if (succ != value && assigned(succ) &&
-                clusterOf_[succ] != src) {
-                desired_set.insert(clusterOf_[succ]);
+        std::vector<ClusterId> local_desired;
+        std::vector<ClusterId> &desired =
+            adj_ ? desiredScratch_ : local_desired;
+        if (adj_) {
+            // Same sorted-unique destination set as the std::set
+            // below, built in a reusable buffer.
+            desired.clear();
+            for (NodeId succ : adj_->succs(value)) {
+                if (succ != value && assigned(succ) &&
+                    clusterOf_[succ] != src) {
+                    desired.push_back(clusterOf_[succ]);
+                }
             }
+            std::sort(desired.begin(), desired.end());
+            desired.erase(std::unique(desired.begin(), desired.end()),
+                          desired.end());
+        } else {
+            std::set<ClusterId> desired_set;
+            for (NodeId succ : succsOf(value)) {
+                if (succ != value && assigned(succ) &&
+                    clusterOf_[succ] != src) {
+                    desired_set.insert(clusterOf_[succ]);
+                }
+            }
+            desired.assign(desired_set.begin(), desired_set.end());
         }
-        std::vector<ClusterId> desired(desired_set.begin(),
-                                       desired_set.end());
+
+        // Common case in adjacency mode: the value has no copies and
+        // needs none -- skip the map lookup entirely.
+        if (adj_ && desired.empty() && !hasComm_[value])
+            return true;
 
         auto current = comm_.find(value);
         const bool broadcast = machine_.broadcast();
-        if (current != comm_.end() &&
-            current->second.reached(broadcast) == desired) {
-            return true;
+        if (current != comm_.end()) {
+            // reached(broadcast) allocates; on broadcast machines the
+            // destination list is stored directly, so compare in
+            // place.
+            const bool unchanged =
+                broadcast ? current->second.dsts == desired
+                          : current->second.reached(false) == desired;
+            if (unchanged)
+                return true;
         }
         if (current == comm_.end() && desired.empty())
             return true;
@@ -529,7 +681,17 @@ class AssignState
         }
         if (!logged) {
             if (current != comm_.end()) {
-                txn.oldComms.emplace_back(value, current->second);
+                // The entry is released and erased below either way,
+                // so the log takes it by move rather than copying the
+                // reservation vectors.
+                txn.oldComms.emplace_back(value,
+                                          std::move(current->second));
+                releaseComm(*txn.oldComms.back().second);
+                copyOps_ -= commOps(*txn.oldComms.back().second);
+                comm_.erase(current);
+                if (adj_)
+                    hasComm_[value] = 0;
+                current = comm_.end();
             } else {
                 txn.oldComms.emplace_back(value, std::nullopt);
             }
@@ -537,7 +699,10 @@ class AssignState
 
         if (current != comm_.end()) {
             releaseComm(current->second);
+            copyOps_ -= commOps(current->second);
             comm_.erase(current);
+            if (adj_)
+                hasComm_[value] = 0;
         }
         if (desired.empty())
             return true;
@@ -566,8 +731,18 @@ class AssignState
                 fresh.hops.push_back({hop, *res});
             }
         }
+        copyOps_ += commOps(fresh);
         comm_[value] = std::move(fresh);
+        if (adj_)
+            hasComm_[value] = 1;
         return true;
+    }
+
+    /** The record's copy-op count, as copyCount() reports it. */
+    int
+    commOps(const ValueComm &comm) const
+    {
+        return comm.copyCount(machine_.broadcast());
     }
 
     void
@@ -595,11 +770,31 @@ class AssignState
     const ResourceModel &model_;
     const MachineDesc &machine_;
     FaultInjector *faults_ = nullptr;
+    /** Packed neighbor lists, or null for the pre-cache behavior. */
+    const Adjacency *adj_ = nullptr;
     int64_t routeMicros_ = 0;
-    Mrt mrt_;
+    Mrt &mrt_;
     std::vector<ClusterId> clusterOf_;
     std::vector<Reservation> fuRes_;
     std::map<NodeId, ValueComm> comm_;
+    /** Sorted-unique local pools per cluster (adjacency mode only). */
+    std::vector<std::vector<PoolId>> clusterPools_;
+    /** Fallback staging for predsOf/succsOf when adj_ is null. */
+    mutable std::vector<NodeId> predScratch_;
+    mutable std::vector<NodeId> succScratch_;
+    /** Mark table + undo list for predictedIncomingCopies. */
+    mutable std::vector<bool> seen_;
+    mutable std::vector<NodeId> touched_;
+    /** Reusable buffers for tryAssign / syncComm (adjacency mode). */
+    std::vector<NodeId> valuesScratch_;
+    std::vector<ClusterId> desiredScratch_;
+    /** Per-(cluster, class) operation request (adjacency mode). */
+    std::vector<std::array<std::vector<PoolId>, numFuClasses>> opReq_;
+    /** Per-value comm_ membership, mirroring the map (adjacency
+     *  mode): lets syncComm skip the lookup for copy-free values. */
+    std::vector<char> hasComm_;
+    /** Running copy-op count; totalCopies() in adjacency mode. */
+    int copyOps_ = 0;
 };
 
 } // namespace
@@ -624,10 +819,20 @@ traceEnabled()
 } // namespace
 
 AssignResult
-ClusterAssigner::run(const Dfg &graph, int ii) const
+ClusterAssigner::run(const Dfg &graph, int ii, LoopContext *ctx) const
 {
     const int restarts =
         options_.iterative ? std::max(1, options_.restartsPerIi) : 1;
+
+    // The context's scratch table survives restarts and II probes;
+    // without one, a run-local table does the same across restarts.
+    std::optional<Mrt> local;
+    if (!ctx)
+        local.emplace(model_, ii, options_.mrtScan);
+    Mrt &mrt = ctx ? ctx->scratchMrt(model_, ii) : *local;
+    mrt.setScanMode(options_.mrtScan);
+    const long scan_base = mrt.wordScans();
+
     AssignResult result;
     int evictions = 0;
     int invariant_failures = 0;
@@ -635,7 +840,7 @@ ClusterAssigner::run(const Dfg &graph, int ii) const
     double route_ms = 0.0;
     for (int rotation = 0; rotation < restarts; ++rotation) {
         try {
-            result = runAttempt(graph, ii, rotation);
+            result = runAttempt(graph, ii, rotation, mrt, ctx);
         } catch (const InternalError &err) {
             // The attempt's state is corrupt; abandon it wholesale and
             // let the next rotation start from scratch. Nothing leaks:
@@ -655,6 +860,7 @@ ClusterAssigner::run(const Dfg &graph, int ii) const
         route_ms += result.routeMillis;
         result.routeMillis = route_ms;
         result.invariantFailures = invariant_failures;
+        result.wordScans = mrt.wordScans() - scan_base;
         if (result.success)
             return result;
     }
@@ -662,46 +868,67 @@ ClusterAssigner::run(const Dfg &graph, int ii) const
 }
 
 AssignResult
-ClusterAssigner::runAttempt(const Dfg &graph, int ii, int rotation) const
+ClusterAssigner::runAttempt(const Dfg &graph, int ii, int rotation,
+                            Mrt &mrt, LoopContext *ctx) const
 {
     AssignResult result;
     const MachineDesc &machine = model_.machine();
 
-    std::string why;
-    if (!graph.wellFormed(&why))
-        cams_fatal("assigning a malformed graph: ", why);
-    for (const DfgNode &node : graph.nodes()) {
-        if (node.op == Opcode::Copy)
-            cams_fatal("input graphs must not contain copies");
-        if (!machine.canExecute(node.op)) {
-            cams_fatal("machine '", machine.name, "' cannot execute ",
-                       opcodeName(node.op));
+    if (ctx) {
+        ctx->checkAssignable(machine);
+    } else {
+        std::string why;
+        if (!graph.wellFormed(&why))
+            cams_fatal("assigning a malformed graph: ", why);
+        for (const DfgNode &node : graph.nodes()) {
+            if (node.op == Opcode::Copy)
+                cams_fatal("input graphs must not contain copies");
+            if (!machine.canExecute(node.op)) {
+                cams_fatal("machine '", machine.name,
+                           "' cannot execute ", opcodeName(node.op));
+            }
         }
     }
 
-    AssignState state(graph, model_, ii, options_.faults);
+    mrt.reset(ii);
+    AssignState state(graph, model_, mrt, options_.faults,
+                      ctx ? &ctx->adjacency() : nullptr);
     const Stopwatch order_watch;
-    const SccInfo sccs = findSccs(graph);
-    const NodeSets sets = buildPrioritySets(graph, sccs);
-    const TimeAnalysis timing = analyzeTiming(graph, ii);
-    std::vector<NodeId> order;
+    std::optional<SccInfo> local_sccs;
+    std::optional<NodeSets> local_sets;
+    std::optional<TimeAnalysis> local_timing;
+    const SccInfo &sccs =
+        ctx ? ctx->sccs() : local_sccs.emplace(findSccs(graph));
+    const NodeSets &sets =
+        ctx ? ctx->prioritySets()
+            : local_sets.emplace(buildPrioritySets(graph, sccs));
+    const TimeAnalysis &timing =
+        ctx ? ctx->timing(ii)
+            : local_timing.emplace(analyzeTiming(graph, ii));
+    std::vector<NodeId> local_order;
+    const std::vector<NodeId> *order_ptr = &local_order;
     if (options_.policy == AssignPolicy::AcyclicBug) {
         // BUG processes operations in acyclic dependence order.
-        order.resize(graph.numNodes());
+        local_order.resize(graph.numNodes());
         for (NodeId v = 0; v < graph.numNodes(); ++v)
-            order[v] = v;
-        std::stable_sort(order.begin(), order.end(),
+            local_order[v] = v;
+        std::stable_sort(local_order.begin(), local_order.end(),
                          [&](NodeId a, NodeId b) {
                              return timing.asap[a] < timing.asap[b];
                          });
     } else if (options_.useSwingOrder) {
-        order = swingOrder(graph, sets, timing);
+        if (ctx) {
+            order_ptr = &ctx->swingOrder(ii);
+        } else {
+            local_order = swingOrder(graph, sets, timing);
+        }
     } else {
         // Ablation: plain id order.
-        order.resize(graph.numNodes());
+        local_order.resize(graph.numNodes());
         for (NodeId v = 0; v < graph.numNodes(); ++v)
-            order[v] = v;
+            local_order[v] = v;
     }
+    const std::vector<NodeId> &order = *order_ptr;
 
     std::vector<int> rank(graph.numNodes(), 0);
     for (size_t i = 0; i < order.size(); ++i)
@@ -740,22 +967,66 @@ ClusterAssigner::runAttempt(const Dfg &graph, int ii, int rotation) const
         return out;
     };
 
-    // Unassigned nodes, highest priority (lowest rank) first.
+    // Unassigned nodes, highest priority (lowest rank) first. With a
+    // context the tree set becomes a rank-indexed bitmap with a
+    // moving minimum cursor: identical iteration order (ranks are a
+    // permutation, so (rank, node) pairs sort exactly like ranks),
+    // no tree rebalance or node allocation per eviction round.
+    const int nn = graph.numNodes();
     std::set<std::pair<int, NodeId>> pending;
-    for (NodeId v = 0; v < graph.numNodes(); ++v)
-        pending.insert({rank[v], v});
+    std::vector<char> pendingRank;
+    int pendingCount = 0;
+    int minRank = 0;
+    if (ctx) {
+        pendingRank.assign(nn, 1);
+        pendingCount = nn;
+    } else {
+        for (NodeId v = 0; v < nn; ++v)
+            pending.insert({rank[v], v});
+    }
+    auto pendingEmpty = [&] {
+        return ctx ? pendingCount == 0 : pending.empty();
+    };
+    auto pendingTop = [&]() -> NodeId {
+        if (ctx) {
+            while (!pendingRank[minRank])
+                ++minRank;
+            return order[minRank];
+        }
+        return pending.begin()->second;
+    };
+    auto pendingErase = [&](NodeId v) {
+        if (ctx) {
+            pendingRank[rank[v]] = 0;
+            --pendingCount;
+        } else {
+            pending.erase({rank[v], v});
+        }
+    };
+    auto pendingInsert = [&](NodeId v) {
+        if (ctx) {
+            if (!pendingRank[rank[v]]) {
+                pendingRank[rank[v]] = 1;
+                ++pendingCount;
+            }
+            minRank = std::min(minRank, rank[v]);
+        } else {
+            pending.insert({rank[v], v});
+        }
+    };
 
-    std::vector<std::vector<bool>> tried(
-        graph.numNodes(),
-        std::vector<bool>(machine.numClusters(), false));
-
+    const int clusters = machine.numClusters();
+    std::vector<char> tried(static_cast<size_t>(nn) * clusters, 0);
+    auto triedAt = [&](NodeId node, ClusterId cluster) -> char & {
+        return tried[static_cast<size_t>(node) * clusters + cluster];
+    };
     auto markTried = [&](NodeId node, ClusterId cluster) {
-        auto &flags = tried[node];
-        flags[cluster] = true;
-        if (std::all_of(flags.begin(), flags.end(),
-                        [](bool b) { return b; })) {
-            std::fill(flags.begin(), flags.end(), false);
-            flags[cluster] = true;
+        char *flags = &tried[static_cast<size_t>(node) * clusters];
+        flags[cluster] = 1;
+        if (std::all_of(flags, flags + clusters,
+                        [](char b) { return b != 0; })) {
+            std::fill(flags, flags + clusters, char(0));
+            flags[cluster] = 1;
         }
     };
 
@@ -782,16 +1053,17 @@ ClusterAssigner::runAttempt(const Dfg &graph, int ii, int rotation) const
         return start;
     };
 
-    while (!pending.empty()) {
-        const NodeId node = pending.begin()->second;
+    std::vector<ClusterChoice> choices;
+    while (!pendingEmpty()) {
+        const NodeId node = pendingTop();
         const bool in_scc = sccs.inRecurrence(node);
 
-        std::vector<ClusterChoice> choices;
+        choices.clear();
         const int copies_before = state.totalCopies();
         for (ClusterId c = 0; c < machine.numClusters(); ++c) {
             ClusterChoice choice;
             choice.cluster = c;
-            choice.previouslyTried = tried[node][c];
+            choice.previouslyTried = triedAt(node, c) != 0;
             if (in_scc) {
                 for (NodeId mate : sccs.components[sccs.componentOf[node]]) {
                     if (mate != node && state.assigned(mate) &&
@@ -854,7 +1126,8 @@ ClusterAssigner::runAttempt(const Dfg &graph, int ii, int rotation) const
         if (best != invalidCluster) {
             const auto outcome = state.tryAssign(node, best);
             cams_check(outcome.ok, "committed assignment failed");
-            est[node] = estimateStart(node, best, state);
+            if (options_.policy == AssignPolicy::AcyclicBug)
+                est[node] = estimateStart(node, best, state);
             if (traceEnabled()) {
                 std::cerr << "[assign] " << graph.node(node).name
                           << " -> C" << best << "\n";
@@ -870,7 +1143,7 @@ ClusterAssigner::runAttempt(const Dfg &graph, int ii, int rotation) const
                      {"verdicts", verdictSummary(explain)}});
             }
             markTried(node, best);
-            pending.erase(pending.begin());
+            pendingErase(node);
             continue;
         }
 
@@ -942,7 +1215,7 @@ ClusterAssigner::runAttempt(const Dfg &graph, int ii, int rotation) const
                     // around the forced placement. (The node is not
                     // yet assigned, so remoteness is measured against
                     // the forced cluster.)
-                    for (NodeId succ : graph.successors(node)) {
+                    for (NodeId succ : state.succsOf(node)) {
                         if (succ != node && state.assigned(succ) &&
                             state.clusterOf(succ) != forced) {
                             victims.push_back(succ);
@@ -974,8 +1247,8 @@ ClusterAssigner::runAttempt(const Dfg &graph, int ii, int rotation) const
                                 std::to_string(victim);
                 }
                 int tried_count = 0;
-                for (const bool flag : tried[node])
-                    tried_count += flag ? 1 : 0;
+                for (ClusterId c = 0; c < clusters; ++c)
+                    tried_count += triedAt(node, c) ? 1 : 0;
                 traceInstant(
                     "force_place",
                     {{"evictor", graph.node(node).name + "#" +
@@ -1027,12 +1300,13 @@ ClusterAssigner::runAttempt(const Dfg &graph, int ii, int rotation) const
             }
             for (NodeId victim : victims) {
                 state.unassign(victim);
-                pending.insert({rank[victim], victim});
+                pendingInsert(victim);
             }
         }
-        est[node] = estimateStart(node, forced, state);
+        if (options_.policy == AssignPolicy::AcyclicBug)
+            est[node] = estimateStart(node, forced, state);
         markTried(node, forced);
-        pending.erase({rank[node], node});
+        pendingErase(node);
     }
 
     result.loop = state.materialize();

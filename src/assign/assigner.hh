@@ -39,6 +39,8 @@
 namespace cams
 {
 
+class LoopContext;
+
 /** Which assignment policy drives cluster selection. */
 enum class AssignPolicy
 {
@@ -90,6 +92,13 @@ struct AssignOptions
      * attempt always uses the canonical (paper) tie-breaking.
      */
     int restartsPerIi = 3;
+
+    /**
+     * MRT query implementation. Word is the packed-bitmask fast path;
+     * Reference keeps the original row-counting loops (identical
+     * results, used as the A/B perf baseline).
+     */
+    MrtScanMode mrtScan = MrtScanMode::Word;
 
     /**
      * Optional fault injector (non-owning; stress testing only).
@@ -150,6 +159,9 @@ struct AssignResult
      */
     double orderMillis = 0.0;
     double routeMillis = 0.0;
+
+    /** MRT occupancy words examined (word-scan mode only). */
+    long wordScans = 0;
 };
 
 /** Runs cluster assignment for loops on one machine. */
@@ -165,13 +177,20 @@ class ClusterAssigner
      *
      * The graph must be well formed and executable on the machine.
      * Single-cluster machines short-circuit to a trivial assignment.
+     *
+     * When a LoopContext for the same graph is supplied, the
+     * II-invariant analyses (SCCs, priority sets, timing, swing
+     * order, preconditions) come from its cache and the MRT buffer is
+     * reused across restarts and II probes; the result is identical
+     * to a context-free run.
      */
-    AssignResult run(const Dfg &graph, int ii) const;
+    AssignResult run(const Dfg &graph, int ii,
+                     LoopContext *ctx = nullptr) const;
 
   private:
     /** One attempt with the given tie-break rotation offset. */
-    AssignResult runAttempt(const Dfg &graph, int ii,
-                            int rotation) const;
+    AssignResult runAttempt(const Dfg &graph, int ii, int rotation,
+                            Mrt &mrt, LoopContext *ctx) const;
 
     const ResourceModel &model_;
     AssignOptions options_;

@@ -1,0 +1,64 @@
+#include "graph/adjacency.hh"
+
+#include <algorithm>
+
+namespace cams
+{
+
+namespace
+{
+
+/** One relation as CSR, with each row sorted and deduplicated exactly
+ *  like Dfg::predecessors / Dfg::successors. */
+void
+buildRelation(const Dfg &graph, bool preds, std::vector<int> &off,
+              std::vector<NodeId> &ids)
+{
+    const int n = graph.numNodes();
+    off.assign(n + 1, 0);
+    ids.clear();
+    ids.reserve(graph.numEdges());
+    std::vector<NodeId> row;
+    for (NodeId v = 0; v < n; ++v) {
+        row.clear();
+        const auto &edges = preds ? graph.inEdges(v) : graph.outEdges(v);
+        for (EdgeId e : edges)
+            row.push_back(preds ? graph.edge(e).src : graph.edge(e).dst);
+        std::sort(row.begin(), row.end());
+        row.erase(std::unique(row.begin(), row.end()), row.end());
+        ids.insert(ids.end(), row.begin(), row.end());
+        off[v + 1] = static_cast<int>(ids.size());
+    }
+}
+
+/** One edge list as CSR of flat records, preserving Dfg edge order. */
+void
+buildEdges(const Dfg &graph, bool in, std::vector<int> &off,
+           std::vector<AdjEdge> &flat)
+{
+    const int n = graph.numNodes();
+    off.assign(n + 1, 0);
+    flat.clear();
+    flat.reserve(graph.numEdges());
+    for (NodeId v = 0; v < n; ++v) {
+        const auto &edges = in ? graph.inEdges(v) : graph.outEdges(v);
+        for (EdgeId e : edges) {
+            const DfgEdge &edge = graph.edge(e);
+            flat.push_back({in ? edge.src : edge.dst, edge.latency,
+                            edge.distance});
+        }
+        off[v + 1] = static_cast<int>(flat.size());
+    }
+}
+
+} // namespace
+
+Adjacency::Adjacency(const Dfg &graph)
+{
+    buildRelation(graph, true, predOff_, predIds_);
+    buildRelation(graph, false, succOff_, succIds_);
+    buildEdges(graph, true, inOff_, in_);
+    buildEdges(graph, false, outOff_, out_);
+}
+
+} // namespace cams

@@ -98,4 +98,166 @@ analyzeTiming(const Dfg &graph, int ii)
     return result;
 }
 
+TimingSolver::TimingSolver(const Dfg &graph)
+    : graph_(&graph)
+{
+    const int n = graph.numNodes();
+    const int m = static_cast<int>(graph.edges().size());
+
+    // Topological order of the distance-0 subgraph (Kahn). A
+    // zero-distance cycle leaves nodes unplaced; they get trailing
+    // positions -- the order only steers convergence speed, and
+    // solve() still panics on such graphs exactly like analyzeTiming.
+    std::vector<int> indegree(n, 0);
+    for (const DfgEdge &edge : graph.edges()) {
+        if (edge.distance == 0 && edge.src != edge.dst)
+            ++indegree[edge.dst];
+    }
+    std::vector<NodeId> queue;
+    queue.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+        if (indegree[v] == 0)
+            queue.push_back(v);
+    }
+    std::vector<int> pos(n, -1);
+    int next = 0;
+    for (size_t head = 0; head < queue.size(); ++head) {
+        const NodeId v = queue[head];
+        pos[v] = next++;
+        for (EdgeId e : graph.outEdges(v)) {
+            const DfgEdge &edge = graph.edge(e);
+            if (edge.distance != 0 || edge.dst == v)
+                continue;
+            if (--indegree[edge.dst] == 0)
+                queue.push_back(edge.dst);
+        }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+        if (pos[v] < 0)
+            pos[v] = next++;
+    }
+
+    forward_.resize(m);
+    backward_.resize(m);
+    for (EdgeId e = 0; e < m; ++e)
+        forward_[e] = backward_[e] = e;
+    std::stable_sort(forward_.begin(), forward_.end(),
+                     [&](EdgeId a, EdgeId b) {
+                         return pos[graph.edge(a).src] <
+                                pos[graph.edge(b).src];
+                     });
+    std::stable_sort(backward_.begin(), backward_.end(),
+                     [&](EdgeId a, EdgeId b) {
+                         return pos[graph.edge(a).dst] >
+                                pos[graph.edge(b).dst];
+                     });
+
+    // Distance-0 fixpoints: with edges in topological order one pass
+    // settles them, and they lower-bound the per-II fixpoints.
+    asapSeed_.assign(n, 0);
+    for (EdgeId e : forward_) {
+        const DfgEdge &edge = graph.edge(e);
+        if (edge.distance != 0)
+            continue;
+        asapSeed_[edge.dst] =
+            std::max(asapSeed_[edge.dst],
+                     asapSeed_[edge.src] + edge.latency);
+    }
+    heightSeed_.assign(n, 0);
+    for (NodeId v = 0; v < n; ++v)
+        heightSeed_[v] = graph.node(v).latency;
+    for (EdgeId e : backward_) {
+        const DfgEdge &edge = graph.edge(e);
+        if (edge.distance != 0)
+            continue;
+        heightSeed_[edge.src] =
+            std::max(heightSeed_[edge.src],
+                     heightSeed_[edge.dst] + edge.latency);
+    }
+}
+
+const TimeAnalysis &
+TimingSolver::solve(int ii)
+{
+    cams_assert(ii >= 1, "analyzeTiming at ii ", ii);
+    if (hasResult_ && result_.ii == ii) {
+        lastWasHit_ = true;
+        return result_;
+    }
+    lastWasHit_ = false;
+
+    const Dfg &graph = *graph_;
+    const int n = graph.numNodes();
+    result_.ii = ii;
+
+    result_.asap = asapSeed_;
+    bool changed = true;
+    for (int round = 0; round <= n && changed; ++round) {
+        changed = false;
+        for (EdgeId e : forward_) {
+            const DfgEdge &edge = graph.edge(e);
+            const long cand =
+                result_.asap[edge.src] + edgeWeight(edge, ii);
+            if (cand > result_.asap[edge.dst]) {
+                cams_assert(round < n,
+                            "positive cycle: II ", ii, " < RecMII");
+                result_.asap[edge.dst] = static_cast<int>(cand);
+                changed = true;
+            }
+        }
+    }
+
+    result_.criticalPath = 0;
+    for (NodeId v = 0; v < n; ++v) {
+        result_.criticalPath =
+            std::max(result_.criticalPath,
+                     result_.asap[v] + graph.node(v).latency);
+    }
+
+    result_.height = heightSeed_;
+    changed = true;
+    for (int round = 0; round <= n && changed; ++round) {
+        changed = false;
+        for (EdgeId e : backward_) {
+            const DfgEdge &edge = graph.edge(e);
+            const long cand =
+                result_.height[edge.dst] + edgeWeight(edge, ii);
+            if (cand > result_.height[edge.src]) {
+                cams_assert(round < n,
+                            "positive cycle: II ", ii, " < RecMII");
+                result_.height[edge.src] = static_cast<int>(cand);
+                changed = true;
+            }
+        }
+    }
+
+    result_.alap.assign(n, 0);
+    for (NodeId v = 0; v < n; ++v)
+        result_.alap[v] = result_.criticalPath - graph.node(v).latency;
+    changed = true;
+    for (int round = 0; round <= n && changed; ++round) {
+        changed = false;
+        for (EdgeId e : backward_) {
+            const DfgEdge &edge = graph.edge(e);
+            const long cand =
+                result_.alap[edge.dst] - edgeWeight(edge, ii);
+            if (cand < result_.alap[edge.src]) {
+                cams_assert(round < n,
+                            "positive cycle: II ", ii, " < RecMII");
+                result_.alap[edge.src] = static_cast<int>(cand);
+                changed = true;
+            }
+        }
+    }
+
+    result_.mobility.assign(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+        result_.mobility[v] = result_.alap[v] - result_.asap[v];
+        cams_assert(result_.mobility[v] >= 0,
+                    "negative mobility on node ", v, " at II ", ii);
+    }
+    hasResult_ = true;
+    return result_;
+}
+
 } // namespace cams

@@ -53,6 +53,49 @@ struct TimeAnalysis
  */
 TimeAnalysis analyzeTiming(const Dfg &graph, int ii);
 
+/**
+ * Repeated timing analyses of one graph across an II escalation,
+ * without recomputing the II-invariant structure each time.
+ *
+ * All per-II fixpoints are unique, so the solver returns exactly what
+ * analyzeTiming would -- it just gets there faster: edges are
+ * pre-sorted along the topological order of the distance-0 subgraph
+ * (one relaxation pass settles the whole acyclic part, extra rounds
+ * only pay for recurrence back-edges), and ASAP/height start from the
+ * cached distance-0 fixpoints, which are pointwise lower bounds of
+ * the true fixpoint at every II (loop-carried constraints only raise
+ * longest paths). Note that seeding from a *previous II's* result
+ * would be unsound -- fixpoints shrink as II grows, and an upward
+ * relaxation cannot recover from an overestimate (see DESIGN.md).
+ *
+ * The result buffers are reused across solve() calls; the reference
+ * returned is invalidated by the next solve at a different II.
+ */
+class TimingSolver
+{
+  public:
+    explicit TimingSolver(const Dfg &graph);
+
+    /** Same values as analyzeTiming(graph, ii); cached per II. */
+    const TimeAnalysis &solve(int ii);
+
+    /** True when the last solve(ii) was answered from cache. */
+    bool lastWasHit() const { return lastWasHit_; }
+
+  private:
+    const Dfg *graph_;
+    /** Edges by topological position of src (ASAP direction). */
+    std::vector<EdgeId> forward_;
+    /** Edges by reverse topological position of dst (height/ALAP). */
+    std::vector<EdgeId> backward_;
+    /** Distance-0 longest-path fixpoints: II-invariant seeds. */
+    std::vector<int> asapSeed_;
+    std::vector<int> heightSeed_;
+    TimeAnalysis result_;
+    bool hasResult_ = false;
+    bool lastWasHit_ = false;
+};
+
 } // namespace cams
 
 #endif // CAMS_GRAPH_ANALYSIS_HH

@@ -28,6 +28,10 @@ hasPositiveCycle(const Dfg &graph, const std::vector<NodeId> &members,
         long weight;
     };
     std::vector<LocalEdge> edges;
+    size_t out_degree = 0;
+    for (NodeId node : members)
+        out_degree += graph.outEdges(node).size();
+    edges.reserve(out_degree);
     for (NodeId node : members) {
         for (EdgeId e : graph.outEdges(node)) {
             const DfgEdge &edge = graph.edge(e);

@@ -1,6 +1,7 @@
 #include "mrt/mrt.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/logging.hh"
 
@@ -127,6 +128,7 @@ ResourceModel::copyRequest(ClusterId src,
 {
     cams_assert(!dsts.empty(), "copy with no destination");
     std::vector<PoolId> pools;
+    pools.reserve(2 + dsts.size());
 
     const PoolId read = readPool(src);
     if (read == invalidPool) {
@@ -160,18 +162,65 @@ ResourceModel::copyRequest(ClusterId src,
     return pools;
 }
 
-Mrt::Mrt(const ResourceModel &model, int ii)
-    : model_(&model), ii_(ii)
+namespace
 {
+
+/** Requests are tiny (one FU pool, or ports + bus/link), so a
+ *  quadratic duplicate test beats anything with allocation. */
+bool
+hasDuplicatePool(const std::vector<PoolId> &pools)
+{
+    for (size_t i = 1; i < pools.size(); ++i) {
+        for (size_t j = 0; j < i; ++j) {
+            if (pools[j] == pools[i])
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+Mrt::Mrt(const ResourceModel &model, int ii, MrtScanMode mode)
+    : mode_(mode)
+{
+    reset(model, ii);
+}
+
+void
+Mrt::reset(const ResourceModel &model, int ii)
+{
+    model_ = &model;
+    ii_ = 0; // force the rebuild even at an unchanged length
+    reset(ii);
+}
+
+void
+Mrt::reset(int ii)
+{
+    cams_assert(model_ != nullptr, "reset of an unbound MRT");
     cams_assert(ii >= 1, "MRT with ii ", ii);
-    use_.assign(static_cast<size_t>(model.numPools()) * ii, 0);
-    usedTotal_.assign(model.numPools(), 0);
+    ii_ = ii;
+    words_ = (ii + 63) / 64;
+    use_.assign(static_cast<size_t>(model_->numPools()) * ii, 0);
+    usedTotal_.assign(model_->numPools(), 0);
+    // Every row starts free; bits past row ii-1 stay zero so word
+    // scans never propose a row outside the table.
+    freeRows_.assign(static_cast<size_t>(model_->numPools()) * words_,
+                     ~uint64_t{0});
+    const int tail = ii % 64;
+    if (tail != 0) {
+        const uint64_t last = (uint64_t{1} << tail) - 1;
+        for (PoolId pool = 0; pool < model_->numPools(); ++pool)
+            freeRows_[static_cast<size_t>(pool) * words_ + words_ - 1] =
+                last;
+    }
+    mask_.assign(words_, 0);
 }
 
 bool
-Mrt::canReserveAt(const std::vector<PoolId> &pools, int row) const
+Mrt::fitsExactly(const std::vector<PoolId> &pools, int row) const
 {
-    cams_assert(row >= 0 && row < ii_, "bad row ", row);
     for (size_t i = 0; i < pools.size(); ++i) {
         const PoolId pool = pools[i];
         // Count multiplicity of this pool within the request.
@@ -188,29 +237,149 @@ Mrt::canReserveAt(const std::vector<PoolId> &pools, int row) const
     return true;
 }
 
+bool
+Mrt::canReserveAt(const std::vector<PoolId> &pools, int row) const
+{
+    cams_assert(row >= 0 && row < ii_, "bad row ", row);
+    if (mode_ == MrtScanMode::Reference)
+        return fitsExactly(pools, row);
+    const size_t word = static_cast<size_t>(row) >> 6;
+    const uint64_t bit = uint64_t{1} << (row & 63);
+    for (PoolId pool : pools) {
+        ++wordScans_;
+        if (!(freeRows_[static_cast<size_t>(pool) * words_ + word] &
+              bit)) {
+            return false;
+        }
+    }
+    // The bits prove one free slot per distinct pool; a request
+    // naming the same pool twice still needs the exact count.
+    return !hasDuplicatePool(pools) || fitsExactly(pools, row);
+}
+
+void
+Mrt::combineMasks(const std::vector<PoolId> &pools) const
+{
+    mask_.assign(words_, ~uint64_t{0});
+    for (PoolId pool : pools) {
+        const size_t base = static_cast<size_t>(pool) * words_;
+        for (int w = 0; w < words_; ++w)
+            mask_[w] &= freeRows_[base + w];
+    }
+    wordScans_ += static_cast<long>(pools.size()) * words_;
+}
+
 int
 Mrt::findRow(const std::vector<PoolId> &pools) const
 {
-    for (int row = 0; row < ii_; ++row) {
-        if (canReserveAt(pools, row))
-            return row;
+    if (mode_ == MrtScanMode::Reference) {
+        for (int row = 0; row < ii_; ++row) {
+            if (fitsExactly(pools, row))
+                return row;
+        }
+        return -1;
+    }
+    // A single-pool request (the common case: one FU slot) needs no
+    // combining -- the pool's own free-row mask is the answer.
+    const uint64_t *mask;
+    if (pools.size() == 1) {
+        mask = freeRows_.data() +
+               static_cast<size_t>(pools[0]) * words_;
+    } else {
+        combineMasks(pools);
+        mask = mask_.data();
+    }
+    const bool verify = hasDuplicatePool(pools);
+    for (int w = 0; w < words_; ++w) {
+        ++wordScans_;
+        uint64_t word = mask[w];
+        while (word != 0) {
+            const int row = w * 64 + std::countr_zero(word);
+            if (!verify || fitsExactly(pools, row))
+                return row;
+            word &= word - 1;
+        }
     }
     return -1;
+}
+
+int
+Mrt::scanRows(const std::vector<PoolId> &pools, int startRow, int count,
+              int step) const
+{
+    cams_assert(startRow >= 0 && startRow < ii_, "bad row ", startRow);
+    cams_assert(step == 1 || step == -1, "bad scan step ", step);
+    if (mode_ == MrtScanMode::Reference) {
+        int row = startRow;
+        for (int skipped = 0; skipped < count; ++skipped) {
+            if (fitsExactly(pools, row))
+                return skipped;
+            row = (row + step + ii_) % ii_;
+        }
+        return -1;
+    }
+    const uint64_t *mask;
+    if (pools.size() == 1) {
+        mask = freeRows_.data() +
+               static_cast<size_t>(pools[0]) * words_;
+    } else {
+        combineMasks(pools);
+        mask = mask_.data();
+    }
+    const bool verify = hasDuplicatePool(pools);
+    int row = startRow;
+    int skipped = 0;
+    while (skipped < count) {
+        const int w = row >> 6;
+        ++wordScans_;
+        if (mask[w] == 0) {
+            // Whole word full: hop to its edge in the scan direction
+            // (never past row ii-1, whose successor starts word 0).
+            const int hop = std::min(
+                count - skipped,
+                step > 0 ? std::min(64 - (row & 63), ii_ - row)
+                         : (row & 63) + 1);
+            skipped += hop;
+            row = (row + step * hop + ii_ * hop) % ii_;
+            continue;
+        }
+        if ((mask[w] >> (row & 63)) & 1) {
+            if (!verify || fitsExactly(pools, row))
+                return skipped;
+        }
+        ++skipped;
+        row = (row + step + ii_) % ii_;
+    }
+    return -1;
+}
+
+void
+Mrt::reserveAtInto(const std::vector<PoolId> &pools, int row,
+                   Reservation &out)
+{
+    const int wrapped = ((row % ii_) + ii_) % ii_;
+    cams_assert(fitsExactly(pools, wrapped),
+                "reserveAt on a full row ", wrapped);
+    for (PoolId pool : pools) {
+        const int used =
+            ++use_[static_cast<size_t>(pool) * ii_ + wrapped];
+        ++usedTotal_[pool];
+        if (used == model_->capacity(pool)) {
+            freeRows_[static_cast<size_t>(pool) * words_ +
+                      (wrapped >> 6)] &=
+                ~(uint64_t{1} << (wrapped & 63));
+        }
+    }
+    out.row = wrapped;
+    // Copy-assign so a reused Reservation keeps its capacity.
+    out.pools = pools;
 }
 
 Reservation
 Mrt::reserveAt(const std::vector<PoolId> &pools, int row)
 {
-    const int wrapped = ((row % ii_) + ii_) % ii_;
-    cams_assert(canReserveAt(pools, wrapped),
-                "reserveAt on a full row ", wrapped);
-    for (PoolId pool : pools) {
-        ++use_[static_cast<size_t>(pool) * ii_ + wrapped];
-        ++usedTotal_[pool];
-    }
     Reservation reservation;
-    reservation.row = wrapped;
-    reservation.pools = pools;
+    reserveAtInto(pools, row, reservation);
     return reservation;
 }
 
@@ -234,6 +403,9 @@ Mrt::release(const Reservation &reservation)
                     model_->poolName(pool));
         --slot;
         --usedTotal_[pool];
+        freeRows_[static_cast<size_t>(pool) * words_ +
+                  (reservation.row >> 6)] |=
+            uint64_t{1} << (reservation.row & 63);
     }
 }
 

@@ -15,11 +15,21 @@
  *  - cluster assignment reserves "some row" (first fit), modeling the
  *    paper's slot packing without committing to a cycle;
  *  - modulo scheduling reserves at row = cycle mod II.
+ *
+ * Occupancy is tracked twice: exact per-row slot counts, plus one
+ * free-row bitmask per pool (bit r set while row r still has a free
+ * slot) packed into uint64_t words. Word mode answers canReserveAt
+ * with one bit test per requested pool and drives the first-fit and
+ * window scans by AND-ing pool masks; Reference mode keeps the
+ * original row-by-row counting loops for A/B comparison and as the
+ * oracle in tests. Both modes visit candidate rows in the same order,
+ * so every caller sees identical results.
  */
 
 #ifndef CAMS_MRT_MRT_HH
 #define CAMS_MRT_MRT_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -111,15 +121,46 @@ struct Reservation
     bool valid() const { return row >= 0; }
 };
 
+/** How the MRT answers occupancy queries (results are identical). */
+enum class MrtScanMode
+{
+    /** Packed free-row bitmasks; bit tests and word scans. */
+    Word,
+    /** The original row-by-row counting loops (A/B oracle). */
+    Reference,
+};
+
 /** Modulo reservation table over a ResourceModel at a fixed II. */
 class Mrt
 {
   public:
+    /** An unbound table; reset(model, ii) before first use. */
+    Mrt() = default;
+
     /** Creates an empty table of the given length. */
-    Mrt(const ResourceModel &model, int ii);
+    Mrt(const ResourceModel &model, int ii,
+        MrtScanMode mode = MrtScanMode::Word);
+
+    /**
+     * Rebinds the table to a model and length, clearing every slot.
+     * Reuses the occupancy buffers, so escalating II probes avoid
+     * reallocation; the cumulative wordScans() counter survives.
+     */
+    void reset(const ResourceModel &model, int ii);
+
+    /** Clears the table at a new length, keeping the current model. */
+    void reset(int ii);
 
     /** Table length. */
     int ii() const { return ii_; }
+
+    /** Selects the query implementation (state is left untouched). */
+    void setScanMode(MrtScanMode mode) { mode_ = mode; }
+
+    MrtScanMode scanMode() const { return mode_; }
+
+    /** Occupancy words examined by word-mode queries so far. */
+    long wordScans() const { return wordScans_; }
 
     /** True when every requested pool has a free slot in this row. */
     bool canReserveAt(const std::vector<PoolId> &pools, int row) const;
@@ -127,8 +168,23 @@ class Mrt
     /** First row that can host the request, or -1. */
     int findRow(const std::vector<PoolId> &pools) const;
 
+    /**
+     * First-fit over the cyclic row sequence startRow, startRow +
+     * step, ... (step is +1 or -1, rows taken modulo II): returns the
+     * number of rows skipped before the first one that can host the
+     * request, or -1 when none of the `count` rows fits. This is the
+     * schedulers' slot-window scan as one word-level operation.
+     */
+    int scanRows(const std::vector<PoolId> &pools, int startRow,
+                 int count, int step) const;
+
     /** Reserves at a specific row (row is taken modulo II). */
     Reservation reserveAt(const std::vector<PoolId> &pools, int row);
+
+    /** Same, writing into an existing Reservation so hot callers can
+     *  reuse its pools capacity instead of allocating per placement. */
+    void reserveAtInto(const std::vector<PoolId> &pools, int row,
+                       Reservation &out);
 
     /** Reserves at the first fitting row; nullopt when full. */
     std::optional<Reservation> reserve(const std::vector<PoolId> &pools);
@@ -155,11 +211,25 @@ class Mrt
     std::string dump() const;
 
   private:
-    const ResourceModel *model_;
-    int ii_;
+    /** The exact (Reference) admission test; canReserveAt's oracle. */
+    bool fitsExactly(const std::vector<PoolId> &pools, int row) const;
+
+    /** AND of the requested pools' free-row masks, into mask_. */
+    void combineMasks(const std::vector<PoolId> &pools) const;
+
+    const ResourceModel *model_ = nullptr;
+    int ii_ = 0;
+    /** Words per free-row bitmask: ceil(ii / 64). */
+    int words_ = 0;
+    MrtScanMode mode_ = MrtScanMode::Word;
     /** use_[pool * ii_ + row] = slots taken. */
     std::vector<int> use_;
     std::vector<int> usedTotal_;
+    /** freeRows_[pool * words_ + w]: bit r set = row 64w+r has room. */
+    std::vector<uint64_t> freeRows_;
+    /** Scratch for combineMasks (the MRT is single-threaded). */
+    mutable std::vector<uint64_t> mask_;
+    mutable long wordScans_ = 0;
 };
 
 } // namespace cams

@@ -43,7 +43,7 @@ bottomUpReady(const Dfg &graph, NodeId v, const std::vector<bool> &pending)
 
 std::vector<NodeId>
 swingOrder(const Dfg &graph, const NodeSets &sets,
-           const TimeAnalysis &timing)
+           const TimeAnalysis &timing, const Adjacency *adjacency)
 {
     const int n = graph.numNodes();
     std::vector<bool> ordered(n, false);
@@ -64,13 +64,70 @@ swingOrder(const Dfg &graph, const NodeSets &sets,
         return false;
     };
 
+    // With an adjacency the frontier and ordered-neighbor predicates
+    // are tracked incrementally: counters of pending distance-0
+    // neighbors and sticky has-ordered-neighbor flags, updated in
+    // O(deg) when a node is ordered, instead of rescanning edges per
+    // candidate per round. The predicates take identical values, so
+    // every pick -- and thus the order -- is unchanged.
+    std::vector<int> pend_pred0;
+    std::vector<int> pend_succ0;
+    std::vector<char> nbr_pred_ordered;
+    std::vector<char> nbr_succ_ordered;
+    if (adjacency) {
+        pend_pred0.assign(n, 0);
+        pend_succ0.assign(n, 0);
+        nbr_pred_ordered.assign(n, 0);
+        nbr_succ_ordered.assign(n, 0);
+    }
+
+    // pending is self-cleaning (every member is picked and cleared
+    // before the set finishes), so one allocation serves all sets.
+    std::vector<bool> pending(n, false);
+    std::vector<NodeId> members;
     for (const auto &set : sets.sets) {
-        std::vector<bool> pending(n, false);
-        std::vector<NodeId> members;
+        members.clear();
         for (NodeId v : set) {
             if (!ordered[v]) {
                 pending[v] = true;
                 members.push_back(v);
+            }
+        }
+
+        if (adjacency) {
+            for (NodeId v : members) {
+                int pred0 = 0;
+                for (const AdjEdge &edge : adjacency->inEdges(v)) {
+                    if (edge.distance == 0 && edge.node != v &&
+                        pending[edge.node]) {
+                        ++pred0;
+                    }
+                }
+                pend_pred0[v] = pred0;
+                int succ0 = 0;
+                for (const AdjEdge &edge : adjacency->outEdges(v)) {
+                    if (edge.distance == 0 && edge.node != v &&
+                        pending[edge.node]) {
+                        ++succ0;
+                    }
+                }
+                pend_succ0[v] = succ0;
+                char has_pred = 0;
+                for (NodeId other : adjacency->preds(v)) {
+                    if (other != v && ordered[other]) {
+                        has_pred = 1;
+                        break;
+                    }
+                }
+                nbr_pred_ordered[v] = has_pred;
+                char has_succ = 0;
+                for (NodeId other : adjacency->succs(v)) {
+                    if (other != v && ordered[other]) {
+                        has_succ = 1;
+                        break;
+                    }
+                }
+                nbr_succ_ordered[v] = has_succ;
             }
         }
 
@@ -105,25 +162,35 @@ swingOrder(const Dfg &graph, const NodeSets &sets,
             for (NodeId v : members) {
                 if (!pending[v])
                     continue;
-                if (topDownReady(graph, v, pending)) {
+                const bool td_ready =
+                    adjacency ? pend_pred0[v] == 0
+                              : topDownReady(graph, v, pending);
+                if (td_ready) {
                     if (frontier_td == invalidNode ||
                         betterTopDown(v, frontier_td)) {
                         frontier_td = v;
                     }
-                    if (hasOrderedNeighbor(v, true) &&
-                        (best_td == invalidNode ||
-                         betterTopDown(v, best_td))) {
+                    const bool nbr = adjacency
+                                         ? nbr_pred_ordered[v] != 0
+                                         : hasOrderedNeighbor(v, true);
+                    if (nbr && (best_td == invalidNode ||
+                                betterTopDown(v, best_td))) {
                         best_td = v;
                     }
                 }
-                if (bottomUpReady(graph, v, pending)) {
+                const bool bu_ready =
+                    adjacency ? pend_succ0[v] == 0
+                              : bottomUpReady(graph, v, pending);
+                if (bu_ready) {
                     if (frontier_bu == invalidNode ||
                         betterBottomUp(v, frontier_bu)) {
                         frontier_bu = v;
                     }
-                    if (hasOrderedNeighbor(v, false) &&
-                        (best_bu == invalidNode ||
-                         betterBottomUp(v, best_bu))) {
+                    const bool nbr = adjacency
+                                         ? nbr_succ_ordered[v] != 0
+                                         : hasOrderedNeighbor(v, false);
+                    if (nbr && (best_bu == invalidNode ||
+                                betterBottomUp(v, best_bu))) {
                         best_bu = v;
                     }
                 }
@@ -162,6 +229,38 @@ swingOrder(const Dfg &graph, const NodeSets &sets,
             ordered[pick] = true;
             result.push_back(pick);
             --left;
+            if (adjacency) {
+                // Compact the live list so later rounds skip nothing:
+                // each candidate scan is an argmax under a strict
+                // total order, so scan order cannot change the pick.
+                auto dead =
+                    std::find(members.begin(), members.end(), pick);
+                *dead = members.back();
+                members.pop_back();
+                // The pick left the pending set: its distance-0 edges
+                // no longer block neighbors, and it is now an ordered
+                // neighbor of everything adjacent to it.
+                for (const AdjEdge &edge : adjacency->outEdges(pick)) {
+                    if (edge.distance == 0 && edge.node != pick &&
+                        pending[edge.node]) {
+                        --pend_pred0[edge.node];
+                    }
+                }
+                for (const AdjEdge &edge : adjacency->inEdges(pick)) {
+                    if (edge.distance == 0 && edge.node != pick &&
+                        pending[edge.node]) {
+                        --pend_succ0[edge.node];
+                    }
+                }
+                for (NodeId succ : adjacency->succs(pick)) {
+                    if (succ != pick)
+                        nbr_pred_ordered[succ] = 1;
+                }
+                for (NodeId pred : adjacency->preds(pick)) {
+                    if (pred != pick)
+                        nbr_succ_ordered[pred] = 1;
+                }
+            }
         }
     }
 

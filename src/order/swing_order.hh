@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "graph/adjacency.hh"
 #include "graph/analysis.hh"
 #include "graph/dfg.hh"
 #include "order/scc_sets.hh"
@@ -29,10 +30,14 @@ namespace cams
  *
  * @param timing a timing analysis at the candidate II (depth = asap,
  *        height drives criticality tie-breaks).
+ * @param adjacency optional packed neighbor lists of the same graph;
+ *        when given, the sweep reads them instead of rebuilding
+ *        neighbor vectors per candidate (identical results).
  * @return every node exactly once, highest assignment priority first.
  */
 std::vector<NodeId> swingOrder(const Dfg &graph, const NodeSets &sets,
-                               const TimeAnalysis &timing);
+                               const TimeAnalysis &timing,
+                               const Adjacency *adjacency = nullptr);
 
 /** Convenience overload: builds SCC sets and timing at the given II. */
 std::vector<NodeId> swingOrder(const Dfg &graph, int ii);

@@ -29,6 +29,9 @@ BatchStats::toJson() const
        << "\"invariant_recoveries\":" << invariantRecoveries << ","
        << "\"verifier_rejects\":" << verifierRejects << ","
        << "\"fault_trips\":" << faultTrips << ","
+       << "\"ctx_hits\":" << ctxHits << ","
+       << "\"ctx_misses\":" << ctxMisses << ","
+       << "\"mrt_word_scans\":" << mrtWordScans << ","
        << "\"failure_kinds\":{";
     bool first = true;
     for (int kind = 1; kind < numFailureKinds; ++kind) {
@@ -149,10 +152,16 @@ BatchRunner::run(const std::vector<CompileJob> &jobs, int threads,
         outcome.stats.invariantRecoveries += result.invariantRecoveries;
         outcome.stats.verifierRejects += result.verifierRejects;
         outcome.stats.faultTrips += result.faultTrips;
+        outcome.stats.ctxHits += result.ctxHits;
+        outcome.stats.ctxMisses += result.ctxMisses;
+        outcome.stats.mrtWordScans += result.mrtWordScans;
     }
     count("jobs_succeeded", outcome.stats.succeeded);
     count("jobs_failed", outcome.stats.failed);
     count("jobs_degraded", outcome.stats.degraded);
+    count("ctx.hits", outcome.stats.ctxHits);
+    count("ctx.misses", outcome.stats.ctxMisses);
+    count("mrt.word_scans", outcome.stats.mrtWordScans);
     outcome.stats.metricsJson = internal.toJson();
     return outcome;
 }

@@ -98,6 +98,15 @@ struct BatchStats
     /** Injected faults that fired across all jobs. */
     long faultTrips = 0;
 
+    /** LoopContext queries answered from cache across all jobs. */
+    long ctxHits = 0;
+
+    /** LoopContext facts computed fresh across all jobs. */
+    long ctxMisses = 0;
+
+    /** MRT occupancy words examined by word-mode scans. */
+    long mrtWordScans = 0;
+
     /**
      * Metrics snapshot of this run (MetricsRegistry::toJson of the
      * run's internal registry: ii_slack and friends). Embedded in

@@ -1,6 +1,9 @@
 #include "pipeline/driver.hh"
 
+#include <optional>
+
 #include "assign/exhaustive.hh"
+#include "pipeline/context.hh"
 #include "pipeline/degrade.hh"
 #include "sched/ims.hh"
 #include "sched/sms.hh"
@@ -99,6 +102,165 @@ acceptSchedule(CompileResult &result, AnnotatedLoop loop,
     result.copies = result.loop.numCopies();
 }
 
+/**
+ * The II-escalation engine shared by the driver's three search loops
+ * (the primary clustered search, the exhaustive fallback rung, and
+ * the unified search), which used to be three near-identical copies.
+ * It owns the per-loop LoopContext every probe shares, walks II
+ * upward calling the probe at each step, and centralizes the
+ * per-attempt bookkeeping: deadline checks, attempt counting, the
+ * per-II trace scope with its outcome arg, escalate/timeout decision
+ * instants, and InternalError recovery. The Policy flags select the
+ * exact original behavior of each call site.
+ */
+class IiEscalator
+{
+  public:
+    /** What one II probe decided. */
+    enum class Outcome
+    {
+        Accept, ///< schedule accepted into the result; stop the sweep
+        Retry,  ///< this II failed; escalate to II + 1
+        Stop,   ///< this II failed and larger IIs cannot help
+    };
+
+    /** Per-call-site behavior differences. */
+    struct Policy
+    {
+        /** Bump result.attempts / finalIiTried per probed II. */
+        bool countAttempts = false;
+
+        /** Open a per-II "ii_attempt" trace scope. */
+        bool traceIis = false;
+
+        /** Emit "ii_escalate" decision instants on failed IIs. */
+        bool decisionEscalates = false;
+
+        /** Recover a probe's InternalError as a failed II. */
+        bool catchInvariant = false;
+
+        /** Classify a deadline expiry after the sweep ("after N II
+         *  attempts"), plus the "timeout" instant if traceTimeout. */
+        bool summaryTimeout = false;
+        bool traceTimeout = false;
+
+        /** Non-null: classify the expiry inline instead, as "time
+         *  budget expired in <where> at II <ii>". */
+        const char *timeoutWhere = nullptr;
+    };
+
+    IiEscalator(const Dfg &graph, const CompileOptions &options,
+                CompileResult &result)
+        : options_(options), result_(result)
+    {
+        if (options.incremental)
+            ctx_.emplace(graph);
+    }
+
+    /** The shared context; null when the incremental path is off. */
+    LoopContext *context() { return ctx_ ? &*ctx_ : nullptr; }
+
+    /** Whether any sweep so far died on the deadline. */
+    bool timedOut() const { return timedOut_; }
+
+    /** Folds the owned context's counters into the result. */
+    void foldCounters()
+    {
+        if (!ctx_)
+            return;
+        result_.ctxHits += ctx_->hits();
+        result_.ctxMisses += ctx_->misses();
+    }
+
+    /**
+     * Probes II = first..limit until the probe accepts, a deadline
+     * check fails, or a probe reports Stop. The probe is called as
+     * probe(ii, escalate) where escalate(reason) records a failed
+     * II's outcome. @return true when an II was accepted.
+     */
+    template <typename Probe>
+    bool sweep(int first, int limit, const Deadline &deadline,
+               const Policy &policy, Probe &&probe)
+    {
+        bool timed_out = false;
+        for (int ii = first; ii <= limit; ++ii) {
+            if (deadline.expired()) {
+                timed_out = true;
+                if (policy.timeoutWhere != nullptr) {
+                    result_.failure = FailureKind::Timeout;
+                    result_.failureDetail = detail::concat(
+                        "time budget expired in ", policy.timeoutWhere,
+                        " at II ", ii);
+                }
+                break;
+            }
+            if (policy.countAttempts) {
+                ++result_.attempts;
+                result_.finalIiTried = ii;
+            }
+            std::optional<TraceScope> ii_scope;
+            if (policy.traceIis) {
+                ii_scope.emplace(options_.trace, TraceLevel::Phase,
+                                 "ii_attempt", "pipeline");
+                ii_scope->arg("ii", std::to_string(ii));
+            }
+            auto escalate = [&](const char *reason) {
+                if (ii_scope)
+                    ii_scope->arg("outcome", reason);
+                if (policy.decisionEscalates) {
+                    traceDecision(options_.trace, "ii_escalate",
+                                  {{"ii", std::to_string(ii)},
+                                   {"reason", reason}});
+                }
+            };
+            Outcome outcome = Outcome::Retry;
+            if (policy.catchInvariant) {
+                try {
+                    outcome = probe(ii, escalate);
+                } catch (const InternalError &err) {
+                    // A cams_check fired outside the assigner's own
+                    // recovery: charge this II and move on.
+                    ++result_.invariantRecoveries;
+                    result_.failure = FailureKind::InternalInvariant;
+                    result_.failureDetail = err.what();
+                    escalate("invariant");
+                }
+            } else {
+                outcome = probe(ii, escalate);
+            }
+            if (outcome == Outcome::Accept) {
+                if (ii_scope)
+                    ii_scope->arg("outcome", "success");
+                return true;
+            }
+            if (outcome == Outcome::Stop)
+                break;
+        }
+        timedOut_ = timedOut_ || timed_out;
+        if (timed_out && policy.summaryTimeout) {
+            result_.failure = FailureKind::Timeout;
+            result_.failureDetail = detail::concat(
+                "time budget of ", options_.timeBudgetMs,
+                " ms expired after ", result_.attempts,
+                " II attempts");
+            if (policy.traceTimeout) {
+                traceDecision(
+                    options_.trace, "timeout",
+                    {{"attempts", std::to_string(result_.attempts)},
+                     {"budget_ms",
+                      std::to_string(options_.timeBudgetMs)}});
+            }
+        }
+        return false;
+    }
+
+  private:
+    const CompileOptions &options_;
+    CompileResult &result_;
+    std::optional<LoopContext> ctx_;
+    bool timedOut_ = false;
+};
+
 } // namespace
 
 CompileResult
@@ -114,8 +276,12 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
                              "compile_clustered", "pipeline");
     compile_scope.arg("machine", machine.name);
 
+    IiEscalator escalator(graph, options, result);
+    LoopContext *ctx = escalator.context();
+
     const MachineDesc unified = machine.unifiedEquivalent();
-    result.mii = computeMii(graph, unified);
+    result.mii = ctx ? computeMii(graph, unified, ctx->recMii())
+                     : computeMii(graph, unified);
 
     const ResourceModel model(machine);
     FaultInjector *faults = options.faults.get();
@@ -125,13 +291,19 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
     AssignOptions assign_options = options.assign;
     assign_options.faults = faults;
     assign_options.trace = options.trace;
+    if (!options.incremental)
+        assign_options.mrtScan = MrtScanMode::Reference;
     const ClusterAssigner assigner(model, assign_options);
     const auto scheduler = makeScheduler(options.scheduler);
     scheduler->setTrace(options.trace);
+    if (!options.incremental)
+        scheduler->setScanMode(MrtScanMode::Reference);
     const int limit = result.mii.mii * 4 + options.iiSlack;
 
     // Stamps everything that must be correct on every exit path.
     auto finish = [&]() {
+        escalator.foldCounters();
+        result.mrtWordScans += scheduler->wordScans();
         if (faults)
             result.faultTrips = faults->totalTrips() - fault_base;
         result.phaseMs.totalMs = total_watch.elapsedMs();
@@ -157,37 +329,31 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
     result.failure = FailureKind::IiExhausted;
     result.failureDetail = detail::concat(
         "empty II search window [", result.mii.mii, ", ", limit, "]");
-    bool timed_out = false;
 
-    for (int ii = result.mii.mii; ii <= limit; ++ii) {
-        if (deadline.expired()) {
-            timed_out = true;
-            break;
-        }
-        ++result.attempts;
-        result.finalIiTried = ii;
-        TraceScope ii_scope(options.trace, TraceLevel::Phase,
-                            "ii_attempt", "pipeline");
-        ii_scope.arg("ii", std::to_string(ii));
-        auto escalate = [&](const char *reason) {
-            ii_scope.arg("outcome", reason);
-            traceDecision(options.trace, "ii_escalate",
-                          {{"ii", std::to_string(ii)},
-                           {"reason", reason}});
-        };
-        try {
+    IiEscalator::Policy primary;
+    primary.countAttempts = true;
+    primary.traceIis = true;
+    primary.decisionEscalates = true;
+    primary.catchInvariant = true;
+    primary.summaryTimeout = true;
+    primary.traceTimeout = true;
+
+    escalator.sweep(
+        result.mii.mii, limit, deadline, primary,
+        [&](int ii, auto &&escalate) -> IiEscalator::Outcome {
             const Stopwatch assign_watch;
             AssignResult assignment;
             {
                 TraceScope scope(options.trace, TraceLevel::Phase,
                                  "assign", "phase");
-                assignment = assigner.run(graph, ii);
+                assignment = assigner.run(graph, ii, ctx);
             }
             result.phaseMs.assignMs += assign_watch.elapsedMs();
             result.phaseMs.orderMs += assignment.orderMillis;
             result.phaseMs.routeMs += assignment.routeMillis;
             result.evictions += assignment.evictions;
             result.invariantRecoveries += assignment.invariantFailures;
+            result.mrtWordScans += assignment.wordScans;
             if (!assignment.success) {
                 ++result.assignRetries;
                 if (assignment.failure != FailureKind::None) {
@@ -199,18 +365,30 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
                         "assignment infeasible at II ", ii);
                 }
                 escalate("assign_fail");
-                continue;
+                return IiEscalator::Outcome::Retry;
             }
+            // The scheduler sees the annotated graph (copies and
+            // all), which changes per II, so its context is per
+            // attempt: it still pools the analyses shared by the
+            // feasibility check, timing, order and requests.
+            std::optional<LoopContext> sched_ctx;
+            if (options.incremental)
+                sched_ctx.emplace(assignment.loop.graph);
             Schedule schedule;
             const Stopwatch sched_watch;
             bool scheduled;
             {
                 TraceScope scope(options.trace, TraceLevel::Phase,
                                  "schedule", "phase");
-                scheduled = scheduler->schedule(assignment.loop,
-                                                model, ii, schedule);
+                scheduled = scheduler->schedule(
+                    assignment.loop, model, ii, schedule,
+                    sched_ctx ? &*sched_ctx : nullptr);
             }
             result.phaseMs.scheduleMs += sched_watch.elapsedMs();
+            if (sched_ctx) {
+                result.ctxHits += sched_ctx->hits();
+                result.ctxMisses += sched_ctx->misses();
+            }
             if (scheduled && faults &&
                 faults->trip(FaultSite::SchedulerSlotDeny)) {
                 // Injected: pretend the scheduler found no slot.
@@ -221,7 +399,7 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
                 result.failureDetail =
                     detail::concat("no schedule found at II ", ii);
                 escalate("sched_fail");
-                continue;
+                return IiEscalator::Outcome::Retry;
             }
             if (options.verify) {
                 const Stopwatch verify_watch;
@@ -240,34 +418,14 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
                     result.failureDetail = detail::concat(
                         "verifier rejected II ", ii, ": ", why);
                     escalate("verifier_reject");
-                    continue;
+                    return IiEscalator::Outcome::Retry;
                 }
             }
-            ii_scope.arg("outcome", "success");
             acceptSchedule(result, std::move(assignment.loop),
                            std::move(schedule), ii,
                            DegradeLevel::None);
-            break;
-        } catch (const InternalError &err) {
-            // A cams_check fired outside the assigner's own recovery
-            // (router, materialization): charge this II and move on.
-            ++result.invariantRecoveries;
-            result.failure = FailureKind::InternalInvariant;
-            result.failureDetail = err.what();
-            escalate("invariant");
-        }
-    }
-
-    if (timed_out) {
-        result.failure = FailureKind::Timeout;
-        result.failureDetail = detail::concat(
-            "time budget of ", options.timeBudgetMs,
-            " ms expired after ", result.attempts, " II attempts");
-        traceDecision(options.trace, "timeout",
-                      {{"attempts", std::to_string(result.attempts)},
-                       {"budget_ms",
-                        std::to_string(options.timeBudgetMs)}});
-    }
+            return IiEscalator::Outcome::Accept;
+        });
 
     if (result.success || !options.fallback) {
         finish();
@@ -277,50 +435,43 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
     // Degradation ladder, rung 1: exhaustive assignment for small
     // loops. Runs injection-free on purpose -- faults model the
     // primary path; the ladder is the recovery mechanism under test.
-    if (!timed_out && machine.numClusters() > 1 &&
+    if (!escalator.timedOut() && machine.numClusters() > 1 &&
         graph.numNodes() <= options.exhaustiveFallbackNodes) {
         traceDecision(options.trace, "degrade_rung",
                       {{"rung", "exhaustive_assign"}});
         TraceScope rung_scope(options.trace, TraceLevel::Phase,
                               "exhaustive_assign", "pipeline");
-        for (int ii = result.mii.mii; ii <= limit && !result.success;
-             ++ii) {
-            if (deadline.expired()) {
-                result.failure = FailureKind::Timeout;
-                result.failureDetail = detail::concat(
-                    "time budget expired in the exhaustive fallback "
-                    "at II ",
-                    ii);
-                break;
-            }
-            try {
+        IiEscalator::Policy rung;
+        rung.catchInvariant = true;
+        rung.timeoutWhere = "the exhaustive fallback";
+        escalator.sweep(
+            result.mii.mii, limit, deadline, rung,
+            [&](int ii, auto &&) -> IiEscalator::Outcome {
                 const ExhaustivePartition partition =
                     exhaustiveAssign(graph, model, ii);
                 if (partition.verdict == ExhaustiveVerdict::TooLarge)
-                    break;
+                    return IiEscalator::Outcome::Stop;
                 if (partition.verdict != ExhaustiveVerdict::Feasible)
-                    continue;
+                    return IiEscalator::Outcome::Retry;
                 AnnotatedLoop loop = annotatePartition(
                     graph, partition.clusterOf, machine);
                 Schedule schedule;
-                if (!scheduler->schedule(loop, model, ii, schedule))
-                    continue; // count-feasible but not schedulable
+                if (!scheduler->schedule(loop, model, ii, schedule)) {
+                    // count-feasible but not schedulable
+                    return IiEscalator::Outcome::Retry;
+                }
                 if (options.verify) {
                     std::string why;
                     if (!verifySchedule(loop, model, schedule, &why)) {
                         ++result.verifierRejects;
-                        continue;
+                        return IiEscalator::Outcome::Retry;
                     }
                 }
                 acceptSchedule(result, std::move(loop),
                                std::move(schedule), ii,
                                DegradeLevel::ExhaustiveAssign);
-            } catch (const InternalError &err) {
-                ++result.invariantRecoveries;
-                result.failure = FailureKind::InternalInvariant;
-                result.failureDetail = err.what();
-            }
-        }
+                return IiEscalator::Outcome::Accept;
+            });
         if (result.success) {
             finish();
             return result;
@@ -370,18 +521,28 @@ compileUnified(const Dfg &graph, const MachineDesc &machine,
                              "compile_unified", "pipeline");
     compile_scope.arg("machine", machine.name);
 
-    result.mii = computeMii(graph, machine);
+    // The context lives on the annotated loop's graph (a verbatim
+    // clone of the input), so one context serves both the MII and
+    // every scheduler call.
+    const AnnotatedLoop loop = unifiedLoop(graph);
+    IiEscalator escalator(loop.graph, options, result);
+    LoopContext *ctx = escalator.context();
+    result.mii = ctx ? computeMii(graph, machine, ctx->recMii())
+                     : computeMii(graph, machine);
 
     const ResourceModel model(machine);
     FaultInjector *faults = options.faults.get();
     const long fault_base = faults ? faults->totalTrips() : 0;
     const Deadline deadline(options.timeBudgetMs);
-    const AnnotatedLoop loop = unifiedLoop(graph);
     const auto scheduler = makeScheduler(options.scheduler);
     scheduler->setTrace(options.trace);
+    if (!options.incremental)
+        scheduler->setScanMode(MrtScanMode::Reference);
     const int limit = result.mii.mii * 4 + options.iiSlack;
 
     auto finish = [&]() {
+        escalator.foldCounters();
+        result.mrtWordScans += scheduler->wordScans();
         if (faults)
             result.faultTrips = faults->totalTrips() - fault_base;
         result.phaseMs.totalMs = total_watch.elapsedMs();
@@ -395,69 +556,60 @@ compileUnified(const Dfg &graph, const MachineDesc &machine,
     result.failure = FailureKind::IiExhausted;
     result.failureDetail = detail::concat(
         "empty II search window [", result.mii.mii, ", ", limit, "]");
-    bool timed_out = false;
 
-    for (int ii = result.mii.mii; ii <= limit; ++ii) {
-        if (deadline.expired()) {
-            timed_out = true;
-            break;
-        }
-        ++result.attempts;
-        result.finalIiTried = ii;
-        TraceScope ii_scope(options.trace, TraceLevel::Phase,
-                            "ii_attempt", "pipeline");
-        ii_scope.arg("ii", std::to_string(ii));
-        Schedule schedule;
-        const Stopwatch sched_watch;
-        bool scheduled;
-        {
-            TraceScope scope(options.trace, TraceLevel::Phase,
-                             "schedule", "phase");
-            scheduled = scheduler->schedule(loop, model, ii, schedule);
-        }
-        result.phaseMs.scheduleMs += sched_watch.elapsedMs();
-        if (scheduled && faults &&
-            faults->trip(FaultSite::SchedulerSlotDeny)) {
-            scheduled = false;
-        }
-        if (!scheduled) {
-            result.failure = FailureKind::IiExhausted;
-            result.failureDetail =
-                detail::concat("no schedule found at II ", ii);
-            ii_scope.arg("outcome", "sched_fail");
-            continue;
-        }
-        if (options.verify) {
-            const Stopwatch verify_watch;
-            std::string why;
-            bool verified;
+    IiEscalator::Policy policy;
+    policy.countAttempts = true;
+    policy.traceIis = true;
+    policy.summaryTimeout = true;
+
+    escalator.sweep(
+        result.mii.mii, limit, deadline, policy,
+        [&](int ii, auto &&escalate) -> IiEscalator::Outcome {
+            Schedule schedule;
+            const Stopwatch sched_watch;
+            bool scheduled;
             {
                 TraceScope scope(options.trace, TraceLevel::Phase,
-                                 "verify", "phase");
-                verified = verifySchedule(loop, model, schedule, &why);
+                                 "schedule", "phase");
+                scheduled =
+                    scheduler->schedule(loop, model, ii, schedule, ctx);
             }
-            result.phaseMs.verifyMs += verify_watch.elapsedMs();
-            if (!verified) {
-                ++result.verifierRejects;
-                result.failure = FailureKind::VerifierReject;
-                result.failureDetail = detail::concat(
-                    "verifier rejected II ", ii, ": ", why);
-                ii_scope.arg("outcome", "verifier_reject");
-                continue;
+            result.phaseMs.scheduleMs += sched_watch.elapsedMs();
+            if (scheduled && faults &&
+                faults->trip(FaultSite::SchedulerSlotDeny)) {
+                scheduled = false;
             }
-        }
-        ii_scope.arg("outcome", "success");
-        acceptSchedule(result, loop, std::move(schedule), ii,
-                       DegradeLevel::None);
-        break;
-    }
-
-    if (timed_out) {
-        result.failure = FailureKind::Timeout;
-        result.failureDetail = detail::concat(
-            "time budget of ", options.timeBudgetMs,
-            " ms expired after ", result.attempts, " II attempts");
-    }
+            if (!scheduled) {
+                result.failure = FailureKind::IiExhausted;
+                result.failureDetail =
+                    detail::concat("no schedule found at II ", ii);
+                escalate("sched_fail");
+                return IiEscalator::Outcome::Retry;
+            }
+            if (options.verify) {
+                const Stopwatch verify_watch;
+                std::string why;
+                bool verified;
+                {
+                    TraceScope scope(options.trace, TraceLevel::Phase,
+                                     "verify", "phase");
+                    verified =
+                        verifySchedule(loop, model, schedule, &why);
+                }
+                result.phaseMs.verifyMs += verify_watch.elapsedMs();
+                if (!verified) {
+                    ++result.verifierRejects;
+                    result.failure = FailureKind::VerifierReject;
+                    result.failureDetail = detail::concat(
+                        "verifier rejected II ", ii, ": ", why);
+                    escalate("verifier_reject");
+                    return IiEscalator::Outcome::Retry;
+                }
+            }
+            acceptSchedule(result, loop, std::move(schedule), ii,
+                           DegradeLevel::None);
+            return IiEscalator::Outcome::Accept;
+        });
 
     if (!result.success && options.fallback) {
         traceDecision(options.trace, "degrade_rung",

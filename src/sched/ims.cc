@@ -1,11 +1,14 @@
 #include "sched/ims.hh"
 
 #include <algorithm>
+#include <limits>
+#include <optional>
 #include <set>
 
 #include "graph/analysis.hh"
 #include "graph/recmii.hh"
 #include "mrt/mrt.hh"
+#include "pipeline/context.hh"
 #include "support/logging.hh"
 
 namespace cams
@@ -14,7 +17,8 @@ namespace cams
 bool
 IterativeModuloScheduler::schedule(const AnnotatedLoop &loop,
                                    const ResourceModel &model, int ii,
-                                   Schedule &out) const
+                                   Schedule &out,
+                                   LoopContext *ctx) const
 {
     const Dfg &graph = loop.graph;
     const int n = graph.numNodes();
@@ -23,30 +27,85 @@ IterativeModuloScheduler::schedule(const AnnotatedLoop &loop,
         out.startCycle.clear();
         return true;
     }
-    if (recMii(graph) > ii)
+    if (ctx ? !ctx->schedulableAt(ii) : recMii(graph) > ii)
         return false;
 
-    const TimeAnalysis timing = analyzeTiming(graph, ii);
+    std::optional<TimeAnalysis> local_timing;
+    const TimeAnalysis &timing =
+        ctx ? ctx->timing(ii)
+            : local_timing.emplace(analyzeTiming(graph, ii));
 
-    // Work list ordered by height (descending), then id.
+    // Work list ordered by height (descending), then id. With a
+    // context the priority order is materialized once as a
+    // permutation and the set becomes a bitmap over priority indices
+    // with a moving minimum cursor -- same pop order, no tree
+    // rebalance or node allocation per displacement.
+    const Adjacency *adj = ctx ? &ctx->adjacency() : nullptr;
     auto higher = [&](NodeId a, NodeId b) {
         if (timing.height[a] != timing.height[b])
             return timing.height[a] > timing.height[b];
         return a < b;
     };
     std::set<NodeId, decltype(higher)> worklist(higher);
-    for (NodeId v = 0; v < n; ++v)
-        worklist.insert(v);
+    std::vector<NodeId> byPrio;
+    std::vector<int> prio;
+    std::vector<char> pendingPrio;
+    int minPrio = 0;
+    int npending = 0;
+    if (adj) {
+        byPrio.resize(n);
+        for (NodeId v = 0; v < n; ++v)
+            byPrio[v] = v;
+        std::sort(byPrio.begin(), byPrio.end(), higher);
+        prio.resize(n);
+        for (int i = 0; i < n; ++i)
+            prio[byPrio[i]] = i;
+        pendingPrio.assign(n, 1);
+        npending = n;
+    } else {
+        for (NodeId v = 0; v < n; ++v)
+            worklist.insert(v);
+    }
+    auto wlEmpty = [&] { return adj ? npending == 0 : worklist.empty(); };
+    auto wlPop = [&]() -> NodeId {
+        if (adj) {
+            while (!pendingPrio[minPrio])
+                ++minPrio;
+            pendingPrio[minPrio] = 0;
+            --npending;
+            return byPrio[minPrio];
+        }
+        const NodeId v = *worklist.begin();
+        worklist.erase(worklist.begin());
+        return v;
+    };
+    auto wlInsert = [&](NodeId v) {
+        if (adj) {
+            const int p = prio[v];
+            if (!pendingPrio[p]) {
+                pendingPrio[p] = 1;
+                ++npending;
+            }
+            minPrio = std::min(minPrio, p);
+        } else {
+            worklist.insert(v);
+        }
+    };
 
     std::vector<bool> placed(n, false);
     std::vector<int> start(n, 0);
     std::vector<int> lastStart(n, -1);
     std::vector<Reservation> slots(n);
-    std::vector<std::vector<PoolId>> requests(n);
-    for (NodeId v = 0; v < n; ++v)
-        requests[v] = loop.request(model, v);
+    std::optional<std::vector<std::vector<PoolId>>> local_requests;
+    if (!ctx) {
+        local_requests.emplace(n);
+        for (NodeId v = 0; v < n; ++v)
+            (*local_requests)[v] = loop.request(model, v);
+    }
+    const std::vector<std::vector<PoolId>> &requests =
+        ctx ? ctx->requests(loop, model) : *local_requests;
 
-    Mrt mrt(model, ii);
+    Mrt &mrt = scratchMrt(model, ii);
     long budget =
         std::max<long>(32, static_cast<long>(budgetRatio_ * n));
     long slot_conflicts = 0;
@@ -56,49 +115,63 @@ IterativeModuloScheduler::schedule(const AnnotatedLoop &loop,
         cams_assert(placed[v], "displacing unplaced op ", v);
         mrt.release(slots[v]);
         placed[v] = false;
-        worklist.insert(v);
+        wlInsert(v);
         ++ejections;
     };
 
-    while (!worklist.empty()) {
+    while (!wlEmpty()) {
         if (budget-- <= 0) {
             traceAttempt(ii, false, slot_conflicts, ejections);
             return false;
         }
-        const NodeId op = *worklist.begin();
-        worklist.erase(worklist.begin());
+        const NodeId op = wlPop();
 
-        // Earliest cycle permitted by the currently placed predecessors.
-        long estart = 0;
-        for (EdgeId e : graph.inEdges(op)) {
-            const DfgEdge &edge = graph.edge(e);
-            if (edge.src == op || !placed[edge.src])
-                continue;
-            estart = std::max(estart,
-                              start[edge.src] + edge.latency -
-                                  static_cast<long>(ii) * edge.distance);
-        }
-        estart = std::max<long>(estart, 0);
-
-        int chosen = -1;
-        for (long t = estart; t < estart + ii; ++t) {
-            if (mrt.canReserveAt(requests[op],
-                                 static_cast<int>(t % ii))) {
-                chosen = static_cast<int>(t);
-                break;
+        // Earliest cycle permitted by the currently placed
+        // predecessors. The per-edge bound is widened for the
+        // intermediate product, then range-checked into int once: all
+        // start-cycle math below stays int.
+        long estart_wide = 0;
+        if (adj) {
+            for (const AdjEdge &edge : adj->inEdges(op)) {
+                if (edge.node == op || !placed[edge.node])
+                    continue;
+                estart_wide = std::max(
+                    estart_wide,
+                    start[edge.node] + edge.latency -
+                        static_cast<long>(ii) * edge.distance);
+            }
+        } else {
+            for (EdgeId e : graph.inEdges(op)) {
+                const DfgEdge &edge = graph.edge(e);
+                if (edge.src == op || !placed[edge.src])
+                    continue;
+                estart_wide = std::max(
+                    estart_wide,
+                    start[edge.src] + edge.latency -
+                        static_cast<long>(ii) * edge.distance);
             }
         }
+        estart_wide = std::max<long>(estart_wide, 0);
+        cams_assert(estart_wide <=
+                        std::numeric_limits<int>::max() - 2L * ii,
+                    "start-cycle overflow at II ", ii);
+        const int estart = static_cast<int>(estart_wide);
+
+        // First fit in the II-wide window from estart (same row
+        // sequence as scanning cycle by cycle).
+        int chosen = -1;
+        const int fit = mrt.scanRows(requests[op], estart % ii, ii, 1);
+        if (fit >= 0)
+            chosen = estart + fit;
         bool forced = false;
         if (chosen < 0) {
             // Forced placement: never earlier than last time + 1 so the
             // schedule makes progress (Rau's rule).
             forced = true;
             ++slot_conflicts;
-            chosen = static_cast<int>(
-                lastStart[op] < 0
-                    ? estart
-                    : std::max(estart,
-                               static_cast<long>(lastStart[op]) + 1));
+            chosen = lastStart[op] < 0
+                         ? estart
+                         : std::max(estart, lastStart[op] + 1);
         }
 
         if (forced) {
@@ -132,7 +205,10 @@ IterativeModuloScheduler::schedule(const AnnotatedLoop &loop,
             }
         }
 
-        slots[op] = mrt.reserveAt(requests[op], chosen % ii);
+        if (adj)
+            mrt.reserveAtInto(requests[op], chosen % ii, slots[op]);
+        else
+            slots[op] = mrt.reserveAt(requests[op], chosen % ii);
         slots[op].row = ((chosen % ii) + ii) % ii;
         start[op] = chosen;
         lastStart[op] = chosen;
@@ -140,24 +216,45 @@ IterativeModuloScheduler::schedule(const AnnotatedLoop &loop,
 
         // Displace successors whose dependence the new start violates
         // (and predecessors, which can only happen on forced moves).
-        for (EdgeId e : graph.outEdges(op)) {
-            const DfgEdge &edge = graph.edge(e);
-            if (edge.dst == op || !placed[edge.dst])
-                continue;
-            if (start[edge.dst] <
-                start[op] + edge.latency -
-                    static_cast<long>(ii) * edge.distance) {
-                unschedule(edge.dst);
+        if (adj) {
+            for (const AdjEdge &edge : adj->outEdges(op)) {
+                if (edge.node == op || !placed[edge.node])
+                    continue;
+                if (start[edge.node] <
+                    start[op] + edge.latency -
+                        static_cast<long>(ii) * edge.distance) {
+                    unschedule(edge.node);
+                }
             }
-        }
-        for (EdgeId e : graph.inEdges(op)) {
-            const DfgEdge &edge = graph.edge(e);
-            if (edge.src == op || !placed[edge.src])
-                continue;
-            if (start[op] <
-                start[edge.src] + edge.latency -
-                    static_cast<long>(ii) * edge.distance) {
-                unschedule(edge.src);
+            for (const AdjEdge &edge : adj->inEdges(op)) {
+                if (edge.node == op || !placed[edge.node])
+                    continue;
+                if (start[op] <
+                    start[edge.node] + edge.latency -
+                        static_cast<long>(ii) * edge.distance) {
+                    unschedule(edge.node);
+                }
+            }
+        } else {
+            for (EdgeId e : graph.outEdges(op)) {
+                const DfgEdge &edge = graph.edge(e);
+                if (edge.dst == op || !placed[edge.dst])
+                    continue;
+                if (start[edge.dst] <
+                    start[op] + edge.latency -
+                        static_cast<long>(ii) * edge.distance) {
+                    unschedule(edge.dst);
+                }
+            }
+            for (EdgeId e : graph.inEdges(op)) {
+                const DfgEdge &edge = graph.edge(e);
+                if (edge.src == op || !placed[edge.src])
+                    continue;
+                if (start[op] <
+                    start[edge.src] + edge.latency -
+                        static_cast<long>(ii) * edge.distance) {
+                    unschedule(edge.src);
+                }
             }
         }
     }

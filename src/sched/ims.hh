@@ -33,8 +33,11 @@ class IterativeModuloScheduler : public ModuloScheduler
     {
     }
 
+    using ModuloScheduler::schedule;
+
     bool schedule(const AnnotatedLoop &loop, const ResourceModel &model,
-                  int ii, Schedule &out) const override;
+                  int ii, Schedule &out,
+                  LoopContext *ctx) const override;
 
     std::string name() const override { return "ims"; }
 

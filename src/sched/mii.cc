@@ -60,8 +60,15 @@ resMii(const Dfg &graph, const MachineDesc &machine)
 MiiInfo
 computeMii(const Dfg &graph, const MachineDesc &machine)
 {
+    return computeMii(graph, machine, recMii(graph));
+}
+
+MiiInfo
+computeMii(const Dfg &graph, const MachineDesc &machine,
+           int knownRecMii)
+{
     MiiInfo info;
-    info.recMii = recMii(graph);
+    info.recMii = knownRecMii;
     info.resMii = resMii(graph, machine);
     info.mii = std::max(info.recMii, info.resMii);
     return info;

@@ -39,6 +39,10 @@ int resMii(const Dfg &graph, const MachineDesc &machine);
 /** Both bounds and their max. */
 MiiInfo computeMii(const Dfg &graph, const MachineDesc &machine);
 
+/** Both bounds and their max, reusing an already-computed RecMII. */
+MiiInfo computeMii(const Dfg &graph, const MachineDesc &machine,
+                   int knownRecMii);
+
 } // namespace cams
 
 #endif // CAMS_SCHED_MII_HH

@@ -43,6 +43,14 @@ ModuloScheduler::traceAttempt(int ii, bool success, long slotConflicts,
     trace_.sink->instant("sched_attempt", "sched", std::move(args));
 }
 
+Mrt &
+ModuloScheduler::scratchMrt(const ResourceModel &model, int ii) const
+{
+    scratch_.reset(model, ii);
+    scratch_.setScanMode(scanMode_);
+    return scratch_;
+}
+
 int
 Schedule::row(NodeId node) const
 {

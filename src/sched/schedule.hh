@@ -47,6 +47,8 @@ struct Schedule
     std::string dump(const AnnotatedLoop &loop) const;
 };
 
+class LoopContext;
+
 /** Common interface so drivers can swap scheduling algorithms. */
 class ModuloScheduler
 {
@@ -55,11 +57,23 @@ class ModuloScheduler
 
     /**
      * Attempts to schedule the loop at the given II.
+     *
+     * A LoopContext bound to loop.graph supplies the cached analyses
+     * (feasibility, timing, order, per-node requests); null computes
+     * everything from scratch. Results are identical either way.
      * @return true and fills @p out on success.
      */
     virtual bool schedule(const AnnotatedLoop &loop,
                           const ResourceModel &model, int ii,
-                          Schedule &out) const = 0;
+                          Schedule &out, LoopContext *ctx) const = 0;
+
+    /** Convenience overload: no analysis context. */
+    bool
+    schedule(const AnnotatedLoop &loop, const ResourceModel &model,
+             int ii, Schedule &out) const
+    {
+        return schedule(loop, model, ii, out, nullptr);
+    }
 
     /** Algorithm name for reports. */
     virtual std::string name() const = 0;
@@ -72,12 +86,28 @@ class ModuloScheduler
      */
     void setTrace(TraceConfig trace) { trace_ = std::move(trace); }
 
+    /** MRT query mode for subsequent calls (perf A/B; same results). */
+    void setScanMode(MrtScanMode mode) { scanMode_ = mode; }
+
+    /** MRT occupancy words examined across all calls so far. */
+    long wordScans() const { return scratch_.wordScans(); }
+
   protected:
     /** Emits the per-II slot-conflict summary (no-op when off). */
     void traceAttempt(int ii, bool success, long slotConflicts,
                       long ejections) const;
 
+    /**
+     * Hands out the reusable reservation table, cleared to the given
+     * length and set to the current scan mode. Schedulers run one
+     * call at a time, so one table per scheduler suffices.
+     */
+    Mrt &scratchMrt(const ResourceModel &model, int ii) const;
+
     TraceConfig trace_;
+    MrtScanMode scanMode_ = MrtScanMode::Word;
+    /** Reused across schedule() calls; see scratchMrt(). */
+    mutable Mrt scratch_;
 };
 
 } // namespace cams

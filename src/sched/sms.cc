@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <set>
 
 #include "graph/analysis.hh"
 #include "graph/recmii.hh"
 #include "mrt/mrt.hh"
 #include "order/swing_order.hh"
+#include "pipeline/context.hh"
 #include "support/logging.hh"
 
 namespace cams
@@ -16,7 +18,7 @@ namespace cams
 bool
 SwingModuloScheduler::schedule(const AnnotatedLoop &loop,
                                const ResourceModel &model, int ii,
-                               Schedule &out) const
+                               Schedule &out, LoopContext *ctx) const
 {
     const Dfg &graph = loop.graph;
     const int n = graph.numNodes();
@@ -25,11 +27,17 @@ SwingModuloScheduler::schedule(const AnnotatedLoop &loop,
         out.startCycle.clear();
         return true;
     }
-    if (recMii(graph) > ii)
+    if (ctx ? !ctx->schedulableAt(ii) : recMii(graph) > ii)
         return false;
 
-    const TimeAnalysis timing = analyzeTiming(graph, ii);
-    const std::vector<NodeId> order = swingOrder(graph, ii);
+    std::optional<TimeAnalysis> local_timing;
+    const TimeAnalysis &timing =
+        ctx ? ctx->timing(ii)
+            : local_timing.emplace(analyzeTiming(graph, ii));
+    std::optional<std::vector<NodeId>> local_order;
+    const std::vector<NodeId> &order =
+        ctx ? ctx->swingOrder(ii)
+            : local_order.emplace(swingOrder(graph, ii));
     std::vector<int> rank(n, 0);
     for (size_t i = 0; i < order.size(); ++i)
         rank[order[i]] = static_cast<int>(i);
@@ -38,20 +46,64 @@ SwingModuloScheduler::schedule(const AnnotatedLoop &loop,
     // paper uses (an "iterative version of the swing modulo
     // scheduler") ejects conflicting operations instead of failing
     // outright; a budget bounds total placements.
+    //
+    // With a context the tree set is replaced by a rank-indexed
+    // bitmap with a moving minimum cursor: pops and ejection
+    // re-inserts become allocation-free, and the pop order (lowest
+    // rank first, i.e. order[r]) is identical.
+    const Adjacency *adj = ctx ? &ctx->adjacency() : nullptr;
     auto prior = [&](NodeId a, NodeId b) { return rank[a] < rank[b]; };
     std::set<NodeId, decltype(prior)> worklist(prior);
-    for (NodeId v = 0; v < n; ++v)
-        worklist.insert(v);
+    std::vector<char> pendingRank;
+    int minRank = 0;
+    int npending = 0;
+    if (adj) {
+        pendingRank.assign(n, 1);
+        npending = n;
+    } else {
+        for (NodeId v = 0; v < n; ++v)
+            worklist.insert(v);
+    }
+    auto wlEmpty = [&] { return adj ? npending == 0 : worklist.empty(); };
+    auto wlPop = [&]() -> NodeId {
+        if (adj) {
+            while (!pendingRank[minRank])
+                ++minRank;
+            pendingRank[minRank] = 0;
+            --npending;
+            return order[minRank];
+        }
+        const NodeId v = *worklist.begin();
+        worklist.erase(worklist.begin());
+        return v;
+    };
+    auto wlInsert = [&](NodeId v) {
+        if (adj) {
+            const int r = rank[v];
+            if (!pendingRank[r]) {
+                pendingRank[r] = 1;
+                ++npending;
+            }
+            minRank = std::min(minRank, r);
+        } else {
+            worklist.insert(v);
+        }
+    };
 
     std::vector<bool> placed(n, false);
     std::vector<long> start(n, 0);
     std::vector<long> lastStart(n, std::numeric_limits<long>::min());
     std::vector<Reservation> slots(n);
-    std::vector<std::vector<PoolId>> requests(n);
-    for (NodeId v = 0; v < n; ++v)
-        requests[v] = loop.request(model, v);
+    std::optional<std::vector<std::vector<PoolId>>> local_requests;
+    if (!ctx) {
+        local_requests.emplace(n);
+        for (NodeId v = 0; v < n; ++v)
+            (*local_requests)[v] = loop.request(model, v);
+    }
+    const std::vector<std::vector<PoolId>> &requests =
+        ctx ? ctx->requests(loop, model) : *local_requests;
 
-    Mrt mrt(model, ii);
+    Mrt &mrt = scratchMrt(model, ii);
     long budget = std::max<long>(32, 8L * n);
     constexpr long kNone = std::numeric_limits<long>::min();
     long slot_conflicts = 0;
@@ -63,69 +115,85 @@ SwingModuloScheduler::schedule(const AnnotatedLoop &loop,
     auto unschedule = [&](NodeId v) {
         mrt.release(slots[v]);
         placed[v] = false;
-        worklist.insert(v);
+        wlInsert(v);
         ++ejections;
     };
 
-    while (!worklist.empty()) {
+    while (!wlEmpty()) {
         if (budget-- <= 0) {
             traceAttempt(ii, false, slot_conflicts, ejections);
             return false;
         }
-        const NodeId op = *worklist.begin();
-        worklist.erase(worklist.begin());
+        const NodeId op = wlPop();
 
-        // Windows anchored to the already placed neighbors.
+        // Windows anchored to the already placed neighbors. The
+        // adjacency branch reads the same edges as flat records.
         long early = kNone;
-        for (EdgeId e : graph.inEdges(op)) {
-            const DfgEdge &edge = graph.edge(e);
-            if (edge.src == op || !placed[edge.src])
-                continue;
-            early = std::max(early,
-                             start[edge.src] + edge.latency -
-                                 static_cast<long>(ii) * edge.distance);
-        }
         long late = kNone;
-        for (EdgeId e : graph.outEdges(op)) {
-            const DfgEdge &edge = graph.edge(e);
-            if (edge.dst == op || !placed[edge.dst])
-                continue;
-            const long bound = start[edge.dst] - edge.latency +
-                               static_cast<long>(ii) * edge.distance;
-            late = (late == kNone) ? bound : std::min(late, bound);
+        if (adj) {
+            for (const AdjEdge &edge : adj->inEdges(op)) {
+                if (edge.node == op || !placed[edge.node])
+                    continue;
+                early = std::max(early,
+                                 start[edge.node] + edge.latency -
+                                     static_cast<long>(ii) *
+                                         edge.distance);
+            }
+            for (const AdjEdge &edge : adj->outEdges(op)) {
+                if (edge.node == op || !placed[edge.node])
+                    continue;
+                const long bound = start[edge.node] - edge.latency +
+                                   static_cast<long>(ii) *
+                                       edge.distance;
+                late = (late == kNone) ? bound : std::min(late, bound);
+            }
+        } else {
+            for (EdgeId e : graph.inEdges(op)) {
+                const DfgEdge &edge = graph.edge(e);
+                if (edge.src == op || !placed[edge.src])
+                    continue;
+                early = std::max(early,
+                                 start[edge.src] + edge.latency -
+                                     static_cast<long>(ii) *
+                                         edge.distance);
+            }
+            for (EdgeId e : graph.outEdges(op)) {
+                const DfgEdge &edge = graph.edge(e);
+                if (edge.dst == op || !placed[edge.dst])
+                    continue;
+                const long bound = start[edge.dst] - edge.latency +
+                                   static_cast<long>(ii) *
+                                       edge.distance;
+                late = (late == kNone) ? bound : std::min(late, bound);
+            }
         }
 
+        // Window scans, as cyclic first-fit row scans (identical row
+        // order to walking the cycles one by one).
         long chosen = kNone;
         if (early != kNone && late != kNone && late >= early) {
-            for (long t = early; t <= std::min(late, early + ii - 1);
-                 ++t) {
-                if (mrt.canReserveAt(requests[op], rowOf(t))) {
-                    chosen = t;
-                    break;
-                }
-            }
+            const int width = static_cast<int>(
+                std::min(late, early + ii - 1) - early + 1);
+            const int fit =
+                mrt.scanRows(requests[op], rowOf(early), width, 1);
+            if (fit >= 0)
+                chosen = early + fit;
         } else if (early != kNone && late == kNone) {
-            for (long t = early; t < early + ii; ++t) {
-                if (mrt.canReserveAt(requests[op], rowOf(t))) {
-                    chosen = t;
-                    break;
-                }
-            }
+            const int fit =
+                mrt.scanRows(requests[op], rowOf(early), ii, 1);
+            if (fit >= 0)
+                chosen = early + fit;
         } else if (early == kNone && late != kNone) {
-            for (long t = late; t > late - ii; --t) {
-                if (mrt.canReserveAt(requests[op], rowOf(t))) {
-                    chosen = t;
-                    break;
-                }
-            }
+            const int fit =
+                mrt.scanRows(requests[op], rowOf(late), ii, -1);
+            if (fit >= 0)
+                chosen = late - fit;
         } else if (early == kNone && late == kNone) {
             const long base = timing.asap[op];
-            for (long t = base; t < base + ii; ++t) {
-                if (mrt.canReserveAt(requests[op], rowOf(t))) {
-                    chosen = t;
-                    break;
-                }
-            }
+            const int fit =
+                mrt.scanRows(requests[op], rowOf(base), ii, 1);
+            if (fit >= 0)
+                chosen = base + fit;
         }
 
         if (chosen == kNone) {
@@ -174,29 +242,54 @@ SwingModuloScheduler::schedule(const AnnotatedLoop &loop,
             chosen = t;
         }
 
-        slots[op] = mrt.reserveAt(requests[op], rowOf(chosen));
+        if (adj)
+            mrt.reserveAtInto(requests[op], rowOf(chosen), slots[op]);
+        else
+            slots[op] = mrt.reserveAt(requests[op], rowOf(chosen));
         start[op] = chosen;
         lastStart[op] = chosen;
         placed[op] = true;
 
         // Eject neighbors whose dependence the new start violates.
-        for (EdgeId e : graph.outEdges(op)) {
-            const DfgEdge &edge = graph.edge(e);
-            if (edge.dst == op || !placed[edge.dst])
-                continue;
-            if (start[edge.dst] <
-                start[op] + edge.latency -
-                    static_cast<long>(ii) * edge.distance) {
-                unschedule(edge.dst);
+        if (adj) {
+            for (const AdjEdge &edge : adj->outEdges(op)) {
+                if (edge.node == op || !placed[edge.node])
+                    continue;
+                if (start[edge.node] <
+                    start[op] + edge.latency -
+                        static_cast<long>(ii) * edge.distance) {
+                    unschedule(edge.node);
+                }
             }
-        }
-        for (EdgeId e : graph.inEdges(op)) {
-            const DfgEdge &edge = graph.edge(e);
-            if (edge.src == op || !placed[edge.src])
-                continue;
-            if (start[op] < start[edge.src] + edge.latency -
-                                static_cast<long>(ii) * edge.distance) {
-                unschedule(edge.src);
+            for (const AdjEdge &edge : adj->inEdges(op)) {
+                if (edge.node == op || !placed[edge.node])
+                    continue;
+                if (start[op] <
+                    start[edge.node] + edge.latency -
+                        static_cast<long>(ii) * edge.distance) {
+                    unschedule(edge.node);
+                }
+            }
+        } else {
+            for (EdgeId e : graph.outEdges(op)) {
+                const DfgEdge &edge = graph.edge(e);
+                if (edge.dst == op || !placed[edge.dst])
+                    continue;
+                if (start[edge.dst] <
+                    start[op] + edge.latency -
+                        static_cast<long>(ii) * edge.distance) {
+                    unschedule(edge.dst);
+                }
+            }
+            for (EdgeId e : graph.inEdges(op)) {
+                const DfgEdge &edge = graph.edge(e);
+                if (edge.src == op || !placed[edge.src])
+                    continue;
+                if (start[op] <
+                    start[edge.src] + edge.latency -
+                        static_cast<long>(ii) * edge.distance) {
+                    unschedule(edge.src);
+                }
             }
         }
     }

@@ -26,8 +26,11 @@ namespace cams
 class SwingModuloScheduler : public ModuloScheduler
 {
   public:
+    using ModuloScheduler::schedule;
+
     bool schedule(const AnnotatedLoop &loop, const ResourceModel &model,
-                  int ii, Schedule &out) const override;
+                  int ii, Schedule &out,
+                  LoopContext *ctx) const override;
 
     std::string name() const override { return "sms"; }
 };

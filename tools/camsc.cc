@@ -82,6 +82,8 @@ usage()
            "  --simple           drop the selection heuristic\n"
            "  --no-iterate       drop the eviction/repair iteration\n"
            "  --no-fallback      disable the degradation ladder\n"
+           "  --no-incremental   disable the per-loop analysis cache "
+           "and word-scan MRTs (A/B baseline)\n"
            "  --fault P          inject faults with probability P per "
            "site (stress testing)\n"
            "  --fault-seed S     seed of the fault injector "
@@ -248,6 +250,8 @@ main(int argc, char **argv)
             options.assign.iterative = false;
         } else if (arg == "--no-fallback") {
             options.fallback = false;
+        } else if (arg == "--no-incremental") {
+            options.incremental = false;
         } else if (arg == "--fault") {
             const char *value = next();
             if (!value)
@@ -401,6 +405,9 @@ main(int argc, char **argv)
         registry.record("assign_ms", result.phaseMs.assignMs);
         registry.record("schedule_ms", result.phaseMs.scheduleMs);
         registry.record("verify_ms", result.phaseMs.verifyMs);
+        registry.add("ctx.hits", result.ctxHits);
+        registry.add("ctx.misses", result.ctxMisses);
+        registry.add("mrt.word_scans", result.mrtWordScans);
         if (result.success && result.degraded == DegradeLevel::None)
             registry.record("ii_slack", result.ii - result.mii.mii);
         std::ofstream out(metrics_path);

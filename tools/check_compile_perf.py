@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Gate the compile-perf benchmark against the checked-in baseline.
+
+Reads a BENCH_compile_perf.json produced by bench/compile_perf and
+fails (exit 1) when any of the following hold:
+
+  * the A/B determinism harness reported a schedule mismatch
+    (identical_schedules is false);
+  * the incremental arm's machine-independent cost (normalized_mean =
+    incremental / from-scratch per-loop time on the same machine)
+    regressed more than --max-regression (default 25%) over the
+    checked-in baseline;
+  * --min-speedup was given and speedup_mean fell below it. Use this
+    on full-suite runs; small CAMS_SUITE_SIZE subsets shift the loop
+    mix enough that the absolute ratio is not comparable.
+
+Usage:
+  tools/check_compile_perf.py BENCH_compile_perf.json \
+      --baseline bench/baselines/compile_perf_baseline.json \
+      [--max-regression 0.25] [--min-speedup 1.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench", help="BENCH_compile_perf.json to check")
+    parser.add_argument(
+        "--baseline",
+        default="bench/baselines/compile_perf_baseline.json",
+        help="checked-in baseline JSON",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional increase of normalized_mean",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="required speedup_mean (full-suite runs only)",
+    )
+    args = parser.parse_args()
+
+    with open(args.bench) as f:
+        bench = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+
+    if not bench.get("identical_schedules", False):
+        failures.append(
+            "A/B determinism: incremental and from-scratch arms "
+            "produced different schedules"
+        )
+
+    norm = bench["normalized_mean"]
+    base_norm = baseline["normalized_mean"]
+    bound = base_norm * (1.0 + args.max_regression)
+    if norm > bound:
+        failures.append(
+            f"normalized_mean {norm:.4f} exceeds baseline "
+            f"{base_norm:.4f} +{args.max_regression:.0%} "
+            f"(bound {bound:.4f})"
+        )
+
+    if args.min_speedup is not None:
+        speedup = bench["speedup_mean"]
+        if speedup < args.min_speedup:
+            failures.append(
+                f"speedup_mean {speedup:.3f} below required "
+                f"{args.min_speedup:.3f}"
+            )
+
+    print(
+        f"compile perf: {bench['loops']} loops, "
+        f"speedup_mean {bench['speedup_mean']:.3f}, "
+        f"normalized_mean {norm:.4f} "
+        f"(baseline {base_norm:.4f}, bound {bound:.4f}), "
+        f"identical_schedules {bench.get('identical_schedules')}"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("compile perf gate: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
