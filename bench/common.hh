@@ -28,6 +28,7 @@
 
 #include "machine/machine.hh"
 #include "pipeline/batch.hh"
+#include "pipeline/cache/compile_cache.hh"
 #include "pipeline/driver.hh"
 #include "report/deviation.hh"
 #include "report/table.hh"
@@ -110,6 +111,41 @@ sharedRegistry()
     return registry;
 }
 
+/** Compile cache directory; empty = caching off. */
+inline std::string &
+cacheDir()
+{
+    static std::string dir;
+    return dir;
+}
+
+/** Cache mode applied when cacheDir() is set. */
+inline CacheMode &
+cacheMode()
+{
+    static CacheMode mode = CacheMode::ReadWrite;
+    return mode;
+}
+
+/** The binary-wide compile cache; null until --cache-dir asked. */
+inline CompileCache *
+compileCache()
+{
+    static std::unique_ptr<CompileCache> cache;
+    static bool tried = false;
+    if (!tried && !cacheDir().empty() &&
+        cacheMode() != CacheMode::Off) {
+        tried = true;
+        cache = std::make_unique<CompileCache>(cacheDir(), cacheMode());
+        if (!cache->enabled()) {
+            std::cerr << "warning: " << cache->openError()
+                      << "; continuing uncached\n";
+            cache.reset();
+        }
+    }
+    return cache.get();
+}
+
 /**
  * Parses the common experiment flags (--jobs N, --seed S, --trace
  * FILE, --trace-level L, --metrics FILE). Exits with a usage message
@@ -142,20 +178,31 @@ parseBatchArgs(int argc, char **argv)
         } else if (arg == "--metrics" && value) {
             metricsPath() = value;
             ++i;
+        } else if (arg == "--cache-dir" && value) {
+            cacheDir() = value;
+            ++i;
+        } else if (arg == "--cache" && value) {
+            if (!parseCacheMode(value, cacheMode())) {
+                std::cerr << "unknown cache mode: " << value << "\n";
+                std::exit(2);
+            }
+            ++i;
         } else {
             std::cerr << "usage: " << argv[0]
                       << " [--jobs N] [--seed S] [--trace FILE]"
-                         " [--trace-level L] [--metrics FILE]\n";
+                         " [--trace-level L] [--metrics FILE]"
+                         " [--cache-dir DIR] [--cache off|ro|rw]\n";
             std::exit(2);
         }
     }
 }
 
-/** Attaches the shared sink to one batch's options. */
+/** Attaches the shared sink and compile cache to a batch's options. */
 inline CompileOptions
 withTrace(CompileOptions options)
 {
     options.trace.sink = traceSink();
+    options.cache = compileCache();
     return options;
 }
 
@@ -217,6 +264,8 @@ writeObservability()
             std::cerr << tracePath() << " written\n";
     }
     if (!metricsPath().empty()) {
+        if (CompileCache *cache = compileCache())
+            cache->publish(sharedRegistry());
         std::ofstream out(metricsPath());
         if (!out)
             std::cerr << "cannot write " << metricsPath() << "\n";

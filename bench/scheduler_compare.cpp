@@ -32,8 +32,8 @@ using namespace cams;
 void
 writeBatchBench(const MachineDesc &machine)
 {
-    const std::vector<CompileJob> jobs =
-        clusteredJobs(benchutil::sharedSuite(), machine);
+    const std::vector<CompileJob> jobs = clusteredJobs(
+        benchutil::sharedSuite(), machine, benchutil::withTrace({}));
 
     std::cerr << "timing batch engine (" << jobs.size()
               << " jobs, 1 vs " << benchutil::jobCount()
@@ -97,7 +97,8 @@ main(int argc, char **argv)
         long total = 0;
         RunningStat ratio;
         const BatchOutcome batch = BatchRunner::run(
-            unifiedJobs(benchutil::sharedSuite(), unified, options),
+            unifiedJobs(benchutil::sharedSuite(), unified,
+                        benchutil::withTrace(options)),
             benchutil::jobCount());
         for (const CompileResult &result : batch.results) {
             if (!result.success ||
@@ -133,5 +134,6 @@ main(int argc, char **argv)
               << table.render();
 
     writeBatchBench(clustered);
+    benchutil::writeObservability();
     return 0;
 }

@@ -32,6 +32,10 @@ BatchStats::toJson() const
        << "\"ctx_hits\":" << ctxHits << ","
        << "\"ctx_misses\":" << ctxMisses << ","
        << "\"mrt_word_scans\":" << mrtWordScans << ","
+       << "\"cache_hits\":" << cacheHits << ","
+       << "\"cache_misses\":" << cacheMisses << ","
+       << "\"hint_used\":" << hintUsed << ","
+       << "\"hint_stale\":" << hintStale << ","
        << "\"failure_kinds\":{";
     bool first = true;
     for (int kind = 1; kind < numFailureKinds; ++kind) {
@@ -155,6 +159,16 @@ BatchRunner::run(const std::vector<CompileJob> &jobs, int threads,
         outcome.stats.ctxHits += result.ctxHits;
         outcome.stats.ctxMisses += result.ctxMisses;
         outcome.stats.mrtWordScans += result.mrtWordScans;
+        if (result.cacheProbed) {
+            if (result.fromCache)
+                ++outcome.stats.cacheHits;
+            else
+                ++outcome.stats.cacheMisses;
+        }
+        if (result.hintUsed)
+            ++outcome.stats.hintUsed;
+        if (result.hintStale)
+            ++outcome.stats.hintStale;
     }
     count("jobs_succeeded", outcome.stats.succeeded);
     count("jobs_failed", outcome.stats.failed);
@@ -162,6 +176,10 @@ BatchRunner::run(const std::vector<CompileJob> &jobs, int threads,
     count("ctx.hits", outcome.stats.ctxHits);
     count("ctx.misses", outcome.stats.ctxMisses);
     count("mrt.word_scans", outcome.stats.mrtWordScans);
+    count("cache.hits", outcome.stats.cacheHits);
+    count("cache.misses", outcome.stats.cacheMisses);
+    count("hint.used", outcome.stats.hintUsed);
+    count("hint.stale", outcome.stats.hintStale);
     outcome.stats.metricsJson = internal.toJson();
     return outcome;
 }

@@ -107,6 +107,18 @@ struct BatchStats
     /** MRT occupancy words examined by word-mode scans. */
     long mrtWordScans = 0;
 
+    /** Jobs served whole from the persistent compile cache. */
+    long cacheHits = 0;
+
+    /** Jobs that probed the cache and compiled cold. */
+    long cacheMisses = 0;
+
+    /** Jobs whose warm-start hint satisfied the search. */
+    long hintUsed = 0;
+
+    /** Jobs whose hint probe failed and fell back to the cold path. */
+    long hintStale = 0;
+
     /**
      * Metrics snapshot of this run (MetricsRegistry::toJson of the
      * run's internal registry: ii_slack and friends). Embedded in

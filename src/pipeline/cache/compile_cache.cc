@@ -1,0 +1,487 @@
+#include "pipeline/cache/compile_cache.hh"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "mrt/mrt.hh"
+#include "pipeline/cache/serialize.hh"
+#include "sched/verifier.hh"
+
+namespace fs = std::filesystem;
+
+namespace cams
+{
+
+namespace
+{
+
+/** "CCE1" read as a little-endian u32. */
+constexpr uint32_t entryMagic = 0x31454343u;
+
+/** Bumped on any change to the entry layout or a nested payload. */
+constexpr uint32_t entryFormatVersion = 1;
+
+/** Salts the options hash so schema changes invalidate old keys. */
+constexpr uint64_t optionsSchemaSalt = 0xca5cade100000001ULL;
+
+constexpr const char *hintFileName = "hints.log";
+
+std::string
+hex16(uint64_t value)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return std::string(buf);
+}
+
+bool
+parseHex16(const std::string &text, uint64_t &out)
+{
+    if (text.size() != 16)
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(text.c_str(), &end, 16);
+    return end == text.c_str() + 16;
+}
+
+bool
+readFileBytes(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad())
+        return false;
+    out = buf.str();
+    return true;
+}
+
+uint64_t
+hashDouble(double value)
+{
+    return std::bit_cast<uint64_t>(value);
+}
+
+} // namespace
+
+const char *
+cacheModeName(CacheMode mode)
+{
+    switch (mode) {
+        case CacheMode::Off:
+            return "off";
+        case CacheMode::ReadOnly:
+            return "ro";
+        case CacheMode::ReadWrite:
+            return "rw";
+    }
+    return "?";
+}
+
+bool
+parseCacheMode(const std::string &text, CacheMode &out)
+{
+    if (text == "off") {
+        out = CacheMode::Off;
+    } else if (text == "ro") {
+        out = CacheMode::ReadOnly;
+    } else if (text == "rw") {
+        out = CacheMode::ReadWrite;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+uint64_t
+CacheKey::entryId() const
+{
+    uint64_t id = 0xe17e5ee0ULL;
+    id = hashCombine(id, loopHash);
+    id = hashCombine(id, machineHash);
+    id = hashCombine(id, optionsHash);
+    return id;
+}
+
+uint64_t
+CacheKey::hintId() const
+{
+    uint64_t id = 0x417e57a2ULL;
+    id = hashCombine(id, loopHash);
+    id = hashCombine(id, machineHash);
+    id = hashCombine(id, hintSalt);
+    return id;
+}
+
+std::string
+CacheKey::fileName() const
+{
+    return hex16(entryId()) + ".cce";
+}
+
+CacheKey
+makeCacheKey(const Dfg &graph, const MachineDesc &machine,
+             const CompileOptions &options, bool clustered)
+{
+    CacheKey key;
+    key.loopHash = canonicalLoopHash(graph);
+    key.machineHash = hashBytes(packMachine(machine));
+
+    uint64_t oh = optionsSchemaSalt;
+    oh = hashCombine(oh, clustered ? 1 : 0);
+    oh = hashCombine(oh, static_cast<uint64_t>(options.scheduler));
+    oh = hashCombine(oh, static_cast<uint64_t>(options.iiSlack));
+    oh = hashCombine(oh, options.verify ? 1 : 0);
+    oh = hashCombine(oh, options.fallback ? 1 : 0);
+    oh = hashCombine(
+        oh, static_cast<uint64_t>(options.exhaustiveFallbackNodes));
+    oh = hashCombine(oh, hashDouble(options.timeBudgetMs));
+
+    const AssignOptions &a = options.assign;
+    oh = hashCombine(oh, static_cast<uint64_t>(a.policy));
+    oh = hashCombine(oh, a.iterative ? 1 : 0);
+    oh = hashCombine(oh, a.fullHeuristic ? 1 : 0);
+    oh = hashCombine(oh, a.useSccAffinity ? 1 : 0);
+    oh = hashCombine(oh, a.usePcrPrediction ? 1 : 0);
+    oh = hashCombine(oh, a.useSwingOrder ? 1 : 0);
+    oh = hashCombine(oh, hashDouble(a.evictionBudgetFactor));
+    oh = hashCombine(oh, static_cast<uint64_t>(a.restartsPerIi));
+    key.optionsHash = oh;
+
+    uint64_t hs = 0x5eedULL;
+    hs = hashCombine(hs, clustered ? 1 : 0);
+    hs = hashCombine(hs, static_cast<uint64_t>(options.scheduler));
+    key.hintSalt = hs;
+    return key;
+}
+
+CompileCache::CompileCache(std::string directory, CacheMode mode)
+    : directory_(std::move(directory)), mode_(mode)
+{
+    if (mode_ == CacheMode::Off)
+        return;
+
+    std::error_code ec;
+    if (mode_ == CacheMode::ReadWrite)
+        fs::create_directories(directory_, ec);
+    if (!fs::is_directory(directory_, ec)) {
+        openError_ = "cache directory unusable: " + directory_ +
+                     (ec ? " (" + ec.message() + ")" : "");
+        return;
+    }
+    ok_ = true;
+    scanDirectory();
+    loadHints();
+}
+
+CompileCache::Shard &
+CompileCache::shardFor(uint64_t id)
+{
+    return shards_[mix64(id) % numShards];
+}
+
+const CompileCache::Shard &
+CompileCache::shardFor(uint64_t id) const
+{
+    return shards_[mix64(id) % numShards];
+}
+
+std::string
+CompileCache::entryPath(const CacheKey &key) const
+{
+    return (fs::path(directory_) / key.fileName()).string();
+}
+
+void
+CompileCache::scanDirectory()
+{
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(directory_, ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const fs::path &path = entry.path();
+        if (path.extension() != ".cce")
+            continue;
+        uint64_t id = 0;
+        if (!parseHex16(path.stem().string(), id))
+            continue;
+        const uint64_t size = entry.file_size(ec);
+        Shard &shard = shardFor(id);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.entries[id] = size;
+    }
+}
+
+void
+CompileCache::loadHints()
+{
+    std::ifstream in((fs::path(directory_) / hintFileName).string());
+    if (!in)
+        return;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream fields(line);
+        std::string tag, idText;
+        WarmStartHint hint;
+        if (!(fields >> tag >> idText >> hint.ii >> hint.mii >>
+              hint.rotation))
+            continue;
+        if (tag != "h1")
+            continue;
+        uint64_t id = 0;
+        if (!parseHex16(idText, id))
+            continue;
+        if (hint.ii <= 0 || hint.mii <= 0 || hint.rotation < 0)
+            continue;
+        hints_[id] = hint; // append-only log: last write wins
+    }
+}
+
+void
+CompileCache::dropEntry(const CacheKey &key, const std::string &path)
+{
+    const uint64_t id = key.entryId();
+    {
+        Shard &shard = shardFor(id);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.entries.erase(id);
+    }
+    if (mode_ == CacheMode::ReadWrite) {
+        std::error_code ec;
+        fs::remove(path, ec);
+    }
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++totals_.rejects;
+}
+
+bool
+CompileCache::lookup(const CacheKey &key, const Dfg &graph,
+                     const MachineDesc &machine, CompileResult &out)
+{
+    if (!enabled())
+        return false;
+
+    const auto miss = [this] {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++totals_.misses;
+        return false;
+    };
+
+    const std::string path = entryPath(key);
+    std::string bytes;
+    if (!readFileBytes(path, bytes))
+        return miss();
+
+    ByteReader reader(bytes);
+    uint32_t magic = 0, version = 0;
+    uint64_t loop_hash = 0, machine_hash = 0, options_hash = 0;
+    uint64_t checksum = 0;
+    std::string payload;
+    if (!reader.u32(magic) || !reader.u32(version) ||
+        !reader.u64(loop_hash) || !reader.u64(machine_hash) ||
+        !reader.u64(options_hash) || !reader.u64(checksum) ||
+        !reader.str(payload) || !reader.atEnd() ||
+        magic != entryMagic || version != entryFormatVersion ||
+        loop_hash != key.loopHash || machine_hash != key.machineHash ||
+        options_hash != key.optionsHash ||
+        checksum != hashBytes(payload)) {
+        dropEntry(key, path);
+        return miss();
+    }
+
+    ByteReader body(payload);
+    std::string graph_bytes, machine_bytes;
+    CompileResult stored;
+    if (!body.str(graph_bytes) || !body.str(machine_bytes) ||
+        !readCompileResult(body, stored) || !body.atEnd()) {
+        dropEntry(key, path);
+        return miss();
+    }
+
+    // The hash gate: a canonical-hash collision (or an isomorphic
+    // renumbering, which hashes identically on purpose) must not be
+    // served someone else's node ids. Exact bytes or nothing.
+    if (graph_bytes != packDfg(graph) ||
+        machine_bytes != packMachine(machine))
+        return miss();
+
+    // Never trust a stored schedule: re-verify before serving. A
+    // stale or corrupted-but-checksummed entry degrades to a miss.
+    if (stored.success &&
+        !verifySchedule(stored.loop, ResourceModel(machine),
+                        stored.schedule)) {
+        dropEntry(key, path);
+        return miss();
+    }
+
+    {
+        const uint64_t id = key.entryId();
+        Shard &shard = shardFor(id);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.entries[id] = bytes.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++totals_.hits;
+        totals_.bytesRead += static_cast<long>(bytes.size());
+    }
+    out = std::move(stored);
+    return true;
+}
+
+void
+CompileCache::store(const CacheKey &key, const Dfg &graph,
+                    const MachineDesc &machine,
+                    const CompileResult &result)
+{
+    if (mode_ != CacheMode::ReadWrite || !ok_)
+        return;
+
+    // Only cold, deterministic outcomes are worth persisting: a
+    // served or hint-assisted result is not the from-MII outcome,
+    // and a timeout depends on the wall clock of this run.
+    if (result.fromCache || result.hintUsed ||
+        result.failure == FailureKind::Timeout)
+        return;
+
+    const uint64_t id = key.entryId();
+    {
+        Shard &shard = shardFor(id);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (shard.entries.count(id))
+            return; // first write wins; entries are immutable
+    }
+
+    ByteWriter body;
+    body.str(packDfg(graph));
+    body.str(packMachine(machine));
+    writeCompileResult(body, result);
+    const std::string payload = body.take();
+
+    ByteWriter entry;
+    entry.u32(entryMagic);
+    entry.u32(entryFormatVersion);
+    entry.u64(key.loopHash);
+    entry.u64(key.machineHash);
+    entry.u64(key.optionsHash);
+    entry.u64(hashBytes(payload));
+    entry.str(payload);
+    const std::string bytes = entry.take();
+
+    // Tmp-then-rename keeps concurrent readers (and writers racing on
+    // the same key) from ever observing a torn entry.
+    const uint64_t tid =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    const std::string tmp =
+        (fs::path(directory_) /
+         (".tmp-" + hex16(id) + "-" + hex16(tid)))
+            .string();
+    {
+        std::ofstream outFile(tmp, std::ios::binary | std::ios::trunc);
+        if (!outFile)
+            return;
+        outFile.write(bytes.data(),
+                      static_cast<std::streamsize>(bytes.size()));
+        if (!outFile.good())
+            return;
+    }
+    std::error_code ec;
+    fs::rename(tmp, entryPath(key), ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return;
+    }
+
+    {
+        Shard &shard = shardFor(id);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.entries[id] = bytes.size();
+    }
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    totals_.bytesWritten += static_cast<long>(bytes.size());
+}
+
+bool
+CompileCache::hint(const CacheKey &key, WarmStartHint &out) const
+{
+    if (!enabled())
+        return false;
+    std::lock_guard<std::mutex> lock(hintMutex_);
+    const auto it = hints_.find(key.hintId());
+    if (it == hints_.end())
+        return false;
+    out = it->second;
+    {
+        std::lock_guard<std::mutex> stats(statsMutex_);
+        ++totals_.hintHits;
+    }
+    return true;
+}
+
+void
+CompileCache::storeHint(const CacheKey &key, const WarmStartHint &hint)
+{
+    if (mode_ != CacheMode::ReadWrite || !ok_)
+        return;
+    if (hint.ii <= 0 || hint.mii <= 0 || hint.rotation < 0)
+        return;
+    const uint64_t id = key.hintId();
+    std::lock_guard<std::mutex> lock(hintMutex_);
+    hints_[id] = hint;
+    std::ofstream log((fs::path(directory_) / hintFileName).string(),
+                      std::ios::app);
+    if (log)
+        log << "h1 " << hex16(id) << ' ' << hint.ii << ' ' << hint.mii
+            << ' ' << hint.rotation << '\n';
+}
+
+CompileCache::Totals
+CompileCache::totals() const
+{
+    Totals t;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        t = totals_;
+    }
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        t.entries += static_cast<long>(shard.entries.size());
+        for (const auto &entry : shard.entries)
+            t.bytesOnDisk += static_cast<long>(entry.second);
+    }
+    return t;
+}
+
+void
+CompileCache::publish(MetricsRegistry &registry) const
+{
+    const Totals t = totals();
+    long hintCount = 0;
+    {
+        std::lock_guard<std::mutex> lock(hintMutex_);
+        hintCount = static_cast<long>(hints_.size());
+    }
+    std::lock_guard<std::mutex> lock(publishMutex_);
+    registry.add("cache.entries", t.entries - published_.entries);
+    registry.add("cache.bytes", t.bytesOnDisk - published_.bytesOnDisk);
+    registry.add("cache.rejects", t.rejects - published_.rejects);
+    registry.add("cache.lookup_hits", t.hits - published_.hits);
+    registry.add("cache.lookup_misses", t.misses - published_.misses);
+    registry.add("cache.bytes_read", t.bytesRead - published_.bytesRead);
+    registry.add("cache.bytes_written",
+                 t.bytesWritten - published_.bytesWritten);
+    registry.add("cache.hint_entries", hintCount - publishedHints_);
+    published_ = t;
+    publishedHints_ = hintCount;
+}
+
+} // namespace cams

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Content hashing for the persistent compile cache.
+ *
+ * Two ingredients:
+ *
+ *  - small mixing primitives (splitmix64 finalizer, ordered fold,
+ *    FNV-1a over bytes) shared by every key component;
+ *  - canonicalLoopHash(), a renumbering-invariant structural hash of
+ *    a loop graph. Isomorphic graphs -- same opcodes, latencies and
+ *    dependence structure under any node permutation or renaming --
+ *    hash identically, so a cache populated by one suite generator
+ *    survives cosmetic reorderings of the input.
+ *
+ * The canonical hash is a Weisfeiler-Leman style refinement: every
+ * node starts from its (opcode, latency) color, then absorbs the
+ * sorted multiset of its in- and out-edge signatures (edge latency,
+ * distance, neighbor color) for a few rounds, and the graph hash is
+ * the fold of the sorted final colors. Collisions between
+ * non-isomorphic graphs are astronomically unlikely but *possible*;
+ * the cache therefore never trusts the hash alone -- every hit is
+ * gated on an exact byte comparison of the stored input (see
+ * compile_cache.hh), so a collision degrades to a miss, never to a
+ * wrong answer.
+ */
+
+#ifndef CAMS_PIPELINE_CACHE_HASH_HH
+#define CAMS_PIPELINE_CACHE_HASH_HH
+
+#include <cstdint>
+#include <string>
+
+#include "graph/dfg.hh"
+
+namespace cams
+{
+
+/** splitmix64 finalizer: a cheap, well-mixed 64-bit permutation. */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Order-sensitive fold of one value into a running hash. */
+inline uint64_t
+hashCombine(uint64_t seed, uint64_t value)
+{
+    return mix64(seed ^ (mix64(value) + 0x9e3779b97f4a7c15ULL +
+                         (seed << 6) + (seed >> 2)));
+}
+
+/** FNV-1a over a byte string, finished through mix64. */
+uint64_t hashBytes(const std::string &bytes);
+
+/**
+ * Renumbering-invariant structural hash of a loop graph. Node and
+ * loop names are deliberately excluded: they do not affect any
+ * compile result. See the file comment for the collision policy.
+ */
+uint64_t canonicalLoopHash(const Dfg &graph);
+
+} // namespace cams
+
+#endif // CAMS_PIPELINE_CACHE_HASH_HH

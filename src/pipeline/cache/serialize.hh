@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Binary serialization for the persistent compile cache.
+ *
+ * A deliberately small, explicit wire format: little-endian
+ * fixed-width integers, IEEE doubles by bit pattern, and
+ * length-prefixed strings, written through ByteWriter and read back
+ * through the bounds-checked ByteReader. Every reader returns false
+ * instead of throwing on truncated or malformed input -- a damaged
+ * cache entry must degrade to a miss, never to UB or an abort.
+ *
+ * On top of the primitives sit pack/read pairs for the three domain
+ * payloads a cache entry carries: the input Dfg (node ids preserved
+ * exactly -- the text format in graph/textio is name-keyed and would
+ * not round-trip anonymous or duplicate-named nodes), the
+ * MachineDesc, and the full CompileResult. packDfg/packMachine are
+ * also the exact-match fingerprints the cache compares verbatim
+ * before trusting a hash hit.
+ */
+
+#ifndef CAMS_PIPELINE_CACHE_SERIALIZE_HH
+#define CAMS_PIPELINE_CACHE_SERIALIZE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "graph/dfg.hh"
+#include "machine/machine.hh"
+#include "pipeline/driver.hh"
+
+namespace cams
+{
+
+/** Appends fixed-width little-endian fields to a byte string. */
+class ByteWriter
+{
+  public:
+    void u32(uint32_t value);
+    void u64(uint64_t value);
+    void i64(int64_t value) { u64(static_cast<uint64_t>(value)); }
+    void f64(double value);
+    void str(const std::string &value);
+
+    const std::string &data() const { return out_; }
+    std::string take() { return std::move(out_); }
+
+  private:
+    std::string out_;
+};
+
+/** Bounds-checked reader over a serialized byte string. Any failed
+ *  read latches ok() false and makes every later read fail too. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::string &bytes) : bytes_(bytes) {}
+
+    bool u32(uint32_t &out);
+    bool u64(uint64_t &out);
+    bool i64(int64_t &out);
+    bool f64(double &out);
+    bool str(std::string &out);
+
+    bool ok() const { return ok_; }
+    bool atEnd() const { return ok_ && pos_ == bytes_.size(); }
+
+  private:
+    bool take(size_t count, const char *&out);
+
+    const std::string &bytes_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** Exact, id-preserving graph image (also the hit fingerprint). */
+std::string packDfg(const Dfg &graph);
+
+/** Rebuilds a graph from packDfg bytes; false on malformed input. */
+bool readDfg(const std::string &bytes, Dfg &out);
+
+/** Exact machine image (also the hit fingerprint). */
+std::string packMachine(const MachineDesc &machine);
+
+/** Rebuilds a machine from packMachine bytes. */
+bool readMachine(const std::string &bytes, MachineDesc &out);
+
+/** Serializes a full CompileResult (cache-transient flags excluded). */
+void writeCompileResult(ByteWriter &writer, const CompileResult &result);
+
+/** Inverse of writeCompileResult; false on malformed input. */
+bool readCompileResult(ByteReader &reader, CompileResult &out);
+
+} // namespace cams
+
+#endif // CAMS_PIPELINE_CACHE_SERIALIZE_HH

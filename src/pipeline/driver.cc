@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "assign/exhaustive.hh"
+#include "pipeline/cache/compile_cache.hh"
 #include "pipeline/context.hh"
 #include "pipeline/degrade.hh"
 #include "sched/ims.hh"
@@ -85,6 +86,44 @@ compilablePrecondition(const Dfg &graph, const MachineDesc &machine,
         }
     }
     return true;
+}
+
+/**
+ * True when this compile may talk to the cache at all. Fault
+ * injection makes outcomes intentionally nondeterministic, so those
+ * compiles bypass the cache in both directions.
+ */
+bool
+cacheEligible(const CompileOptions &options)
+{
+    if (options.cache == nullptr || !options.cache->enabled())
+        return false;
+    return !(options.faults && options.faults->config().any());
+}
+
+/**
+ * Probes the cache for a full-result hit; stamps the probe flags and
+ * the cache_probe decision instant either way. @return true when the
+ * result was served.
+ */
+bool
+probeCache(CompileCache &cache, const CacheKey &key, const Dfg &graph,
+           const MachineDesc &machine, const CompileOptions &options,
+           CompileResult &result)
+{
+    if (cache.lookup(key, graph, machine, result)) {
+        // lookup overwrote the whole result with the stored image
+        // (whose transient flags are false); restamp them.
+        result.cacheProbed = true;
+        result.fromCache = true;
+        traceDecision(options.trace, "cache_probe",
+                      {{"outcome", "hit"},
+                       {"ii", std::to_string(result.ii)}});
+        return true;
+    }
+    result.cacheProbed = true;
+    traceDecision(options.trace, "cache_probe", {{"outcome", "miss"}});
+    return false;
 }
 
 /** Accepts a verified success into the result. */
@@ -271,6 +310,16 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
     if (!compilablePrecondition(graph, machine, result))
         return result;
 
+    const bool cache_on = cacheEligible(options);
+    CacheKey cache_key;
+    if (cache_on) {
+        cache_key =
+            makeCacheKey(graph, machine, options, /*clustered=*/true);
+        if (probeCache(*options.cache, cache_key, graph, machine,
+                       options, result))
+            return result;
+    }
+
     const Stopwatch total_watch;
     TraceScope compile_scope(options.trace, TraceLevel::Phase,
                              "compile_clustered", "pipeline");
@@ -300,7 +349,12 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
         scheduler->setScanMode(MrtScanMode::Reference);
     const int limit = result.mii.mii * 4 + options.iiSlack;
 
-    // Stamps everything that must be correct on every exit path.
+    // Stamps everything that must be correct on every exit path, and
+    // publishes the finished compile into the cache. store() itself
+    // refuses served, hint-assisted and timed-out results, so only
+    // cold deterministic outcomes persist; hints additionally require
+    // a primary-path success (a degraded II would poison warm starts).
+    int accepted_rotation = 0;
     auto finish = [&]() {
         escalator.foldCounters();
         result.mrtWordScans += scheduler->wordScans();
@@ -321,32 +375,33 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
             compile_scope.arg("failure",
                               failureKindName(result.failure));
         }
+        if (cache_on) {
+            options.cache->store(cache_key, graph, machine, result);
+            if (result.success && !result.hintUsed &&
+                result.degraded == DegradeLevel::None) {
+                WarmStartHint hint;
+                hint.ii = result.ii;
+                hint.mii = result.mii.mii;
+                hint.rotation = accepted_rotation;
+                options.cache->storeHint(cache_key, hint);
+            }
+        }
     };
 
-    // The primary Figure 5 search. Every way an II can die updates
-    // the running classification, so a final failure reports the last
-    // (deepest) cause rather than a generic "gave up".
-    result.failure = FailureKind::IiExhausted;
-    result.failureDetail = detail::concat(
-        "empty II search window [", result.mii.mii, ", ", limit, "]");
-
-    IiEscalator::Policy primary;
-    primary.countAttempts = true;
-    primary.traceIis = true;
-    primary.decisionEscalates = true;
-    primary.catchInvariant = true;
-    primary.summaryTimeout = true;
-    primary.traceTimeout = true;
-
-    escalator.sweep(
-        result.mii.mii, limit, deadline, primary,
-        [&](int ii, auto &&escalate) -> IiEscalator::Outcome {
+    // One II attempt of the Figure 5 pipeline: assign, schedule,
+    // verify. Shared between the primary sweep and the warm-start
+    // hint probe, which swaps in a hint-seeded assigner and verifies
+    // unconditionally (a stale hint must never leak an unchecked
+    // schedule).
+    auto attemptIi = [&](int ii, auto &&escalate,
+                         const ClusterAssigner &attempt_assigner,
+                         bool force_verify) -> IiEscalator::Outcome {
             const Stopwatch assign_watch;
             AssignResult assignment;
             {
                 TraceScope scope(options.trace, TraceLevel::Phase,
                                  "assign", "phase");
-                assignment = assigner.run(graph, ii, ctx);
+                assignment = attempt_assigner.run(graph, ii, ctx);
             }
             result.phaseMs.assignMs += assign_watch.elapsedMs();
             result.phaseMs.orderMs += assignment.orderMillis;
@@ -401,7 +456,7 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
                 escalate("sched_fail");
                 return IiEscalator::Outcome::Retry;
             }
-            if (options.verify) {
+            if (options.verify || force_verify) {
                 const Stopwatch verify_watch;
                 std::string why;
                 bool verified;
@@ -421,11 +476,67 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
                     return IiEscalator::Outcome::Retry;
                 }
             }
+            accepted_rotation = assignment.rotationUsed;
             acceptSchedule(result, std::move(assignment.loop),
                            std::move(schedule), ii,
                            DegradeLevel::None);
             return IiEscalator::Outcome::Accept;
-        });
+    };
+
+    // The primary Figure 5 search. Every way an II can die updates
+    // the running classification, so a final failure reports the last
+    // (deepest) cause rather than a generic "gave up".
+    result.failure = FailureKind::IiExhausted;
+    result.failureDetail = detail::concat(
+        "empty II search window [", result.mii.mii, ", ", limit, "]");
+
+    // Warm-start hint: a previous compile of this loop on this
+    // machine (any options) achieved hint.ii, so probe that II first
+    // with the winning rotation replayed. One attempt, verified
+    // unconditionally; failure marks the hint stale and falls back to
+    // the cold search from MII, so a wrong hint costs one probe.
+    WarmStartHint hint;
+    if (cache_on && options.cache->hint(cache_key, hint) &&
+        hint.ii > result.mii.mii && hint.ii <= limit) {
+        AssignOptions hinted_options = assign_options;
+        hinted_options.preferredRotation = hint.rotation;
+        const ClusterAssigner hinted_assigner(model, hinted_options);
+        IiEscalator::Policy probe_policy;
+        probe_policy.countAttempts = true;
+        probe_policy.traceIis = true;
+        probe_policy.catchInvariant = true;
+        const bool hinted_ok = escalator.sweep(
+            hint.ii, hint.ii, deadline, probe_policy,
+            [&](int ii, auto &&escalate) {
+                return attemptIi(ii, escalate, hinted_assigner,
+                                 /*force_verify=*/true);
+            });
+        traceDecision(
+            options.trace, "hint_probe",
+            {{"outcome", hinted_ok ? "used" : "stale"},
+             {"hint_ii", std::to_string(hint.ii)},
+             {"rotation", std::to_string(hint.rotation)}});
+        if (hinted_ok) {
+            result.hintUsed = true;
+            finish();
+            return result;
+        }
+        result.hintStale = true;
+    }
+
+    IiEscalator::Policy primary;
+    primary.countAttempts = true;
+    primary.traceIis = true;
+    primary.decisionEscalates = true;
+    primary.catchInvariant = true;
+    primary.summaryTimeout = true;
+    primary.traceTimeout = true;
+
+    escalator.sweep(result.mii.mii, limit, deadline, primary,
+                    [&](int ii, auto &&escalate) {
+                        return attemptIi(ii, escalate, assigner,
+                                         /*force_verify=*/false);
+                    });
 
     if (result.success || !options.fallback) {
         finish();
@@ -516,6 +627,19 @@ compileUnified(const Dfg &graph, const MachineDesc &machine,
     if (!compilablePrecondition(graph, machine, result))
         return result;
 
+    // Full-result caching only: the unified path has no assignment,
+    // so there is no rotation to replay and little for a warm-start
+    // hint to save.
+    const bool cache_on = cacheEligible(options);
+    CacheKey cache_key;
+    if (cache_on) {
+        cache_key = makeCacheKey(graph, machine, options,
+                                 /*clustered=*/false);
+        if (probeCache(*options.cache, cache_key, graph, machine,
+                       options, result))
+            return result;
+    }
+
     const Stopwatch total_watch;
     TraceScope compile_scope(options.trace, TraceLevel::Phase,
                              "compile_unified", "pipeline");
@@ -551,6 +675,8 @@ compileUnified(const Dfg &graph, const MachineDesc &machine,
         compile_scope.arg("ii", std::to_string(result.ii));
         compile_scope.arg("degraded",
                           degradeLevelName(result.degraded));
+        if (cache_on)
+            options.cache->store(cache_key, graph, machine, result);
     };
 
     result.failure = FailureKind::IiExhausted;

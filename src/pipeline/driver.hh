@@ -42,6 +42,8 @@
 namespace cams
 {
 
+class CompileCache;
+
 /** Which phase-two scheduler the driver uses. */
 enum class SchedulerKind
 {
@@ -117,6 +119,17 @@ struct CompileOptions
      * times in CompileResult are recorded regardless of this.
      */
     TraceConfig trace;
+
+    /**
+     * Persistent compile cache (non-owning; null = off). Probed
+     * before the II search: a full hit returns the stored result
+     * (after re-verification), and on a miss a warm-start hint may
+     * seed the search at the previously achieved II -- always behind
+     * a mandatory verify, so a stale hint degrades to the cold path.
+     * Compiles with an active fault injector bypass the cache in
+     * both directions.
+     */
+    CompileCache *cache = nullptr;
 };
 
 /**
@@ -203,6 +216,16 @@ struct CompileResult
 
     /** MRT occupancy words examined by word-mode scans. */
     long mrtWordScans = 0;
+
+    /**
+     * Cache bookkeeping, stamped by the driver per compile and never
+     * serialized into cache entries (a served copy of an entry gets
+     * fromCache = true; the stored bytes always say false).
+     */
+    bool cacheProbed = false; ///< a cache lookup ran for this compile
+    bool fromCache = false;   ///< result served from the compile cache
+    bool hintUsed = false;    ///< warm-start hint satisfied the search
+    bool hintStale = false;   ///< hint probe failed; cold path used
 };
 
 /** Creates a scheduler instance of the given kind. */

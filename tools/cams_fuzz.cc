@@ -34,6 +34,7 @@
 
 #include "machine/configs.hh"
 #include "pipeline/batch.hh"
+#include "pipeline/cache/compile_cache.hh"
 #include "pipeline/driver.hh"
 #include "sched/verifier.hh"
 #include "support/metrics.hh"
@@ -67,7 +68,11 @@ usage()
            "BENCH_stress.json)\n"
            "  --trace FILE     write a Chrome trace-event JSON\n"
            "  --trace-level L  phase (default) or decision\n"
-           "  --metrics FILE   write the metrics registry as JSON\n";
+           "  --metrics FILE   write the metrics registry as JSON\n"
+           "  --cache-dir DIR  persistent compile cache directory "
+           "(fault-injected jobs bypass it)\n"
+           "  --cache MODE     off, ro or rw (default rw with "
+           "--cache-dir)\n";
     return 2;
 }
 
@@ -104,6 +109,8 @@ main(int argc, char **argv)
     std::string out_path = "BENCH_stress.json";
     std::string trace_path;
     std::string metrics_path;
+    std::string cache_dir;
+    CacheMode cache_mode = CacheMode::ReadWrite;
     TraceLevel trace_level = TraceLevel::Phase;
 
     for (int i = 1; i < argc; ++i) {
@@ -139,6 +146,13 @@ main(int argc, char **argv)
             ++i;
         } else if (arg == "--metrics" && value) {
             metrics_path = value;
+            ++i;
+        } else if (arg == "--cache-dir" && value) {
+            cache_dir = value;
+            ++i;
+        } else if (arg == "--cache" && value) {
+            if (!parseCacheMode(value, cache_mode))
+                return usage();
             ++i;
         } else {
             return usage();
@@ -198,6 +212,23 @@ main(int argc, char **argv)
         sink = std::make_unique<TraceSink>(trace_level);
         for (CompileJob &job : batch_jobs)
             job.options.trace.sink = sink.get();
+    }
+
+    // Exercises the cache under concurrent fuzz traffic. Jobs whose
+    // injector can trip bypass it by design, so with --fault 0 the
+    // cache serves everything and with faults on it mostly tests the
+    // bypass; either way the oracle below re-verifies every success.
+    std::unique_ptr<CompileCache> cache;
+    if (!cache_dir.empty() && cache_mode != CacheMode::Off) {
+        cache = std::make_unique<CompileCache>(cache_dir, cache_mode);
+        if (!cache->enabled()) {
+            std::cerr << "warning: " << cache->openError()
+                      << "; continuing uncached\n";
+            cache.reset();
+        } else {
+            for (CompileJob &job : batch_jobs)
+                job.options.cache = cache.get();
+        }
     }
 
     std::cerr << "cams_fuzz: " << iters << " jobs (seed " << seed
@@ -284,6 +315,8 @@ main(int argc, char **argv)
                   << " events, " << sink->laneCount() << " lanes)\n";
     }
     if (!metrics_path.empty()) {
+        if (cache)
+            cache->publish(registry);
         std::ofstream metrics_out(metrics_path);
         if (!metrics_out) {
             std::cerr << "cannot write " << metrics_path << "\n";

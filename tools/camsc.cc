@@ -32,6 +32,7 @@
 #include "machine/configs.hh"
 #include "machine/machinetext.hh"
 #include "pipeline/batch.hh"
+#include "pipeline/cache/compile_cache.hh"
 #include "pipeline/driver.hh"
 #include "regalloc/regalloc.hh"
 #include "report/trace_summary.hh"
@@ -89,6 +90,9 @@ usage()
            "  --fault-seed S     seed of the fault injector "
            "(default 1)\n"
            "  --deadline-ms D    wall-clock budget per compile\n"
+           "  --cache-dir DIR    persistent compile cache directory\n"
+           "  --cache MODE       off, ro or rw (default rw with "
+           "--cache-dir)\n"
            "  --trace FILE       write a Chrome trace-event JSON "
            "(chrome://tracing, Perfetto)\n"
            "  --trace-level L    phase (default) or decision "
@@ -113,7 +117,7 @@ usage()
 int
 runSuiteMode(int count, uint64_t seed, int jobs,
              const MachineDesc &machine, const CompileOptions &options,
-             const std::string &metrics_path)
+             const std::string &metrics_path, CompileCache *cache)
 {
     const std::vector<Dfg> suite = buildSuite(count, seed);
     const MachineDesc unified = machine.unifiedEquivalent();
@@ -160,6 +164,22 @@ runSuiteMode(int count, uint64_t seed, int jobs,
     std::cout << "\nfailures:  " << failures << " (" << degraded
               << " degraded)\n";
     std::cout << "batch:     " << clustered.stats.toJson() << "\n";
+    if (cache != nullptr) {
+        const CompileCache::Totals totals = cache->totals();
+        std::cout << "cache:     mode=" << cacheModeName(cache->mode())
+                  << " hits="
+                  << base.stats.cacheHits + clustered.stats.cacheHits
+                  << " misses="
+                  << base.stats.cacheMisses +
+                         clustered.stats.cacheMisses
+                  << " hint_used="
+                  << base.stats.hintUsed + clustered.stats.hintUsed
+                  << " hint_stale="
+                  << base.stats.hintStale + clustered.stats.hintStale
+                  << " entries=" << totals.entries
+                  << " bytes=" << totals.bytesOnDisk << "\n";
+        cache->publish(registry);
+    }
 
     if (options.trace.sink) {
         std::vector<std::string> names;
@@ -200,6 +220,8 @@ main(int argc, char **argv)
     uint64_t fault_seed = 1;
     std::string trace_path;
     std::string metrics_path;
+    std::string cache_dir;
+    CacheMode cache_mode = CacheMode::ReadWrite;
     TraceLevel trace_level = TraceLevel::Phase;
 
     for (int i = 1; i < argc; ++i) {
@@ -283,6 +305,15 @@ main(int argc, char **argv)
             if (!value)
                 return usage();
             metrics_path = value;
+        } else if (arg == "--cache-dir") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            cache_dir = value;
+        } else if (arg == "--cache") {
+            const char *value = next();
+            if (!value || !parseCacheMode(value, cache_mode))
+                return usage();
         } else if (arg == "--stage-schedule") {
             want_stage = true;
         } else if (arg == "--asm") {
@@ -347,6 +378,18 @@ main(int argc, char **argv)
             FaultConfig::uniform(fault_prob, fault_seed));
     }
 
+    std::unique_ptr<CompileCache> cache;
+    if (!cache_dir.empty() && cache_mode != CacheMode::Off) {
+        cache = std::make_unique<CompileCache>(cache_dir, cache_mode);
+        if (!cache->enabled()) {
+            std::cerr << "warning: " << cache->openError()
+                      << "; continuing uncached\n";
+            cache.reset();
+        } else {
+            options.cache = cache.get();
+        }
+    }
+
     std::unique_ptr<TraceSink> sink;
     if (!trace_path.empty()) {
         sink = std::make_unique<TraceSink>(trace_level);
@@ -364,7 +407,7 @@ main(int argc, char **argv)
 
     if (suite_count > 0) {
         const int rc = runSuiteMode(suite_count, seed, jobs, machine,
-                                    options, metrics_path);
+                                    options, metrics_path, cache.get());
         return write_trace() ? rc : 1;
     }
 
@@ -408,6 +451,17 @@ main(int argc, char **argv)
         registry.add("ctx.hits", result.ctxHits);
         registry.add("ctx.misses", result.ctxMisses);
         registry.add("mrt.word_scans", result.mrtWordScans);
+        for (const CompileResult *r : {&unified, &result}) {
+            if (r->cacheProbed)
+                registry.add(r->fromCache ? "cache.hits"
+                                          : "cache.misses");
+            if (r->hintUsed)
+                registry.add("hint.used");
+            if (r->hintStale)
+                registry.add("hint.stale");
+        }
+        if (cache)
+            cache->publish(registry);
         if (result.success && result.degraded == DegradeLevel::None)
             registry.record("ii_slack", result.ii - result.mii.mii);
         std::ofstream out(metrics_path);
@@ -448,6 +502,14 @@ main(int argc, char **argv)
     std::cout << "loop:      " << loop.name() << " (" << loop.numNodes()
               << " ops)\n";
     std::cout << "machine:   " << machine.name << "\n";
+    if (cache) {
+        std::cout << "cache:     "
+                  << (result.fromCache  ? "hit"
+                      : result.hintUsed ? "warm start"
+                                        : "miss")
+                  << " (" << cacheModeName(cache->mode()) << " "
+                  << cache->directory() << ")\n";
+    }
     std::cout << "unified:   II=" << unified.ii << "\n";
     std::cout << "clustered: II=" << result.ii << " (deviation "
               << result.ii - unified.ii << "), copies=" << result.copies

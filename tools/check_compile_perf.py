@@ -25,6 +25,35 @@ import json
 import sys
 
 
+def load_json(path: str, what: str) -> dict:
+    """Loads one input file, translating every failure mode into a
+    clear one-line error (exit 2) instead of a traceback."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as err:
+        sys.exit(f"error: cannot read {what} '{path}': {err.strerror}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"error: {what} '{path}' is not valid JSON: {err}")
+    if not isinstance(data, dict):
+        sys.exit(
+            f"error: {what} '{path}' must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    return data
+
+
+def require_number(data: dict, key: str, path: str, what: str) -> float:
+    value = data.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        sys.exit(
+            f"error: {what} '{path}' is missing numeric field "
+            f"'{key}' (found {value!r}); was it produced by "
+            "bench/compile_perf?"
+        )
+    return float(value)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench", help="BENCH_compile_perf.json to check")
@@ -47,10 +76,8 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    with open(args.bench) as f:
-        bench = json.load(f)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    bench = load_json(args.bench, "bench JSON")
+    baseline = load_json(args.baseline, "baseline JSON")
 
     failures = []
 
@@ -60,8 +87,10 @@ def main() -> int:
             "produced different schedules"
         )
 
-    norm = bench["normalized_mean"]
-    base_norm = baseline["normalized_mean"]
+    norm = require_number(bench, "normalized_mean", args.bench, "bench JSON")
+    base_norm = require_number(
+        baseline, "normalized_mean", args.baseline, "baseline JSON"
+    )
     bound = base_norm * (1.0 + args.max_regression)
     if norm > bound:
         failures.append(
@@ -70,8 +99,8 @@ def main() -> int:
             f"(bound {bound:.4f})"
         )
 
+    speedup = require_number(bench, "speedup_mean", args.bench, "bench JSON")
     if args.min_speedup is not None:
-        speedup = bench["speedup_mean"]
         if speedup < args.min_speedup:
             failures.append(
                 f"speedup_mean {speedup:.3f} below required "
@@ -79,8 +108,8 @@ def main() -> int:
             )
 
     print(
-        f"compile perf: {bench['loops']} loops, "
-        f"speedup_mean {bench['speedup_mean']:.3f}, "
+        f"compile perf: {bench.get('loops', '?')} loops, "
+        f"speedup_mean {speedup:.3f}, "
         f"normalized_mean {norm:.4f} "
         f"(baseline {base_norm:.4f}, bound {bound:.4f}), "
         f"identical_schedules {bench.get('identical_schedules')}"

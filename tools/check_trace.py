@@ -8,7 +8,15 @@ recorded events. With --expect-decisions it additionally requires at
 least one assignment-cascade decision event with per-cluster
 verdicts.
 
+cache_probe instants (emitted whenever a compile consults the
+persistent compile cache) are always validated when present: the
+outcome arg must be "hit" or "miss", and a hit must carry the served
+II. hint_probe instants must carry outcome "used" or "stale" plus the
+probed hint_ii. --expect-cache-probes N requires at least N
+cache_probe events (use on runs driven with --cache-dir).
+
 Usage: check_trace.py TRACE.json [--expect-decisions] [--min-lanes N]
+       [--expect-cache-probes N]
 """
 
 import argparse
@@ -29,6 +37,9 @@ def main():
                              "per-cluster verdicts")
     parser.add_argument("--min-lanes", type=int, default=1,
                         help="minimum distinct tids with events")
+    parser.add_argument("--expect-cache-probes", type=int, default=0,
+                        metavar="N",
+                        help="require at least N cache_probe events")
     args = parser.parse_args()
 
     try:
@@ -45,6 +56,7 @@ def main():
     named_lanes = set()
     scopes = 0
     decisions = 0
+    cache_probes = 0
     for i, event in enumerate(events):
         for key in ("name", "ph", "pid", "tid"):
             if key not in event:
@@ -67,6 +79,20 @@ def main():
                 if ":" not in verdicts:
                     fail(f"assign_decide without verdicts: {event}")
                 decisions += 1
+            elif event["name"] == "cache_probe":
+                outcome = event.get("args", {}).get("outcome")
+                if outcome not in ("hit", "miss"):
+                    fail(f"cache_probe with bad outcome: {event}")
+                if outcome == "hit" and not str(
+                        event["args"].get("ii", "")).isdigit():
+                    fail(f"cache_probe hit without served II: {event}")
+                cache_probes += 1
+            elif event["name"] == "hint_probe":
+                hint_args = event.get("args", {})
+                if hint_args.get("outcome") not in ("used", "stale"):
+                    fail(f"hint_probe with bad outcome: {event}")
+                if not str(hint_args.get("hint_ii", "")).isdigit():
+                    fail(f"hint_probe without hint_ii: {event}")
         else:
             fail(f"event {i} has unexpected ph '{ph}'")
 
@@ -79,9 +105,14 @@ def main():
         fail(f"lanes without thread_name metadata: {sorted(missing)}")
     if args.expect_decisions and decisions == 0:
         fail("no assign_decide events (is --trace-level decision on?)")
+    if cache_probes < args.expect_cache_probes:
+        fail(f"{cache_probes} cache_probe events, expected >= "
+             f"{args.expect_cache_probes} (was --cache-dir set and "
+             f"--trace-level decision on?)")
 
     print(f"check_trace: OK: {len(events)} events, {scopes} scopes, "
-          f"{decisions} decisions, {len(lanes)} lanes")
+          f"{decisions} decisions, {cache_probes} cache probes, "
+          f"{len(lanes)} lanes")
 
 
 if __name__ == "__main__":
