@@ -155,11 +155,16 @@ makeCacheKey(const Dfg &graph, const MachineDesc &machine,
     oh = hashCombine(oh, a.useSwingOrder ? 1 : 0);
     oh = hashCombine(oh, hashDouble(a.evictionBudgetFactor));
     oh = hashCombine(oh, static_cast<uint64_t>(a.restartsPerIi));
+    // The tenant namespace salt participates in both identities, so a
+    // salted compile can never serve -- or warm-start from -- another
+    // namespace's state.
+    oh = hashCombine(oh, options.cacheSalt);
     key.optionsHash = oh;
 
     uint64_t hs = 0x5eedULL;
     hs = hashCombine(hs, clustered ? 1 : 0);
     hs = hashCombine(hs, static_cast<uint64_t>(options.scheduler));
+    hs = hashCombine(hs, options.cacheSalt);
     key.hintSalt = hs;
     return key;
 }

@@ -95,7 +95,9 @@ struct CacheKey
  * change the CompileResult participates: the canonical loop
  * structure, the machine image, the scheduler choice, the assignment
  * policy knobs, verify/fallback/iiSlack/exhaustiveFallbackNodes, the
- * time budget and the clustered-vs-unified path. Deliberately
+ * time budget, the clustered-vs-unified path and the tenant
+ * namespace salt (CompileOptions::cacheSalt, which also salts the
+ * hint identity). Deliberately
  * excluded: trace/metrics configuration (observability never changes
  * results), the fault injector (fault-injected compiles bypass the
  * cache entirely), and the incremental flag plus MRT scan mode (both

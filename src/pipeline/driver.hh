@@ -130,6 +130,16 @@ struct CompileOptions
      * both directions.
      */
     CompileCache *cache = nullptr;
+
+    /**
+     * Namespace salt folded into every CacheKey (full entries and
+     * warm-start hints). Two compiles that differ only in salt never
+     * share cache state; the compile server salts each tenant's id
+     * here so co-resident tenants cannot observe one another through
+     * hit timing or hint side channels. 0 = the default (unsalted)
+     * namespace every single-tenant tool uses.
+     */
+    uint64_t cacheSalt = 0;
 };
 
 /**

@@ -1,0 +1,98 @@
+#include "pipeline/serve/client.hh"
+
+namespace cams
+{
+
+bool
+ServeClient::connect(const std::string &socketPath,
+                     const std::string &tenant, std::string &error)
+{
+    SocketFd fd = connectUnix(socketPath, error);
+    if (!fd.valid())
+        return false;
+
+    HelloMsg hello;
+    hello.tenant = tenant;
+    if (!writeFrame(fd.fd(), encodeHello(hello), error))
+        return false;
+
+    std::string payload;
+    if (!readFrame(fd.fd(), payload, serveMaxFrameBytes, error))
+        return false;
+    ServerMsg ack;
+    if (!decodeServerMsg(payload, ack)) {
+        error = "malformed handshake reply";
+        return false;
+    }
+    if (ack.type == ServeMsgType::Error) {
+        error = "server refused handshake: " + ack.message;
+        return false;
+    }
+    if (ack.type != ServeMsgType::HelloAck ||
+        ack.version != serveProtoVersion) {
+        error = "unexpected handshake reply";
+        return false;
+    }
+    workers_ = ack.workers;
+    queueCapacity_ = ack.queueCapacity;
+    fd_ = std::move(fd);
+    return true;
+}
+
+bool
+ServeClient::sendPayload(const std::string &payload, std::string &error)
+{
+    std::lock_guard<std::mutex> lock(sendMutex_);
+    if (!fd_.valid()) {
+        error = "not connected";
+        return false;
+    }
+    return writeFrame(fd_.fd(), payload, error);
+}
+
+bool
+ServeClient::submit(const SubmitMsg &msg, std::string &error)
+{
+    return sendPayload(encodeSubmit(msg), error);
+}
+
+bool
+ServeClient::cancel(uint64_t id, std::string &error)
+{
+    return sendPayload(encodeCancel(id), error);
+}
+
+bool
+ServeClient::ping(uint64_t token, std::string &error)
+{
+    return sendPayload(encodePing(token), error);
+}
+
+bool
+ServeClient::readMsg(ServerMsg &out, std::string &error)
+{
+    std::lock_guard<std::mutex> lock(recvMutex_);
+    if (!fd_.valid()) {
+        error = "not connected";
+        return false;
+    }
+    std::string payload;
+    if (!readFrame(fd_.fd(), payload, serveMaxFrameBytes, error))
+        return false;
+    if (!decodeServerMsg(payload, out)) {
+        error = "malformed server message";
+        return false;
+    }
+    return true;
+}
+
+void
+ServeClient::close()
+{
+    // Shutdown only: the descriptor itself stays allocated until the
+    // destructor so a reader still blocked in recv() can never see
+    // its fd number recycled by another thread's open().
+    fd_.shutdownBoth();
+}
+
+} // namespace cams

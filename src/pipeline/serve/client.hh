@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A synchronous camsd client: one connection, thread-split so that
+ * one thread submits/cancels while another blocks in readMsg()
+ * collecting responses -- exactly the shape the open-loop load
+ * generator and the serve tests need. Sends and receives are
+ * independently serialized (sendMutex_ / recvMutex_), so a sender
+ * thread and a reader thread share one ServeClient without external
+ * locking.
+ */
+
+#ifndef CAMS_PIPELINE_SERVE_CLIENT_HH
+#define CAMS_PIPELINE_SERVE_CLIENT_HH
+
+#include <mutex>
+#include <string>
+
+#include "pipeline/serve/proto.hh"
+#include "support/socket.hh"
+
+namespace cams
+{
+
+/** Blocking client of one camsd connection. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient() { close(); }
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /**
+     * Connects and runs the Hello handshake under @p tenant. False
+     * with @p error set when the socket, the handshake or the
+     * version check fails.
+     */
+    bool connect(const std::string &socketPath,
+                 const std::string &tenant, std::string &error);
+
+    bool connected() const { return fd_.valid(); }
+
+    /** Server-reported sizing from the handshake. */
+    uint32_t serverWorkers() const { return workers_; }
+    uint32_t serverQueueCapacity() const { return queueCapacity_; }
+
+    bool submit(const SubmitMsg &msg, std::string &error);
+    bool cancel(uint64_t id, std::string &error);
+    bool ping(uint64_t token, std::string &error);
+
+    /**
+     * Blocks for the next server message. False on connection loss
+     * or a malformed frame. Messages for different requests arrive
+     * in server completion order, not submission order.
+     */
+    bool readMsg(ServerMsg &out, std::string &error);
+
+    /** Shuts the socket down, unblocking any reader; the descriptor
+     *  is released by the destructor. */
+    void close();
+
+  private:
+    bool sendPayload(const std::string &payload, std::string &error);
+
+    SocketFd fd_;
+    std::mutex sendMutex_;
+    std::mutex recvMutex_;
+    uint32_t workers_ = 0;
+    uint32_t queueCapacity_ = 0;
+};
+
+} // namespace cams
+
+#endif // CAMS_PIPELINE_SERVE_CLIENT_HH

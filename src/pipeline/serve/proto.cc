@@ -1,0 +1,267 @@
+#include "pipeline/serve/proto.hh"
+
+#include "pipeline/cache/serialize.hh"
+
+namespace cams
+{
+
+const char *
+serveMsgTypeName(ServeMsgType type)
+{
+    switch (type) {
+        case ServeMsgType::Hello:
+            return "hello";
+        case ServeMsgType::HelloAck:
+            return "hello_ack";
+        case ServeMsgType::Submit:
+            return "submit";
+        case ServeMsgType::Accepted:
+            return "accepted";
+        case ServeMsgType::Shed:
+            return "shed";
+        case ServeMsgType::Result:
+            return "result";
+        case ServeMsgType::Cancel:
+            return "cancel";
+        case ServeMsgType::Cancelled:
+            return "cancelled";
+        case ServeMsgType::Error:
+            return "error";
+        case ServeMsgType::Ping:
+            return "ping";
+        case ServeMsgType::Pong:
+            return "pong";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+void
+writeType(ByteWriter &writer, ServeMsgType type)
+{
+    writer.u32(static_cast<uint32_t>(type));
+}
+
+} // namespace
+
+std::string
+encodeHello(const HelloMsg &msg)
+{
+    ByteWriter writer;
+    writeType(writer, ServeMsgType::Hello);
+    writer.u32(msg.version);
+    writer.str(msg.tenant);
+    return writer.take();
+}
+
+std::string
+encodeSubmit(const SubmitMsg &msg)
+{
+    ByteWriter writer;
+    writeType(writer, ServeMsgType::Submit);
+    writer.u64(msg.id);
+    writer.u32(msg.clustered ? 1 : 0);
+    writer.u32(msg.scheduler);
+    writer.f64(msg.deadlineMs);
+    writer.f64(msg.debugSleepMs);
+    writer.str(msg.dfgBytes);
+    writer.str(msg.machineBytes);
+    return writer.take();
+}
+
+std::string
+encodeCancel(uint64_t id)
+{
+    ByteWriter writer;
+    writeType(writer, ServeMsgType::Cancel);
+    writer.u64(id);
+    return writer.take();
+}
+
+std::string
+encodePing(uint64_t token)
+{
+    ByteWriter writer;
+    writeType(writer, ServeMsgType::Ping);
+    writer.u64(token);
+    return writer.take();
+}
+
+std::string
+encodeHelloAck(uint32_t workers, uint32_t queueCapacity)
+{
+    ByteWriter writer;
+    writeType(writer, ServeMsgType::HelloAck);
+    writer.u32(serveProtoVersion);
+    writer.u32(workers);
+    writer.u32(queueCapacity);
+    return writer.take();
+}
+
+std::string
+encodeAccepted(uint64_t id, uint32_t queueDepth)
+{
+    ByteWriter writer;
+    writeType(writer, ServeMsgType::Accepted);
+    writer.u64(id);
+    writer.u32(queueDepth);
+    return writer.take();
+}
+
+std::string
+encodeShed(uint64_t id, const std::string &reason, uint32_t queueDepth)
+{
+    ByteWriter writer;
+    writeType(writer, ServeMsgType::Shed);
+    writer.u64(id);
+    writer.str(reason);
+    writer.u32(queueDepth);
+    return writer.take();
+}
+
+std::string
+encodeResult(uint64_t id, const CompileResult &result, double queueMs,
+             double compileMs)
+{
+    ByteWriter writer;
+    writeType(writer, ServeMsgType::Result);
+    writer.u64(id);
+    writer.u32(result.fromCache ? 1 : 0);
+    writer.u32(result.hintUsed ? 1 : 0);
+    writer.f64(queueMs);
+    writer.f64(compileMs);
+    ByteWriter body;
+    writeCompileResult(body, result);
+    writer.str(body.take());
+    return writer.take();
+}
+
+std::string
+encodeCancelled(uint64_t id, bool wasQueued)
+{
+    ByteWriter writer;
+    writeType(writer, ServeMsgType::Cancelled);
+    writer.u64(id);
+    writer.u32(wasQueued ? 1 : 0);
+    return writer.take();
+}
+
+std::string
+encodeError(uint64_t id, const std::string &message)
+{
+    ByteWriter writer;
+    writeType(writer, ServeMsgType::Error);
+    writer.u64(id);
+    writer.str(message);
+    return writer.take();
+}
+
+std::string
+encodePong(uint64_t token)
+{
+    ByteWriter writer;
+    writeType(writer, ServeMsgType::Pong);
+    writer.u64(token);
+    return writer.take();
+}
+
+bool
+decodeClientMsg(const std::string &payload, ClientMsg &out)
+{
+    ByteReader reader(payload);
+    uint32_t raw = 0;
+    if (!reader.u32(raw))
+        return false;
+    out.type = static_cast<ServeMsgType>(raw);
+    switch (out.type) {
+        case ServeMsgType::Hello:
+            if (!reader.u32(out.hello.version) ||
+                !reader.str(out.hello.tenant))
+                return false;
+            break;
+        case ServeMsgType::Submit: {
+            uint32_t clustered = 0;
+            SubmitMsg &msg = out.submit;
+            if (!reader.u64(msg.id) || !reader.u32(clustered) ||
+                !reader.u32(msg.scheduler) ||
+                !reader.f64(msg.deadlineMs) ||
+                !reader.f64(msg.debugSleepMs) ||
+                !reader.str(msg.dfgBytes) ||
+                !reader.str(msg.machineBytes))
+                return false;
+            msg.clustered = clustered != 0;
+            break;
+        }
+        case ServeMsgType::Cancel:
+            if (!reader.u64(out.id))
+                return false;
+            break;
+        case ServeMsgType::Ping:
+            if (!reader.u64(out.token))
+                return false;
+            break;
+        default:
+            return false; // server-to-client or unknown type
+    }
+    return reader.atEnd();
+}
+
+bool
+decodeServerMsg(const std::string &payload, ServerMsg &out)
+{
+    ByteReader reader(payload);
+    uint32_t raw = 0;
+    if (!reader.u32(raw))
+        return false;
+    out.type = static_cast<ServeMsgType>(raw);
+    switch (out.type) {
+        case ServeMsgType::HelloAck:
+            if (!reader.u32(out.version) || !reader.u32(out.workers) ||
+                !reader.u32(out.queueCapacity))
+                return false;
+            break;
+        case ServeMsgType::Accepted:
+            if (!reader.u64(out.id) || !reader.u32(out.queueDepth))
+                return false;
+            break;
+        case ServeMsgType::Shed:
+            if (!reader.u64(out.id) || !reader.str(out.reason) ||
+                !reader.u32(out.queueDepth))
+                return false;
+            break;
+        case ServeMsgType::Result: {
+            uint32_t fromCache = 0;
+            uint32_t hintUsed = 0;
+            if (!reader.u64(out.id) || !reader.u32(fromCache) ||
+                !reader.u32(hintUsed) || !reader.f64(out.queueMs) ||
+                !reader.f64(out.compileMs) ||
+                !reader.str(out.resultBytes))
+                return false;
+            out.fromCache = fromCache != 0;
+            out.hintUsed = hintUsed != 0;
+            break;
+        }
+        case ServeMsgType::Cancelled: {
+            uint32_t wasQueued = 0;
+            if (!reader.u64(out.id) || !reader.u32(wasQueued))
+                return false;
+            out.wasQueued = wasQueued != 0;
+            break;
+        }
+        case ServeMsgType::Error:
+            if (!reader.u64(out.id) || !reader.str(out.message))
+                return false;
+            break;
+        case ServeMsgType::Pong:
+            if (!reader.u64(out.token))
+                return false;
+            break;
+        default:
+            return false; // client-to-server or unknown type
+    }
+    return reader.atEnd();
+}
+
+} // namespace cams

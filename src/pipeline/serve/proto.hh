@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The camsd wire protocol: the messages that travel inside the
+ * length-prefixed frames of support/socket.hh.
+ *
+ * Every payload is ByteWriter-encoded (little-endian fixed-width
+ * ints, length-prefixed strings) and starts with a u32 message type.
+ * Decoding is strict: a payload that does not parse completely --
+ * truncated fields, unknown type, trailing bytes -- is a protocol
+ * error, answered with an Error message and a closed connection.
+ *
+ * Session shape. A client opens a connection, sends Hello (protocol
+ * version + tenant id) and waits for HelloAck. After the handshake
+ * it may pipeline any number of Submit/Cancel/Ping messages; the
+ * server answers each Submit with exactly one of Accepted+Result,
+ * Accepted+Cancelled, or Shed, in any interleaving across requests
+ * (responses to different requests are not ordered). Request ids are
+ * chosen by the client and scoped to its connection.
+ *
+ * Loops and machines travel as the cache's exact byte images
+ * (packDfg/packMachine) and results as writeCompileResult bytes, so
+ * the serve path reuses the one serialization format the system
+ * already trusts, and "served result == local compile" is a byte
+ * comparison.
+ */
+
+#ifndef CAMS_PIPELINE_SERVE_PROTO_HH
+#define CAMS_PIPELINE_SERVE_PROTO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "pipeline/driver.hh"
+
+namespace cams
+{
+
+/** Bumped on any incompatible wire change. */
+constexpr uint32_t serveProtoVersion = 1;
+
+/** Frames larger than this are protocol errors on both sides. */
+constexpr uint32_t serveMaxFrameBytes = 64u << 20;
+
+/** Wire message types. */
+enum class ServeMsgType : uint32_t
+{
+    Hello = 1,  ///< client: version + tenant id (first message)
+    HelloAck,   ///< server: handshake accepted
+    Submit,     ///< client: compile one loop on one machine
+    Accepted,   ///< server: request admitted to the queue
+    Shed,       ///< server: request refused (overload or draining)
+    Result,     ///< server: the finished CompileResult
+    Cancel,     ///< client: abandon a submitted request
+    Cancelled,  ///< server: request ended without a result
+    Error,      ///< server: protocol or connection-level failure
+    Ping,       ///< client: liveness probe
+    Pong,       ///< server: liveness answer
+};
+
+/** Stable name of a message type (for logs and errors). */
+const char *serveMsgTypeName(ServeMsgType type);
+
+/** Client handshake. */
+struct HelloMsg
+{
+    uint32_t version = serveProtoVersion;
+    /** Cache namespace this connection compiles under. */
+    std::string tenant;
+};
+
+/** One compile request. */
+struct SubmitMsg
+{
+    /** Client-chosen id, unique per connection. */
+    uint64_t id = 0;
+
+    /** False compiles the unified baseline path. */
+    bool clustered = true;
+
+    /** SchedulerKind as u32 (Swing = 0, Iterative = 1). */
+    uint32_t scheduler = 0;
+
+    /**
+     * End-to-end deadline in milliseconds from server receipt; 0 =
+     * none. A request still queued past its deadline is answered
+     * with a FailureKind::Timeout result without compiling; once
+     * running, the remaining budget rides the driver's existing
+     * timeBudgetMs plumbing.
+     */
+    double deadlineMs = 0.0;
+
+    /**
+     * Test hook: make the worker sleep this long before compiling.
+     * Honored only when the server was configured to allow it
+     * (ServeConfig::allowDebugSleep); ignored otherwise. Exists so
+     * the queueing tests (cancel mid-queue, drain, overload) can
+     * hold a worker busy deterministically.
+     */
+    double debugSleepMs = 0.0;
+
+    /** packDfg image of the loop. */
+    std::string dfgBytes;
+
+    /** packMachine image of the target machine. */
+    std::string machineBytes;
+};
+
+/** Decoded client -> server message. */
+struct ClientMsg
+{
+    ServeMsgType type = ServeMsgType::Hello;
+    HelloMsg hello;
+    SubmitMsg submit;
+    uint64_t id = 0;    ///< Cancel target
+    uint64_t token = 0; ///< Ping payload
+};
+
+/** Decoded server -> client message. */
+struct ServerMsg
+{
+    ServeMsgType type = ServeMsgType::Error;
+    uint64_t id = 0; ///< request id (0 = connection-level)
+
+    // HelloAck
+    uint32_t version = 0;
+    uint32_t workers = 0;
+    uint32_t queueCapacity = 0;
+
+    // Accepted / Shed
+    uint32_t queueDepth = 0;
+    std::string reason; ///< Shed: "queue_full" or "draining"
+
+    // Result
+    bool fromCache = false;
+    bool hintUsed = false;
+    double queueMs = 0.0;   ///< admission-to-dequeue wait
+    double compileMs = 0.0; ///< worker time incl. cache probe
+    std::string resultBytes;
+
+    // Cancelled
+    bool wasQueued = false; ///< true: removed before running
+
+    // Error
+    std::string message;
+
+    // Pong
+    uint64_t token = 0;
+};
+
+// Client-side encoders.
+std::string encodeHello(const HelloMsg &msg);
+std::string encodeSubmit(const SubmitMsg &msg);
+std::string encodeCancel(uint64_t id);
+std::string encodePing(uint64_t token);
+
+// Server-side encoders.
+std::string encodeHelloAck(uint32_t workers, uint32_t queueCapacity);
+std::string encodeAccepted(uint64_t id, uint32_t queueDepth);
+std::string encodeShed(uint64_t id, const std::string &reason,
+                       uint32_t queueDepth);
+std::string encodeResult(uint64_t id, const CompileResult &result,
+                         double queueMs, double compileMs);
+std::string encodeCancelled(uint64_t id, bool wasQueued);
+std::string encodeError(uint64_t id, const std::string &message);
+std::string encodePong(uint64_t token);
+
+/** Parses a client payload; false = protocol error. */
+bool decodeClientMsg(const std::string &payload, ClientMsg &out);
+
+/**
+ * Parses a server payload; false = protocol error. A Result's
+ * resultBytes are passed through undecoded -- callers that need the
+ * CompileResult run readCompileResult themselves (and the load
+ * generator compares the raw bytes without ever decoding).
+ */
+bool decodeServerMsg(const std::string &payload, ServerMsg &out);
+
+} // namespace cams
+
+#endif // CAMS_PIPELINE_SERVE_PROTO_HH

@@ -1,0 +1,514 @@
+#include "pipeline/serve/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "pipeline/cache/hash.hh"
+#include "pipeline/cache/serialize.hh"
+#include "support/logging.hh"
+#include "support/time.hh"
+
+namespace cams
+{
+
+std::string
+sanitizeTenant(const std::string &tenant)
+{
+    if (tenant.empty())
+        return "default";
+    std::string safe;
+    safe.reserve(tenant.size());
+    for (const char c : tenant) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        safe.push_back(ok ? c : '_');
+    }
+    return safe;
+}
+
+CamsServer::CamsServer(ServeConfig config) : config_(std::move(config))
+{
+    if (config_.workers < 1)
+        config_.workers = 1;
+    if (config_.queueCapacity < 1)
+        config_.queueCapacity = 1;
+}
+
+CamsServer::~CamsServer()
+{
+    stop();
+}
+
+bool
+CamsServer::start(std::string &error)
+{
+    if (started_.load()) {
+        error = "server already started";
+        return false;
+    }
+    if (!listener_.open(config_.socketPath, error))
+        return false;
+    workerThreads_.reserve(config_.workers);
+    for (int i = 0; i < config_.workers; ++i)
+        workerThreads_.emplace_back([this] { workerLoop(); });
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    started_.store(true);
+    return true;
+}
+
+void
+CamsServer::requestDrain()
+{
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        if (draining_)
+            return;
+        draining_ = true;
+    }
+    // Unblocks acceptLoop; already-queued work keeps flowing.
+    listener_.close();
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    notifyIfDrained();
+}
+
+void
+CamsServer::waitDrained()
+{
+    std::unique_lock<std::mutex> lock(queueMutex_);
+    drainedCv_.wait(lock, [this] {
+        return queue_.empty() && inFlight_.empty();
+    });
+}
+
+void
+CamsServer::stop()
+{
+    if (!started_.load())
+        return;
+    requestDrain();
+    waitDrained();
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &worker : workerThreads_)
+        worker.join();
+    workerThreads_.clear();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    {
+        std::unique_lock<std::mutex> lock(connMutex_);
+        for (const std::shared_ptr<Conn> &conn : conns_) {
+            conn->alive.store(false);
+            conn->fd.shutdownBoth();
+        }
+        readersDone_.wait(lock,
+                          [this] { return activeReaders_ == 0; });
+        conns_.clear();
+    }
+    started_.store(false);
+}
+
+ServeStats
+CamsServer::stats() const
+{
+    ServeStats stats;
+    stats.connections = registry_.counter("serve.connections");
+    stats.accepted = registry_.counter("serve.accepted");
+    stats.shedFull = registry_.counter("serve.shed_full");
+    stats.shedDraining = registry_.counter("serve.shed_draining");
+    stats.completed = registry_.counter("serve.completed");
+    stats.compiled = registry_.counter("serve.compiled");
+    stats.cacheHits = registry_.counter("serve.cache_hits");
+    stats.deadlineExpired =
+        registry_.counter("serve.deadline_expired");
+    stats.cancelledQueued =
+        registry_.counter("serve.cancelled_queued");
+    stats.cancelledInFlight =
+        registry_.counter("serve.cancelled_in_flight");
+    stats.protocolErrors =
+        registry_.counter("serve.protocol_errors");
+    return stats;
+}
+
+std::string
+CamsServer::metricsJson() const
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    for (const auto &[tenant, cache] : tenantCaches_) {
+        (void)tenant;
+        if (cache && cache->enabled())
+            cache->publish(registry_);
+    }
+    return registry_.toJson();
+}
+
+void
+CamsServer::acceptLoop()
+{
+    for (;;) {
+        std::string error;
+        const int fd = listener_.acceptFd(error);
+        if (fd < 0)
+            return; // listener closed (drain) or fatal accept error
+        auto conn = std::make_shared<Conn>();
+        conn->fd = SocketFd(fd);
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            // Refuse connections that raced the drain: the reader
+            // would shed every submit anyway.
+            bool draining;
+            {
+                std::lock_guard<std::mutex> qlock(queueMutex_);
+                draining = draining_;
+            }
+            if (draining)
+                continue; // conn drops; client sees EOF
+            conns_.push_back(conn);
+            ++activeReaders_;
+        }
+        std::thread([this, conn] { connectionLoop(conn); }).detach();
+    }
+}
+
+void
+CamsServer::send(Conn &conn, const std::string &payload)
+{
+    if (!conn.alive.load())
+        return;
+    std::lock_guard<std::mutex> lock(conn.writeMutex);
+    std::string error;
+    if (!writeFrame(conn.fd.fd(), payload, error))
+        conn.alive.store(false);
+}
+
+void
+CamsServer::connectionLoop(std::shared_ptr<Conn> conn)
+{
+    std::string payload;
+    std::string error;
+    bool cleanEof = false;
+
+    // The handshake must come first and must match our version.
+    bool handshakeOk = false;
+    if (readFrame(conn->fd.fd(), payload, serveMaxFrameBytes, error,
+                  &cleanEof)) {
+        ClientMsg msg;
+        if (!decodeClientMsg(payload, msg) ||
+            msg.type != ServeMsgType::Hello) {
+            registry_.add("serve.protocol_errors");
+            send(*conn, encodeError(0, "expected hello"));
+        } else if (msg.hello.version != serveProtoVersion) {
+            registry_.add("serve.protocol_errors");
+            send(*conn,
+                 encodeError(0, detail::concat(
+                                    "protocol version mismatch: "
+                                    "server ",
+                                    serveProtoVersion, ", client ",
+                                    msg.hello.version)));
+        } else {
+            conn->tenant = msg.hello.tenant;
+            registry_.add("serve.connections");
+            send(*conn,
+                 encodeHelloAck(
+                     static_cast<uint32_t>(config_.workers),
+                     static_cast<uint32_t>(config_.queueCapacity)));
+            handshakeOk = true;
+        }
+    } else if (!cleanEof) {
+        registry_.add("serve.protocol_errors");
+    }
+
+    while (handshakeOk && conn->alive.load()) {
+        if (!readFrame(conn->fd.fd(), payload, serveMaxFrameBytes,
+                       error, &cleanEof)) {
+            // Clean EOF and torn sockets both just end the session;
+            // an oversized frame is the peer's protocol bug.
+            if (!cleanEof && error.find("ceiling") != std::string::npos) {
+                registry_.add("serve.protocol_errors");
+                send(*conn, encodeError(0, error));
+            }
+            break;
+        }
+        ClientMsg msg;
+        if (!decodeClientMsg(payload, msg)) {
+            registry_.add("serve.protocol_errors");
+            send(*conn, encodeError(0, "malformed message"));
+            break;
+        }
+        switch (msg.type) {
+            case ServeMsgType::Submit:
+                handleSubmit(conn, msg.submit);
+                break;
+            case ServeMsgType::Cancel:
+                handleCancel(conn, msg.id);
+                break;
+            case ServeMsgType::Ping:
+                send(*conn, encodePong(msg.token));
+                break;
+            default:
+                registry_.add("serve.protocol_errors");
+                send(*conn,
+                     encodeError(0, detail::concat(
+                                        "unexpected ",
+                                        serveMsgTypeName(msg.type),
+                                        " message")));
+                conn->alive.store(false);
+                break;
+        }
+    }
+
+    dropConnection(conn);
+    conn->alive.store(false);
+    conn->fd.shutdownBoth();
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        --activeReaders_;
+        conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+                     conns_.end());
+    }
+    readersDone_.notify_all();
+}
+
+bool
+CamsServer::handleSubmit(const std::shared_ptr<Conn> &conn,
+                         const SubmitMsg &msg)
+{
+    // Admission decision and reply happen under the queue lock, so
+    // the Accepted frame is on the wire before any worker can pop
+    // the request and answer it.
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    const uint32_t depth = static_cast<uint32_t>(queue_.size());
+    if (draining_ || stopping_) {
+        registry_.add("serve.shed_draining");
+        send(*conn, encodeShed(msg.id, "draining", depth));
+        return false;
+    }
+    if (static_cast<int>(queue_.size()) >= config_.queueCapacity) {
+        registry_.add("serve.shed_full");
+        send(*conn, encodeShed(msg.id, "queue_full", depth));
+        return false;
+    }
+    auto request = std::make_shared<Request>();
+    request->conn = conn;
+    request->msg = msg;
+    request->arrivalMicros = nowMicros();
+    queue_.push_back(request);
+    registry_.add("serve.accepted");
+    send(*conn, encodeAccepted(
+                    msg.id, static_cast<uint32_t>(queue_.size())));
+    workAvailable_.notify_one();
+    return true;
+}
+
+void
+CamsServer::handleCancel(const std::shared_ptr<Conn> &conn, uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if ((*it)->conn == conn && (*it)->msg.id == id) {
+            queue_.erase(it);
+            registry_.add("serve.cancelled_queued");
+            send(*conn, encodeCancelled(id, /*wasQueued=*/true));
+            notifyIfDrained();
+            return;
+        }
+    }
+    for (const std::shared_ptr<Request> &request : inFlight_) {
+        if (request->conn == conn && request->msg.id == id) {
+            request->cancelled.store(true);
+            return; // the worker answers Cancelled
+        }
+    }
+    // Unknown id: the Result already went out (a benign race) or the
+    // client never submitted it. Either way there is nothing to undo.
+}
+
+void
+CamsServer::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Request> request;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex_);
+            workAvailable_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping, nothing left
+            request = queue_.front();
+            queue_.pop_front();
+            inFlight_.push_back(request);
+        }
+        process(request);
+        {
+            std::lock_guard<std::mutex> lock(queueMutex_);
+            inFlight_.erase(std::remove(inFlight_.begin(),
+                                        inFlight_.end(), request),
+                            inFlight_.end());
+            notifyIfDrained();
+        }
+    }
+}
+
+void
+CamsServer::process(const std::shared_ptr<Request> &request)
+{
+    Conn &conn = *request->conn;
+    const SubmitMsg &msg = request->msg;
+    const double queueMs =
+        static_cast<double>(nowMicros() - request->arrivalMicros) /
+        1000.0;
+    registry_.record("serve.queue_ms", queueMs);
+
+    if (!conn.alive.load())
+        return; // the client is gone; compiling would be waste
+    if (request->cancelled.load()) {
+        registry_.add("serve.cancelled_in_flight");
+        send(conn, encodeCancelled(msg.id, /*wasQueued=*/false));
+        return;
+    }
+
+    // A request that outlived its deadline in the queue is answered
+    // with the same classified failure an in-compile expiry gets.
+    if (msg.deadlineMs > 0.0 && queueMs >= msg.deadlineMs) {
+        CompileResult expired;
+        expired.failure = FailureKind::Timeout;
+        expired.failureDetail = detail::concat(
+            "deadline of ", msg.deadlineMs, " ms expired after ",
+            queueMs, " ms in the admission queue");
+        registry_.add("serve.deadline_expired");
+        registry_.add("serve.completed");
+        send(conn, encodeResult(msg.id, expired, queueMs, 0.0));
+        return;
+    }
+
+    if (config_.allowDebugSleep && msg.debugSleepMs > 0.0) {
+        const Deadline nap(msg.debugSleepMs);
+        while (!nap.expired() && !request->cancelled.load() &&
+               conn.alive.load()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+        }
+        if (request->cancelled.load()) {
+            registry_.add("serve.cancelled_in_flight");
+            send(conn, encodeCancelled(msg.id, /*wasQueued=*/false));
+            return;
+        }
+    }
+
+    Dfg graph;
+    MachineDesc machine;
+    if (!readDfg(msg.dfgBytes, graph) ||
+        !readMachine(msg.machineBytes, machine) ||
+        msg.scheduler > 1) {
+        registry_.add("serve.protocol_errors");
+        send(conn, encodeError(msg.id, "malformed submit payload"));
+        return;
+    }
+    // compileUnified's single-cluster precondition is a panic (an
+    // abort) inside the driver; a server must refuse the request,
+    // never die on it.
+    if (!msg.clustered && machine.numClusters() != 1) {
+        registry_.add("serve.protocol_errors");
+        send(conn, encodeError(
+                       msg.id,
+                       "unified compile requires a single-cluster "
+                       "machine"));
+        return;
+    }
+
+    CompileOptions options = config_.baseOptions;
+    options.scheduler = msg.scheduler == 1 ? SchedulerKind::Iterative
+                                           : SchedulerKind::Swing;
+    options.trace = TraceConfig{};
+    options.faults = nullptr;
+    options.cache = tenantCache(conn.tenant);
+    options.cacheSalt =
+        options.cache ? hashBytes(conn.tenant) : 0;
+
+    // The server-wide budget keeps cache keys stable; a tight
+    // deadline shrinks it for this one request only.
+    double budget = config_.compileBudgetMs;
+    if (msg.deadlineMs > 0.0) {
+        const double remaining = msg.deadlineMs - queueMs;
+        if (budget <= 0.0 || remaining < budget)
+            budget = remaining;
+    }
+    options.timeBudgetMs = budget;
+
+    const Stopwatch watch;
+    CompileResult result;
+    try {
+        result = msg.clustered
+                     ? compileClustered(graph, machine, options)
+                     : compileUnified(graph, machine, options);
+    } catch (const std::exception &err) {
+        result = CompileResult{};
+        result.failure = FailureKind::InternalInvariant;
+        result.failureDetail = detail::concat(
+            "uncaught exception escaped the compile: ", err.what());
+    }
+    const double compileMs = watch.elapsedMs();
+    registry_.record("serve.compile_ms", compileMs);
+    registry_.add("serve.compiled");
+    if (result.fromCache)
+        registry_.add("serve.cache_hits");
+
+    if (request->cancelled.load()) {
+        registry_.add("serve.cancelled_in_flight");
+        send(conn, encodeCancelled(msg.id, /*wasQueued=*/false));
+        return;
+    }
+    registry_.add("serve.completed");
+    send(conn, encodeResult(msg.id, result, queueMs, compileMs));
+}
+
+void
+CamsServer::dropConnection(const std::shared_ptr<Conn> &conn)
+{
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        if ((*it)->conn == conn)
+            it = queue_.erase(it);
+        else
+            ++it;
+    }
+    // In-flight compiles for a dead client finish but skip the send.
+    for (const std::shared_ptr<Request> &request : inFlight_) {
+        if (request->conn == conn)
+            request->cancelled.store(true);
+    }
+    notifyIfDrained();
+}
+
+CompileCache *
+CamsServer::tenantCache(const std::string &tenant)
+{
+    if (config_.cacheRoot.empty() ||
+        config_.cacheMode == CacheMode::Off)
+        return nullptr;
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    auto it = tenantCaches_.find(tenant);
+    if (it == tenantCaches_.end()) {
+        const std::string dir =
+            config_.cacheRoot + "/" + sanitizeTenant(tenant);
+        it = tenantCaches_
+                 .emplace(tenant, std::make_unique<CompileCache>(
+                                      dir, config_.cacheMode))
+                 .first;
+    }
+    return it->second->enabled() ? it->second.get() : nullptr;
+}
+
+void
+CamsServer::notifyIfDrained()
+{
+    if (queue_.empty() && inFlight_.empty())
+        drainedCv_.notify_all();
+}
+
+} // namespace cams

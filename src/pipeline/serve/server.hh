@@ -1,0 +1,228 @@
+/**
+ * @file
+ * camsd's engine: a long-running compile server over a Unix-domain
+ * socket, built from the pieces PRs 1-5 already hardened -- the
+ * single-compile driver, the persistent compile cache, and the
+ * metrics registry.
+ *
+ * Threading model. One accept thread hands each connection to its
+ * own reader thread; readers perform admission and drop accepted
+ * requests into one bounded FIFO; a fixed pool of compile workers
+ * drains it. Responses are written under a per-connection mutex, so
+ * workers and the reader interleave whole frames, never bytes.
+ *
+ * Admission control. The queue is strictly bounded
+ * (ServeConfig::queueCapacity). A Submit that arrives with the queue
+ * full is answered with Shed("queue_full") immediately -- explicit
+ * backpressure the client can meter itself by -- and after drain
+ * begins every Submit gets Shed("draining"). Admission and the
+ * Accepted/Shed reply happen under the queue lock, so a client never
+ * observes a Result before its Accepted.
+ *
+ * Deadlines. A request may carry an end-to-end deadline. Expiry
+ * while still queued produces a classified FailureKind::Timeout
+ * result without compiling; once running, the remaining budget rides
+ * the driver's CompileOptions::timeBudgetMs plumbing. The budget
+ * only shrinks below the server-wide compile budget when the
+ * deadline demands it, which keeps cache keys (which include the
+ * budget) stable across ordinary requests.
+ *
+ * Multi-tenancy. The Hello handshake names a tenant; each tenant
+ * gets its own CompileCache directory under ServeConfig::cacheRoot
+ * (own .cce store, own hints.log) *and* its id salted into every
+ * CacheKey (CompileOptions::cacheSalt), so namespaces stay disjoint
+ * even if two tenants were ever pointed at one directory.
+ *
+ * Shutdown. requestDrain() stops accepting connections and sheds new
+ * submits; queued and in-flight work runs to completion and every
+ * response is delivered before waitDrained() returns. stop() then
+ * tears the threads down. SIGTERM in camsd maps to exactly this
+ * sequence.
+ */
+
+#ifndef CAMS_PIPELINE_SERVE_SERVER_HH
+#define CAMS_PIPELINE_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/cache/compile_cache.hh"
+#include "pipeline/driver.hh"
+#include "pipeline/serve/proto.hh"
+#include "support/metrics.hh"
+#include "support/socket.hh"
+
+namespace cams
+{
+
+/** Everything a CamsServer needs to run. */
+struct ServeConfig
+{
+    /** Unix-domain socket path to listen on. */
+    std::string socketPath;
+
+    /** Compile worker threads. */
+    int workers = 2;
+
+    /** Bounded admission queue capacity (excludes in-flight work). */
+    int queueCapacity = 64;
+
+    /**
+     * Root directory of the per-tenant compile caches; empty
+     * disables caching. Tenant <t> lives in <cacheRoot>/<t> with its
+     * own entry store and hint log.
+     */
+    std::string cacheRoot;
+    CacheMode cacheMode = CacheMode::ReadWrite;
+
+    /**
+     * Per-compile wall-clock budget (CompileOptions::timeBudgetMs)
+     * applied to every served compile; 0 = none. Requests whose
+     * deadline leaves less than this get the smaller remainder.
+     */
+    double compileBudgetMs = 5000.0;
+
+    /** Honor SubmitMsg::debugSleepMs (tests only). */
+    bool allowDebugSleep = false;
+
+    /**
+     * Base options of every served compile. scheduler/clustered come
+     * from each Submit; cache, cacheSalt and timeBudgetMs are
+     * overwritten per request. Clients that want byte-identical
+     * local reproduction must compile with these same options.
+     */
+    CompileOptions baseOptions;
+};
+
+/** Monotonic serve-side event counts (also in the metrics registry). */
+struct ServeStats
+{
+    long connections = 0;      ///< handshakes completed
+    long accepted = 0;         ///< submits admitted to the queue
+    long shedFull = 0;         ///< submits refused: queue full
+    long shedDraining = 0;     ///< submits refused: draining
+    long completed = 0;        ///< Result messages sent
+    long compiled = 0;         ///< driver invocations (not shed/expired)
+    long cacheHits = 0;        ///< results served from a tenant cache
+    long deadlineExpired = 0;  ///< Timeout results for queue expiry
+    long cancelledQueued = 0;  ///< cancels that removed a queued request
+    long cancelledInFlight = 0; ///< cancels that caught a running one
+    long protocolErrors = 0;   ///< malformed frames/messages seen
+};
+
+/** The compile server. One instance per socket. */
+class CamsServer
+{
+  public:
+    explicit CamsServer(ServeConfig config);
+
+    /** Calls stop(). */
+    ~CamsServer();
+
+    CamsServer(const CamsServer &) = delete;
+    CamsServer &operator=(const CamsServer &) = delete;
+
+    /** Binds the socket and launches the threads. */
+    bool start(std::string &error);
+
+    /**
+     * Begins graceful drain: the listener closes, new submits on
+     * existing connections are shed, queued and running work
+     * completes normally. Idempotent; safe from any thread (but not
+     * from a signal handler -- camsd forwards signals via a pipe).
+     */
+    void requestDrain();
+
+    /** Blocks until the queue is empty and no compile is running. */
+    void waitDrained();
+
+    /** Full teardown: drain, close connections, join every thread. */
+    void stop();
+
+    /** Current event counts. */
+    ServeStats stats() const;
+
+    /**
+     * Snapshot of the server's metrics registry: the ServeStats
+     * counters under serve.*, plus serve.queue_ms / serve.compile_ms
+     * wait and service histograms (p50/p90/p99).
+     */
+    std::string metricsJson() const;
+
+    const ServeConfig &config() const { return config_; }
+
+  private:
+    struct Conn
+    {
+        SocketFd fd;
+        std::mutex writeMutex;
+        std::string tenant;
+        std::atomic<bool> alive{true};
+    };
+
+    struct Request
+    {
+        std::shared_ptr<Conn> conn;
+        SubmitMsg msg;
+        int64_t arrivalMicros = 0;
+        std::atomic<bool> cancelled{false};
+    };
+
+    void acceptLoop();
+    void connectionLoop(std::shared_ptr<Conn> conn);
+    void workerLoop();
+    void process(const std::shared_ptr<Request> &request);
+    void dropConnection(const std::shared_ptr<Conn> &conn);
+
+    /** Whole-frame send; marks the connection dead on failure. */
+    void send(Conn &conn, const std::string &payload);
+
+    bool handleSubmit(const std::shared_ptr<Conn> &conn,
+                      const SubmitMsg &msg);
+    void handleCancel(const std::shared_ptr<Conn> &conn, uint64_t id);
+
+    /** Lazily opened per-tenant cache; null when caching is off. */
+    CompileCache *tenantCache(const std::string &tenant);
+
+    void notifyIfDrained();
+
+    ServeConfig config_;
+    UnixListener listener_;
+
+    std::thread acceptThread_;
+    std::vector<std::thread> workerThreads_;
+
+    mutable std::mutex queueMutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable drainedCv_;
+    std::deque<std::shared_ptr<Request>> queue_;
+    std::vector<std::shared_ptr<Request>> inFlight_;
+    bool draining_ = false;
+    bool stopping_ = false;
+
+    std::mutex connMutex_;
+    std::vector<std::shared_ptr<Conn>> conns_;
+    int activeReaders_ = 0;
+    std::condition_variable readersDone_;
+
+    mutable std::mutex cacheMutex_;
+    std::map<std::string, std::unique_ptr<CompileCache>> tenantCaches_;
+
+    mutable MetricsRegistry registry_;
+    std::atomic<bool> started_{false};
+};
+
+/** Filesystem-safe tenant directory name ([A-Za-z0-9_-], else '_';
+ *  empty maps to "default"). */
+std::string sanitizeTenant(const std::string &tenant);
+
+} // namespace cams
+
+#endif // CAMS_PIPELINE_SERVE_SERVER_HH

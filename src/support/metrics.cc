@@ -58,6 +58,7 @@ summarize(std::vector<double> samples)
     summary.mean = sum / static_cast<double>(samples.size());
     summary.p50 = percentileOf(samples, 0.5);
     summary.p90 = percentileOf(samples, 0.9);
+    summary.p99 = percentileOf(samples, 0.99);
     return summary;
 }
 
@@ -114,7 +115,7 @@ MetricsRegistry::toJson() const
         os << "\"" << name << "\":{\"count\":" << s.count
            << ",\"min\":" << s.min << ",\"mean\":" << s.mean
            << ",\"max\":" << s.max << ",\"p50\":" << s.p50
-           << ",\"p90\":" << s.p90 << "}";
+           << ",\"p90\":" << s.p90 << ",\"p99\":" << s.p99 << "}";
     }
     os << "}}";
     return os.str();

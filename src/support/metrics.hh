@@ -35,6 +35,7 @@ struct HistogramSummary
     double max = 0.0;
     double p50 = 0.0;
     double p90 = 0.0;
+    double p99 = 0.0;
 };
 
 /** Thread-safe registry of named counters and value distributions. */
@@ -59,7 +60,7 @@ class MetricsRegistry
     /**
      * One-line JSON snapshot:
      * {"counters":{...},"histograms":{"name":{"count":..,"min":..,
-     * "mean":..,"max":..,"p50":..,"p90":..}}}
+     * "mean":..,"max":..,"p50":..,"p90":..,"p99":..}}}
      */
     std::string toJson() const;
 

@@ -1,0 +1,604 @@
+/**
+ * @file
+ * Tests for the compile server (pipeline/serve): protocol round
+ * trips against direct compiles, deadline expiry in the queue,
+ * cancellation of queued and running requests, graceful drain,
+ * overload shedding, tenant cache namespacing, and two servers
+ * sharing one persistent cache directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "machine/configs.hh"
+#include "pipeline/cache/serialize.hh"
+#include "pipeline/serve/client.hh"
+#include "pipeline/serve/server.hh"
+#include "workload/suite.hh"
+
+namespace cams
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Unique socket path per test (sun_path is only ~100 bytes). */
+std::string
+testSocket(const std::string &name)
+{
+    return "/tmp/cams_serve_" + std::to_string(::getpid()) + "_" +
+           name + ".sock";
+}
+
+/** Fresh scratch directory under the system tmp dir. */
+std::string
+testDir(const std::string &name)
+{
+    fs::path dir = fs::temp_directory_path() /
+                   ("cams_serve_" + std::to_string(::getpid()) +
+                    "_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/** Zeroes the one wall-clock field of the result image. */
+std::string
+canonicalBytes(const CompileResult &result)
+{
+    CompileResult copy = result;
+    copy.phaseMs = PhaseTimes{};
+    ByteWriter writer;
+    writeCompileResult(writer, copy);
+    return writer.data();
+}
+
+/** A terminal server response (Result/Shed/Cancelled/Error). */
+struct Outcome
+{
+    ServeMsgType type = ServeMsgType::Error;
+    bool accepted = false;
+    ServerMsg msg;
+};
+
+/**
+ * Reads until every id in @p ids reached a terminal message.
+ * Accepted messages mark the outcome but do not terminate it.
+ */
+std::map<uint64_t, Outcome>
+collect(ServeClient &client, const std::vector<uint64_t> &ids)
+{
+    std::map<uint64_t, Outcome> outcomes;
+    for (const uint64_t id : ids)
+        outcomes[id] = Outcome{};
+    size_t terminal = 0;
+    while (terminal < outcomes.size()) {
+        ServerMsg msg;
+        std::string error;
+        if (!client.readMsg(msg, error)) {
+            ADD_FAILURE() << "connection lost waiting for responses: "
+                          << error;
+            break;
+        }
+        auto it = outcomes.find(msg.id);
+        if (it == outcomes.end())
+            continue; // Pong or unrelated
+        if (msg.type == ServeMsgType::Accepted) {
+            it->second.accepted = true;
+            continue;
+        }
+        it->second.type = msg.type;
+        it->second.msg = msg;
+        ++terminal;
+    }
+    return outcomes;
+}
+
+/** One server + the loop/machine corpus every test compiles. */
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void
+    startServer(ServeConfig config)
+    {
+        server = std::make_unique<CamsServer>(std::move(config));
+        std::string error;
+        ASSERT_TRUE(server->start(error)) << error;
+    }
+
+    SubmitMsg
+    makeSubmit(uint64_t id, int loopIndex)
+    {
+        SubmitMsg msg;
+        msg.id = id;
+        msg.dfgBytes = packDfg(suite[loopIndex % suite.size()]);
+        msg.machineBytes = machineBytes;
+        return msg;
+    }
+
+    MachineDesc machine = busedGpMachine(2, 2, 1);
+    std::string machineBytes = packMachine(machine);
+    std::vector<Dfg> suite = buildSuite(8, defaultSuiteSeed);
+    std::unique_ptr<CamsServer> server;
+};
+
+TEST_F(ServeTest, RoundTripMatchesDirectCompile)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("roundtrip");
+    startServer(config);
+
+    ServeClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, "t", error))
+        << error;
+    EXPECT_EQ(client.serverQueueCapacity(),
+              static_cast<uint32_t>(config.queueCapacity));
+
+    std::vector<uint64_t> ids;
+    for (uint64_t id = 1; id <= suite.size(); ++id) {
+        ASSERT_TRUE(client.submit(makeSubmit(id, int(id - 1)),
+                                  error))
+            << error;
+        ids.push_back(id);
+    }
+    auto outcomes = collect(client, ids);
+
+    CompileOptions options;
+    options.timeBudgetMs = config.compileBudgetMs;
+    for (const uint64_t id : ids) {
+        const Outcome &outcome = outcomes[id];
+        ASSERT_EQ(outcome.type, ServeMsgType::Result);
+        EXPECT_TRUE(outcome.accepted);
+        CompileResult served;
+        ByteReader reader(outcome.msg.resultBytes);
+        ASSERT_TRUE(readCompileResult(reader, served));
+        const CompileResult local = compileClustered(
+            suite[id - 1], machine, options);
+        EXPECT_EQ(canonicalBytes(served), canonicalBytes(local))
+            << "loop " << id - 1;
+    }
+    server->stop();
+}
+
+TEST_F(ServeTest, UnifiedPathRoundTrips)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("unified");
+    startServer(config);
+
+    ServeClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, "t", error))
+        << error;
+    const MachineDesc unified = machine.unifiedEquivalent();
+    SubmitMsg msg = makeSubmit(1, 0);
+    msg.clustered = false;
+    msg.machineBytes = packMachine(unified);
+    ASSERT_TRUE(client.submit(msg, error)) << error;
+
+    // A unified request against a clustered machine is refused with
+    // an Error -- the driver's single-cluster precondition panics,
+    // so the server must never let such a request reach it.
+    SubmitMsg bad = makeSubmit(2, 0);
+    bad.clustered = false;
+    ASSERT_TRUE(client.submit(bad, error)) << error;
+
+    auto outcomes = collect(client, {1, 2});
+    ASSERT_EQ(outcomes[1].type, ServeMsgType::Result);
+    EXPECT_EQ(outcomes[2].type, ServeMsgType::Error);
+
+    CompileResult served;
+    ByteReader reader(outcomes[1].msg.resultBytes);
+    ASSERT_TRUE(readCompileResult(reader, served));
+    CompileOptions options;
+    options.timeBudgetMs = config.compileBudgetMs;
+    const CompileResult local =
+        compileUnified(suite[0], unified, options);
+    EXPECT_EQ(canonicalBytes(served), canonicalBytes(local));
+    server->stop();
+}
+
+TEST_F(ServeTest, DeadlineExpiredInQueueReturnsTimeoutResult)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("deadline");
+    config.workers = 1;
+    config.allowDebugSleep = true;
+    startServer(config);
+
+    ServeClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, "t", error))
+        << error;
+
+    // Request 1 holds the only worker long past request 2's
+    // deadline; 2 must come back as a classified Timeout result,
+    // not a hang and not a protocol error.
+    SubmitMsg blocker = makeSubmit(1, 0);
+    blocker.debugSleepMs = 400.0;
+    ASSERT_TRUE(client.submit(blocker, error)) << error;
+    SubmitMsg doomed = makeSubmit(2, 1);
+    doomed.deadlineMs = 50.0;
+    ASSERT_TRUE(client.submit(doomed, error)) << error;
+
+    auto outcomes = collect(client, {1, 2});
+    ASSERT_EQ(outcomes[1].type, ServeMsgType::Result);
+    ASSERT_EQ(outcomes[2].type, ServeMsgType::Result);
+
+    CompileResult result;
+    ByteReader reader(outcomes[2].msg.resultBytes);
+    ASSERT_TRUE(readCompileResult(reader, result));
+    EXPECT_FALSE(result.success);
+    EXPECT_EQ(result.failure, FailureKind::Timeout);
+    EXPECT_NE(result.failureDetail.find("admission queue"),
+              std::string::npos)
+        << result.failureDetail;
+
+    const ServeStats stats = server->stats();
+    EXPECT_EQ(stats.deadlineExpired, 1);
+    EXPECT_EQ(stats.completed, 2);
+    server->stop();
+}
+
+TEST_F(ServeTest, CancelMidQueueRemovesRequest)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("cancelq");
+    config.workers = 1;
+    config.allowDebugSleep = true;
+    startServer(config);
+
+    ServeClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, "t", error))
+        << error;
+
+    SubmitMsg blocker = makeSubmit(1, 0);
+    blocker.debugSleepMs = 300.0;
+    ASSERT_TRUE(client.submit(blocker, error)) << error;
+    ASSERT_TRUE(client.submit(makeSubmit(2, 1), error)) << error;
+    ASSERT_TRUE(client.cancel(2, error)) << error;
+
+    auto outcomes = collect(client, {1, 2});
+    EXPECT_EQ(outcomes[1].type, ServeMsgType::Result);
+    ASSERT_EQ(outcomes[2].type, ServeMsgType::Cancelled);
+    EXPECT_TRUE(outcomes[2].msg.wasQueued);
+    EXPECT_EQ(server->stats().cancelledQueued, 1);
+    server->stop();
+}
+
+TEST_F(ServeTest, CancelInFlightSkipsResult)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("cancelrun");
+    config.workers = 1;
+    config.allowDebugSleep = true;
+    startServer(config);
+
+    ServeClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, "t", error))
+        << error;
+
+    SubmitMsg msg = makeSubmit(1, 0);
+    msg.debugSleepMs = 500.0;
+    ASSERT_TRUE(client.submit(msg, error)) << error;
+    // Let the worker pick it up, then cancel the running request.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ASSERT_TRUE(client.cancel(1, error)) << error;
+
+    auto outcomes = collect(client, {1});
+    ASSERT_EQ(outcomes[1].type, ServeMsgType::Cancelled);
+    EXPECT_FALSE(outcomes[1].msg.wasQueued);
+    EXPECT_EQ(server->stats().cancelledInFlight, 1);
+    server->stop();
+}
+
+TEST_F(ServeTest, DrainCompletesInFlightAndShedsNewWork)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("drain");
+    config.workers = 1;
+    config.allowDebugSleep = true;
+    startServer(config);
+
+    ServeClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, "t", error))
+        << error;
+
+    SubmitMsg inflight = makeSubmit(1, 0);
+    inflight.debugSleepMs = 300.0;
+    ASSERT_TRUE(client.submit(inflight, error)) << error;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    server->requestDrain();
+
+    // A submit after drain began is shed, not queued.
+    ASSERT_TRUE(client.submit(makeSubmit(2, 1), error)) << error;
+    auto outcomes = collect(client, {1, 2});
+    EXPECT_EQ(outcomes[1].type, ServeMsgType::Result)
+        << "in-flight work must complete across drain";
+    ASSERT_EQ(outcomes[2].type, ServeMsgType::Shed);
+    EXPECT_EQ(outcomes[2].msg.reason, "draining");
+
+    server->waitDrained();
+
+    // The listener is gone: new connections are refused.
+    ServeClient late;
+    EXPECT_FALSE(late.connect(config.socketPath, "t", error));
+
+    EXPECT_EQ(server->stats().shedDraining, 1);
+    server->stop();
+}
+
+TEST_F(ServeTest, OverloadShedsWithExplicitReason)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("overload");
+    config.workers = 1;
+    config.queueCapacity = 2;
+    config.allowDebugSleep = true;
+    startServer(config);
+
+    ServeClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, "t", error))
+        << error;
+
+    SubmitMsg blocker = makeSubmit(1, 0);
+    blocker.debugSleepMs = 300.0;
+    ASSERT_TRUE(client.submit(blocker, error)) << error;
+    // Let the worker take the blocker so the queue starts empty.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    std::vector<uint64_t> ids = {1};
+    for (uint64_t id = 2; id <= 6; ++id) {
+        ASSERT_TRUE(client.submit(makeSubmit(id, int(id)), error))
+            << error;
+        ids.push_back(id);
+    }
+    auto outcomes = collect(client, ids);
+
+    int results = 0, shed = 0;
+    for (const uint64_t id : ids) {
+        if (outcomes[id].type == ServeMsgType::Result) {
+            ++results;
+        } else {
+            ASSERT_EQ(outcomes[id].type, ServeMsgType::Shed);
+            EXPECT_EQ(outcomes[id].msg.reason, "queue_full");
+            ++shed;
+        }
+    }
+    // Two fit in the queue behind the blocker; the rest must shed.
+    EXPECT_GE(shed, 3);
+    EXPECT_EQ(results + shed, 6);
+    EXPECT_EQ(server->stats().shedFull, shed);
+    EXPECT_EQ(server->stats().completed, results);
+    server->stop();
+}
+
+TEST_F(ServeTest, TenantCachesAreDisjoint)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("tenants");
+    config.cacheRoot = testDir("tenants_cache");
+    startServer(config);
+
+    const auto serveOnce = [&](const std::string &tenant) {
+        ServeClient client;
+        std::string error;
+        EXPECT_TRUE(client.connect(config.socketPath, tenant, error))
+            << error;
+        EXPECT_TRUE(client.submit(makeSubmit(1, 0), error)) << error;
+        auto outcomes = collect(client, {1});
+        EXPECT_EQ(outcomes[1].type, ServeMsgType::Result);
+        return outcomes[1].msg.fromCache;
+    };
+
+    // Each tenant's first compile is cold even though the other
+    // tenant already compiled the identical loop; each tenant's
+    // second is a hit. Cross-tenant hits would be an isolation leak.
+    EXPECT_FALSE(serveOnce("alpha"));
+    EXPECT_TRUE(serveOnce("alpha"));
+    EXPECT_FALSE(serveOnce("beta"));
+    EXPECT_TRUE(serveOnce("beta"));
+
+    EXPECT_TRUE(fs::is_directory(
+        fs::path(config.cacheRoot) / "alpha"));
+    EXPECT_TRUE(fs::is_directory(
+        fs::path(config.cacheRoot) / "beta"));
+    EXPECT_EQ(server->stats().cacheHits, 2);
+    server->stop();
+}
+
+TEST_F(ServeTest, TwoServersShareOneCacheDirectory)
+{
+    // The N-server safety claim: two independent camsd processes
+    // pointed at one cache directory must coexist (the entry store
+    // publishes via atomic rename) and serve each other's entries.
+    const std::string cacheRoot = testDir("shared_cache");
+    ServeConfig configA;
+    configA.socketPath = testSocket("shared_a");
+    configA.cacheRoot = cacheRoot;
+    ServeConfig configB;
+    configB.socketPath = testSocket("shared_b");
+    configB.cacheRoot = cacheRoot;
+
+    CamsServer serverA(configA), serverB(configB);
+    std::string error;
+    ASSERT_TRUE(serverA.start(error)) << error;
+    ASSERT_TRUE(serverB.start(error)) << error;
+
+    // Phase 1: both servers compile the same corpus concurrently.
+    const auto driveAll = [&](const std::string &socket) {
+        ServeClient client;
+        std::string connectError;
+        ASSERT_TRUE(client.connect(socket, "t", connectError))
+            << connectError;
+        std::vector<uint64_t> ids;
+        for (uint64_t id = 1; id <= suite.size(); ++id) {
+            std::string submitError;
+            ASSERT_TRUE(client.submit(makeSubmit(id, int(id - 1)),
+                                      submitError))
+                << submitError;
+            ids.push_back(id);
+        }
+        auto outcomes = collect(client, ids);
+        for (const uint64_t id : ids)
+            EXPECT_EQ(outcomes[id].type, ServeMsgType::Result);
+    };
+    std::thread threadA([&] { driveAll(configA.socketPath); });
+    std::thread threadB([&] { driveAll(configB.socketPath); });
+    threadA.join();
+    threadB.join();
+
+    // Phase 2: a rerun against server B hits on every loop -- the
+    // store survived two concurrent writers with no torn entries.
+    ServeClient client;
+    ASSERT_TRUE(client.connect(configB.socketPath, "t", error))
+        << error;
+    std::vector<uint64_t> ids;
+    for (uint64_t id = 1; id <= suite.size(); ++id) {
+        ASSERT_TRUE(client.submit(makeSubmit(id, int(id - 1)),
+                                  error))
+            << error;
+        ids.push_back(id);
+    }
+    auto outcomes = collect(client, ids);
+    for (const uint64_t id : ids) {
+        ASSERT_EQ(outcomes[id].type, ServeMsgType::Result);
+        EXPECT_TRUE(outcomes[id].msg.fromCache)
+            << "loop " << id - 1 << " missed after both servers "
+            << "populated the shared store";
+    }
+    EXPECT_EQ(serverA.stats().protocolErrors, 0);
+    EXPECT_EQ(serverB.stats().protocolErrors, 0);
+    serverA.stop();
+    serverB.stop();
+}
+
+TEST_F(ServeTest, MalformedFrameGetsErrorAndClose)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("proto");
+    startServer(config);
+
+    std::string error;
+    SocketFd fd = connectUnix(config.socketPath, error);
+    ASSERT_TRUE(fd.valid()) << error;
+    ASSERT_TRUE(writeFrame(fd.fd(), "garbage that is no message",
+                           error))
+        << error;
+
+    std::string payload;
+    ASSERT_TRUE(readFrame(fd.fd(), payload, serveMaxFrameBytes,
+                          error))
+        << error;
+    ServerMsg msg;
+    ASSERT_TRUE(decodeServerMsg(payload, msg));
+    EXPECT_EQ(msg.type, ServeMsgType::Error);
+
+    // The server closes after a protocol error.
+    EXPECT_FALSE(readFrame(fd.fd(), payload, serveMaxFrameBytes,
+                           error));
+    // Stats are eventually consistent with connection teardown.
+    for (int i = 0; i < 50 && server->stats().protocolErrors == 0;
+         ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(server->stats().protocolErrors, 1);
+    server->stop();
+}
+
+TEST_F(ServeTest, VersionMismatchIsRefused)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("version");
+    startServer(config);
+
+    std::string error;
+    SocketFd fd = connectUnix(config.socketPath, error);
+    ASSERT_TRUE(fd.valid()) << error;
+    HelloMsg hello;
+    hello.version = serveProtoVersion + 7;
+    hello.tenant = "t";
+    ASSERT_TRUE(writeFrame(fd.fd(), encodeHello(hello), error))
+        << error;
+
+    std::string payload;
+    ASSERT_TRUE(readFrame(fd.fd(), payload, serveMaxFrameBytes,
+                          error))
+        << error;
+    ServerMsg msg;
+    ASSERT_TRUE(decodeServerMsg(payload, msg));
+    EXPECT_EQ(msg.type, ServeMsgType::Error);
+    EXPECT_NE(msg.message.find("version"), std::string::npos)
+        << msg.message;
+    server->stop();
+}
+
+TEST_F(ServeTest, PingPongRoundTrips)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("ping");
+    startServer(config);
+
+    ServeClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, "t", error))
+        << error;
+    ASSERT_TRUE(client.ping(0xC0FFEE, error)) << error;
+    ServerMsg msg;
+    ASSERT_TRUE(client.readMsg(msg, error)) << error;
+    EXPECT_EQ(msg.type, ServeMsgType::Pong);
+    EXPECT_EQ(msg.token, 0xC0FFEEu);
+    server->stop();
+}
+
+TEST(ServeProto, SanitizeTenantMapsHostileNames)
+{
+    EXPECT_EQ(sanitizeTenant(""), "default");
+    EXPECT_EQ(sanitizeTenant("alpha-1_B"), "alpha-1_B");
+    EXPECT_EQ(sanitizeTenant("../../etc"), "______etc");
+    EXPECT_EQ(sanitizeTenant("a/b c"), "a_b_c");
+}
+
+TEST(ServeProto, SubmitRoundTripsThroughEncoder)
+{
+    SubmitMsg msg;
+    msg.id = 42;
+    msg.clustered = false;
+    msg.scheduler = 1;
+    msg.deadlineMs = 12.5;
+    msg.dfgBytes = "dfg-bytes";
+    msg.machineBytes = "machine-bytes";
+    ClientMsg decoded;
+    ASSERT_TRUE(decodeClientMsg(encodeSubmit(msg), decoded));
+    EXPECT_EQ(decoded.type, ServeMsgType::Submit);
+    EXPECT_EQ(decoded.submit.id, 42u);
+    EXPECT_FALSE(decoded.submit.clustered);
+    EXPECT_EQ(decoded.submit.scheduler, 1u);
+    EXPECT_EQ(decoded.submit.deadlineMs, 12.5);
+    EXPECT_EQ(decoded.submit.dfgBytes, "dfg-bytes");
+    EXPECT_EQ(decoded.submit.machineBytes, "machine-bytes");
+}
+
+TEST(ServeProto, TrailingBytesAreRejected)
+{
+    const std::string payload = encodeCancel(7) + "x";
+    ClientMsg decoded;
+    EXPECT_FALSE(decodeClientMsg(payload, decoded));
+}
+
+} // namespace
+} // namespace cams

@@ -6,11 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "support/fault.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
 #include "support/stats.hh"
 #include "support/str.hh"
+#include "support/threadpool.hh"
 
 namespace cams
 {
@@ -327,6 +332,40 @@ TEST(Fault, PerSiteCountersSumToTotal)
     EXPECT_EQ(sum, injector.totalTrips());
     EXPECT_GT(injector.totalTrips(), 0);
     EXPECT_LT(injector.totalTrips(), 300);
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedWork)
+{
+    // The destructor contract is "drain, then join": tasks still
+    // queued when the pool dies must run, not vanish. The first task
+    // naps so destruction begins with work genuinely queued behind a
+    // busy worker.
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1);
+        pool.post([&] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+            ++ran;
+        });
+        for (int i = 0; i < 32; ++i)
+            pool.post([&] { ++ran; });
+        // No wait(): the destructor alone must finish the queue.
+    }
+    EXPECT_EQ(ran.load(), 33);
+}
+
+TEST(ThreadPool, DestructionAfterWaitIsIdempotent)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 8; ++i)
+            pool.post([&] { ++ran; });
+        pool.wait();
+        EXPECT_EQ(ran.load(), 8);
+    }
+    EXPECT_EQ(ran.load(), 8);
 }
 
 } // namespace

@@ -1,0 +1,647 @@
+/**
+ * @file
+ * cams_load -- the seeded open-loop load generator for camsd.
+ *
+ * Replays a synthetic workload corpus against a running camsd at a
+ * fixed offered rate: requests are issued on their schedule
+ * regardless of completions (open loop), so the server's admission
+ * control -- not the client's patience -- decides what happens under
+ * overload. An optional second phase offers a burst at a higher rate
+ * to probe the shed path on purpose.
+ *
+ * Reports sustained loops-compiled/sec plus client-observed p50/p99
+ * latency (from the metrics registry) and the server-reported
+ * queue/compile-time split into BENCH_serve.json. With
+ * --check-direct it recompiles every distinct corpus loop in-process
+ * afterwards and byte-compares writeCompileResult images against the
+ * served ones, proving served == local.
+ *
+ * Usage:
+ *   cams_load --socket PATH [--rate R] [--duration S]
+ *             [--burst-rate R2] [--burst-duration S2]
+ *             [--connections C] [--corpus N] [--seed S]
+ *             [--machine FILE] [--tenant NAME] [--deadline-ms D]
+ *             [--check-direct] [--out FILE]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "machine/configs.hh"
+#include "machine/machinetext.hh"
+#include "pipeline/cache/serialize.hh"
+#include "pipeline/serve/client.hh"
+#include "support/metrics.hh"
+#include "support/str.hh"
+#include "support/time.hh"
+#include "workload/suite.hh"
+
+namespace
+{
+
+using namespace cams;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: cams_load --socket PATH [options]\n"
+           "  --rate R            offered request rate per second "
+           "(default 100)\n"
+           "  --duration S        steady-phase length in seconds "
+           "(default 5)\n"
+           "  --burst-rate R2     overload-phase rate (0 = no "
+           "burst)\n"
+           "  --burst-duration S2 overload-phase length in seconds "
+           "(default 2)\n"
+           "  --connections C     client connections (default 4)\n"
+           "  --corpus N          distinct loops replayed round-"
+           "robin (default 200)\n"
+           "  --seed S            corpus master seed\n"
+           "  --machine FILE      machine description (default: 2 "
+           "clusters x 4 GP, 2 buses, 1 port)\n"
+           "  --tenant NAME       cache namespace (default 'load')\n"
+           "  --deadline-ms D     per-request deadline (default 0 = "
+           "none)\n"
+           "  --debug-sleep-ms D  ask the server to stall each "
+           "request (needs camsd --allow-debug)\n"
+           "  --wait-server-s W   connect retry window (default "
+           "10)\n"
+           "  --drain-wait-s W    response collection window after "
+           "the last send (default 60)\n"
+           "  --check-direct      byte-compare served results "
+           "against local compiles\n"
+           "  --out FILE          output JSON (default "
+           "BENCH_serve.json)\n";
+    return 2;
+}
+
+/** What the generator remembers about one submitted request. */
+struct Pending
+{
+    int loopIndex = 0;
+    int phase = 0; ///< 0 = steady, 1 = burst
+    int64_t sendMicros = 0;
+    bool terminal = false;
+    ServeMsgType outcome = ServeMsgType::Error;
+    bool resultSuccess = false;
+    bool resultTimeout = false;
+};
+
+/** Shared tally across sender and reader threads. */
+struct Collector
+{
+    std::mutex mutex;
+    std::condition_variable allDone;
+    std::map<uint64_t, Pending> pending;
+    long terminal = 0;
+    long protocolErrors = 0;
+    /** First served writeCompileResult image per corpus loop. */
+    std::map<int, std::string> servedBytes;
+    long servedDisagreements = 0;
+    MetricsRegistry registry;
+
+    void finish(uint64_t id, ServeMsgType outcome,
+                const ServerMsg *msg);
+};
+
+const char *phaseNames[2] = {"steady", "burst"};
+
+/**
+ * Re-encodes a result with its wall-clock phase timings zeroed --
+ * the one non-deterministic part of the image. Everything else
+ * (schedule, placement, II, failure taxonomy, search counters) must
+ * agree bit for bit between any two compiles of the same request.
+ */
+std::string
+canonicalResultBytes(const CompileResult &result)
+{
+    CompileResult copy = result;
+    copy.phaseMs = PhaseTimes{};
+    ByteWriter writer;
+    writeCompileResult(writer, copy);
+    return writer.data();
+}
+
+void
+Collector::finish(uint64_t id, ServeMsgType outcome,
+                  const ServerMsg *msg)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = pending.find(id);
+    if (it == pending.end() || it->second.terminal) {
+        ++protocolErrors; // unknown id or duplicate terminal reply
+        return;
+    }
+    Pending &entry = it->second;
+    entry.terminal = true;
+    entry.outcome = outcome;
+    const char *phase = phaseNames[entry.phase];
+    if (outcome == ServeMsgType::Result && msg != nullptr) {
+        const double latencyMs =
+            static_cast<double>(nowMicros() - entry.sendMicros) /
+            1000.0;
+        registry.record(std::string("latency_ms.") + phase,
+                        latencyMs);
+        registry.record(std::string("queue_ms.") + phase,
+                        msg->queueMs);
+        registry.record(std::string("compile_ms.") + phase,
+                        msg->compileMs);
+        CompileResult result;
+        ByteReader reader(msg->resultBytes);
+        if (readCompileResult(reader, result)) {
+            entry.resultSuccess = result.success;
+            entry.resultTimeout =
+                result.failure == FailureKind::Timeout;
+            // Every serve of one corpus loop must produce the same
+            // canonical bytes, cached or not.
+            std::string bytes = canonicalResultBytes(result);
+            auto served = servedBytes.find(entry.loopIndex);
+            if (served == servedBytes.end())
+                servedBytes.emplace(entry.loopIndex,
+                                    std::move(bytes));
+            else if (served->second != bytes)
+                ++servedDisagreements;
+        } else {
+            ++protocolErrors;
+        }
+    }
+    ++terminal;
+    allDone.notify_all();
+}
+
+void
+readerLoop(ServeClient &client, Collector &collector)
+{
+    for (;;) {
+        ServerMsg msg;
+        std::string error;
+        if (!client.readMsg(msg, error))
+            return; // connection closed (normal at teardown)
+        switch (msg.type) {
+            case ServeMsgType::Accepted:
+                break; // intermediate
+            case ServeMsgType::Result:
+            case ServeMsgType::Shed:
+            case ServeMsgType::Cancelled:
+                collector.finish(msg.id, msg.type, &msg);
+                break;
+            case ServeMsgType::Error:
+                if (msg.id != 0) {
+                    collector.finish(msg.id, msg.type, nullptr);
+                }
+                {
+                    std::lock_guard<std::mutex> lock(
+                        collector.mutex);
+                    ++collector.protocolErrors;
+                }
+                break;
+            default: {
+                std::lock_guard<std::mutex> lock(collector.mutex);
+                ++collector.protocolErrors;
+                break;
+            }
+        }
+    }
+}
+
+/** Per-phase tally derived from the pending table. */
+struct PhaseTally
+{
+    long requests = 0;
+    long completed = 0; ///< Result with success
+    long failed = 0;    ///< Result with a non-timeout failure
+    long timeouts = 0;  ///< Result with FailureKind::Timeout
+    long shed = 0;
+    long cancelled = 0;
+    long errors = 0;
+    long unanswered = 0;
+};
+
+std::string
+histogramJson(const HistogramSummary &s)
+{
+    std::ostringstream os;
+    os << "{\"count\":" << s.count << ",\"min\":"
+       << formatFixed(s.min, 3) << ",\"mean\":"
+       << formatFixed(s.mean, 3) << ",\"max\":"
+       << formatFixed(s.max, 3) << ",\"p50\":"
+       << formatFixed(s.p50, 3) << ",\"p90\":"
+       << formatFixed(s.p90, 3) << ",\"p99\":"
+       << formatFixed(s.p99, 3) << "}";
+    return os.str();
+}
+
+std::string
+phaseJson(const PhaseTally &tally, double ratePerS, double durationS,
+          Collector &collector, const char *phase)
+{
+    const double loopsPerSec =
+        durationS > 0.0
+            ? static_cast<double>(tally.completed) / durationS
+            : 0.0;
+    std::ostringstream os;
+    os << "{\"rate_per_s\":" << formatFixed(ratePerS, 3)
+       << ",\"duration_s\":" << formatFixed(durationS, 3)
+       << ",\"requests\":" << tally.requests
+       << ",\"completed\":" << tally.completed
+       << ",\"failed\":" << tally.failed
+       << ",\"timeouts\":" << tally.timeouts
+       << ",\"shed\":" << tally.shed
+       << ",\"cancelled\":" << tally.cancelled
+       << ",\"errors\":" << tally.errors
+       << ",\"unanswered\":" << tally.unanswered
+       << ",\"loops_per_sec\":" << formatFixed(loopsPerSec, 3)
+       << ",\"latency_ms\":"
+       << histogramJson(collector.registry.histogram(
+              std::string("latency_ms.") + phase))
+       << ",\"queue_ms\":"
+       << histogramJson(collector.registry.histogram(
+              std::string("queue_ms.") + phase))
+       << ",\"compile_ms\":"
+       << histogramJson(collector.registry.histogram(
+              std::string("compile_ms.") + phase))
+       << "}";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string machine_path;
+    std::string tenant = "load";
+    std::string out_path = "BENCH_serve.json";
+    double rate = 100.0;
+    double duration_s = 5.0;
+    double burst_rate = 0.0;
+    double burst_duration_s = 2.0;
+    int connections = 4;
+    int corpus_size = 200;
+    uint64_t seed = defaultSuiteSeed;
+    double deadline_ms = 0.0;
+    double debug_sleep_ms = 0.0;
+    double wait_server_s = 10.0;
+    double drain_wait_s = 60.0;
+    bool check_direct = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string inline_value;
+        const size_t eq = arg.find('=');
+        if (eq != std::string::npos && arg.rfind("--", 0) == 0) {
+            inline_value = arg.substr(eq + 1);
+            arg.resize(eq);
+        }
+        auto next = [&]() -> const char * {
+            if (!inline_value.empty())
+                return inline_value.c_str();
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--socket") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            socket_path = value;
+        } else if (arg == "--rate") {
+            const char *value = next();
+            if (!value || std::atof(value) <= 0.0)
+                return usage();
+            rate = std::atof(value);
+        } else if (arg == "--duration") {
+            const char *value = next();
+            if (!value || std::atof(value) <= 0.0)
+                return usage();
+            duration_s = std::atof(value);
+        } else if (arg == "--burst-rate") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            burst_rate = std::atof(value);
+        } else if (arg == "--burst-duration") {
+            const char *value = next();
+            if (!value || std::atof(value) <= 0.0)
+                return usage();
+            burst_duration_s = std::atof(value);
+        } else if (arg == "--connections") {
+            const char *value = next();
+            if (!value || std::atoi(value) <= 0)
+                return usage();
+            connections = std::atoi(value);
+        } else if (arg == "--corpus") {
+            const char *value = next();
+            if (!value || std::atoi(value) <= 0)
+                return usage();
+            corpus_size = std::atoi(value);
+        } else if (arg == "--seed") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            seed = std::strtoull(value, nullptr, 0);
+        } else if (arg == "--machine") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            machine_path = value;
+        } else if (arg == "--tenant") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            tenant = value;
+        } else if (arg == "--deadline-ms") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            deadline_ms = std::atof(value);
+        } else if (arg == "--debug-sleep-ms") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            debug_sleep_ms = std::atof(value);
+        } else if (arg == "--wait-server-s") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            wait_server_s = std::atof(value);
+        } else if (arg == "--drain-wait-s") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            drain_wait_s = std::atof(value);
+        } else if (arg == "--check-direct") {
+            check_direct = true;
+        } else if (arg == "--out") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            out_path = value;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            return usage();
+        }
+    }
+    if (socket_path.empty())
+        return usage();
+
+    MachineDesc machine = busedGpMachine(2, 2, 1);
+    if (!machine_path.empty()) {
+        std::ifstream input(machine_path);
+        std::ostringstream buffer;
+        buffer << input.rdbuf();
+        std::string error;
+        if (!input || !parseMachine(buffer.str(), machine, error)) {
+            std::cerr << "cannot load machine " << machine_path
+                      << ": " << error << "\n";
+            return 1;
+        }
+    }
+
+    // Pre-pack the corpus so the send path does no compile-side work.
+    const std::vector<Dfg> corpus = buildSuite(corpus_size, seed);
+    std::vector<std::string> dfgBytes;
+    dfgBytes.reserve(corpus.size());
+    for (const Dfg &loop : corpus)
+        dfgBytes.push_back(packDfg(loop));
+    const std::string machineBytes = packMachine(machine);
+
+    // Connect (retrying while the server comes up).
+    std::vector<std::unique_ptr<ServeClient>> clients;
+    const Deadline connectWindow(wait_server_s * 1000.0);
+    for (int c = 0; c < connections; ++c) {
+        auto client = std::make_unique<ServeClient>();
+        std::string error;
+        while (!client->connect(socket_path, tenant, error)) {
+            if (connectWindow.expired()) {
+                std::cerr << "cams_load: cannot connect to "
+                          << socket_path << ": " << error << "\n";
+                return 1;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+        clients.push_back(std::move(client));
+    }
+
+    Collector collector;
+    std::vector<std::thread> readers;
+    readers.reserve(clients.size());
+    for (auto &client : clients) {
+        readers.emplace_back(
+            [&client, &collector] { readerLoop(*client, collector); });
+    }
+
+    struct Phase
+    {
+        double rate;
+        double durationS;
+    };
+    std::vector<Phase> phases = {{rate, duration_s}};
+    if (burst_rate > 0.0)
+        phases.push_back({burst_rate, burst_duration_s});
+
+    std::cerr << "cams_load: " << corpus.size() << " loops over "
+              << connections << " connections at " << rate
+              << " req/s for " << duration_s << " s"
+              << (burst_rate > 0.0
+                      ? " + burst " + formatFixed(burst_rate, 0) +
+                            " req/s"
+                      : std::string())
+              << "..." << std::endl;
+
+    // The open-loop sender: each request has an absolute send time;
+    // falling behind is never allowed to thin the offered load.
+    uint64_t nextId = 1;
+    long sendFailures = 0;
+    int loopCursor = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto phaseStart = t0;
+    for (size_t p = 0; p < phases.size(); ++p) {
+        const long count = static_cast<long>(
+            std::llround(phases[p].rate * phases[p].durationS));
+        const std::chrono::nanoseconds interval(static_cast<long>(
+            1e9 / phases[p].rate));
+        for (long k = 0; k < count; ++k) {
+            std::this_thread::sleep_until(phaseStart +
+                                          interval * k);
+            SubmitMsg msg;
+            msg.id = nextId++;
+            msg.deadlineMs = deadline_ms;
+            msg.debugSleepMs = debug_sleep_ms;
+            msg.dfgBytes = dfgBytes[loopCursor];
+            msg.machineBytes = machineBytes;
+            {
+                std::lock_guard<std::mutex> lock(collector.mutex);
+                Pending entry;
+                entry.loopIndex = loopCursor;
+                entry.phase = static_cast<int>(p);
+                entry.sendMicros = nowMicros();
+                collector.pending.emplace(msg.id, entry);
+            }
+            std::string error;
+            ServeClient &client =
+                *clients[msg.id % clients.size()];
+            if (!client.submit(msg, error)) {
+                ++sendFailures;
+                collector.finish(msg.id, ServeMsgType::Error,
+                                 nullptr);
+            }
+            loopCursor = (loopCursor + 1) %
+                         static_cast<int>(corpus.size());
+        }
+        phaseStart += std::chrono::nanoseconds(
+            static_cast<long>(1e9 * phases[p].durationS));
+    }
+
+    // Collect the tail: every request must reach a terminal state.
+    {
+        std::unique_lock<std::mutex> lock(collector.mutex);
+        collector.allDone.wait_for(
+            lock,
+            std::chrono::milliseconds(
+                static_cast<long>(drain_wait_s * 1000.0)),
+            [&] {
+                return collector.terminal ==
+                       static_cast<long>(collector.pending.size());
+            });
+    }
+    for (auto &client : clients)
+        client->close();
+    for (std::thread &reader : readers)
+        reader.join();
+
+    // Tally.
+    PhaseTally tallies[2];
+    {
+        std::lock_guard<std::mutex> lock(collector.mutex);
+        for (const auto &[id, entry] : collector.pending) {
+            (void)id;
+            PhaseTally &tally = tallies[entry.phase];
+            ++tally.requests;
+            if (!entry.terminal) {
+                ++tally.unanswered;
+                continue;
+            }
+            switch (entry.outcome) {
+                case ServeMsgType::Result:
+                    if (entry.resultSuccess)
+                        ++tally.completed;
+                    else if (entry.resultTimeout)
+                        ++tally.timeouts;
+                    else
+                        ++tally.failed;
+                    break;
+                case ServeMsgType::Shed:
+                    ++tally.shed;
+                    break;
+                case ServeMsgType::Cancelled:
+                    ++tally.cancelled;
+                    break;
+                default:
+                    ++tally.errors;
+                    break;
+            }
+        }
+    }
+
+    // Optional ground-truth pass: recompile every distinct loop the
+    // server answered and byte-compare the canonical result images.
+    long directChecked = 0;
+    long directMismatches = 0;
+    if (check_direct) {
+        CompileOptions options; // camsd's baseOptions defaults
+        options.timeBudgetMs = 5000.0;
+        std::lock_guard<std::mutex> lock(collector.mutex);
+        for (const auto &[loopIndex, served] :
+             collector.servedBytes) {
+            ++directChecked;
+            const CompileResult local = compileClustered(
+                corpus[loopIndex], machine, options);
+            if (canonicalResultBytes(local) != served)
+                ++directMismatches;
+        }
+    }
+
+    long protocolErrors;
+    long servedDisagreements;
+    {
+        std::lock_guard<std::mutex> lock(collector.mutex);
+        protocolErrors = collector.protocolErrors;
+        servedDisagreements = collector.servedDisagreements;
+    }
+
+    std::ostringstream json;
+    json << "{\"bench\":\"cams_load\","
+         << "\"socket\":\"" << socket_path << "\","
+         << "\"machine\":\"" << machine.name << "\","
+         << "\"corpus\":" << corpus.size() << ","
+         << "\"seed\":" << seed << ","
+         << "\"connections\":" << connections << ","
+         << "\"tenant\":\"" << tenant << "\","
+         << "\"deadline_ms\":" << formatFixed(deadline_ms, 3) << ","
+         << "\"debug_sleep_ms\":" << formatFixed(debug_sleep_ms, 3)
+         << ","
+         << "\"send_failures\":" << sendFailures << ","
+         << "\"protocol_errors\":" << protocolErrors << ","
+         << "\"served_disagreements\":" << servedDisagreements << ","
+         << "\"steady\":"
+         << phaseJson(tallies[0], rate, duration_s, collector,
+                      "steady");
+    if (burst_rate > 0.0) {
+        json << ",\"burst\":"
+             << phaseJson(tallies[1], burst_rate, burst_duration_s,
+                          collector, "burst");
+    }
+    if (check_direct) {
+        json << ",\"direct\":{\"checked\":" << directChecked
+             << ",\"mismatches\":" << directMismatches
+             << ",\"identical\":"
+             << (directMismatches == 0 ? "true" : "false") << "}";
+    }
+    json << ",\"metrics\":" << collector.registry.toJson() << "}";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "cams_load: cannot write " << out_path << "\n";
+        return 1;
+    }
+    out << json.str() << "\n";
+
+    const HistogramSummary latency =
+        collector.registry.histogram("latency_ms.steady");
+    std::cout << "cams_load: steady " << tallies[0].completed << "/"
+              << tallies[0].requests << " ok ("
+              << formatFixed(static_cast<double>(
+                                 tallies[0].completed) /
+                                 duration_s,
+                             1)
+              << " loops/s), latency p50 "
+              << formatFixed(latency.p50, 2) << " ms p99 "
+              << formatFixed(latency.p99, 2) << " ms";
+    if (burst_rate > 0.0) {
+        std::cout << "; burst " << tallies[1].completed << " ok, "
+                  << tallies[1].shed << " shed of "
+                  << tallies[1].requests;
+    }
+    std::cout << "; " << protocolErrors << " protocol errors ("
+              << out_path << " written)" << std::endl;
+
+    const bool ok =
+        protocolErrors == 0 && servedDisagreements == 0 &&
+        sendFailures == 0 && tallies[0].unanswered == 0 &&
+        tallies[1].unanswered == 0 &&
+        (!check_direct || directMismatches == 0);
+    return ok ? 0 : 1;
+}

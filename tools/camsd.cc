@@ -1,0 +1,200 @@
+/**
+ * @file
+ * camsd -- the compile-as-a-service daemon.
+ *
+ * Listens on a Unix-domain socket and serves compile requests
+ * through the camsd wire protocol (pipeline/serve): bounded
+ * admission queue with explicit shed responses under overload,
+ * per-request deadlines, per-tenant persistent compile caches, and
+ * graceful drain on SIGTERM/SIGINT (in-flight and queued work
+ * completes, every response is delivered, then the process exits 0).
+ *
+ * Usage:
+ *   camsd --socket PATH [--jobs N] [--queue-depth N]
+ *         [--cache-dir DIR] [--cache off|ro|rw]
+ *         [--compile-budget-ms D] [--metrics FILE] [--allow-debug]
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "pipeline/serve/server.hh"
+#include "support/threadpool.hh"
+
+namespace
+{
+
+using namespace cams;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: camsd --socket PATH [options]\n"
+           "  --socket PATH          Unix-domain socket to listen on "
+           "(required)\n"
+           "  --jobs N               compile worker threads "
+           "(default: CAMS_JOBS or hardware)\n"
+           "  --queue-depth N        bounded admission queue "
+           "capacity (default 64)\n"
+           "  --cache-dir DIR        root of the per-tenant "
+           "persistent compile caches\n"
+           "  --cache MODE           off, ro or rw (default rw with "
+           "--cache-dir)\n"
+           "  --compile-budget-ms D  per-compile wall-clock budget "
+           "(default 5000, 0 = none)\n"
+           "  --metrics FILE         write the serve metrics "
+           "registry as JSON on exit\n"
+           "  --allow-debug          honor the protocol's "
+           "debug-sleep test hook\n";
+    return 2;
+}
+
+/** Signal handlers may only poke async-signal-safe state: a write
+ *  into this self-pipe wakes the main thread, which runs the real
+ *  drain sequence outside signal context. */
+int signalPipe[2] = {-1, -1};
+
+void
+onTermSignal(int)
+{
+    const char byte = 1;
+    // The return value is deliberately ignored: if the pipe is full
+    // a wakeup is already pending.
+    [[maybe_unused]] const ssize_t n =
+        ::write(signalPipe[1], &byte, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServeConfig config;
+    config.workers = ThreadPool::defaultThreads();
+    std::string metrics_path;
+    CacheMode cache_mode = CacheMode::ReadWrite;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string inline_value;
+        const size_t eq = arg.find('=');
+        if (eq != std::string::npos && arg.rfind("--", 0) == 0) {
+            inline_value = arg.substr(eq + 1);
+            arg.resize(eq);
+        }
+        auto next = [&]() -> const char * {
+            if (!inline_value.empty())
+                return inline_value.c_str();
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--socket") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            config.socketPath = value;
+        } else if (arg == "--jobs") {
+            const char *value = next();
+            if (!value || std::atoi(value) <= 0)
+                return usage();
+            config.workers = std::atoi(value);
+        } else if (arg == "--queue-depth") {
+            const char *value = next();
+            if (!value || std::atoi(value) <= 0)
+                return usage();
+            config.queueCapacity = std::atoi(value);
+        } else if (arg == "--cache-dir") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            config.cacheRoot = value;
+        } else if (arg == "--cache") {
+            const char *value = next();
+            if (!value || !parseCacheMode(value, cache_mode))
+                return usage();
+        } else if (arg == "--compile-budget-ms") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            config.compileBudgetMs = std::atof(value);
+        } else if (arg == "--metrics") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            metrics_path = value;
+        } else if (arg == "--allow-debug") {
+            config.allowDebugSleep = true;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            return usage();
+        }
+    }
+    if (config.socketPath.empty())
+        return usage();
+    config.cacheMode = cache_mode;
+
+    if (::pipe(signalPipe) != 0) {
+        std::cerr << "camsd: cannot create signal pipe: "
+                  << std::strerror(errno) << "\n";
+        return 1;
+    }
+    struct sigaction action{};
+    action.sa_handler = onTermSignal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    CamsServer server(config);
+    std::string error;
+    if (!server.start(error)) {
+        std::cerr << "camsd: cannot start: " << error << "\n";
+        return 1;
+    }
+    std::cout << "camsd: listening on " << config.socketPath
+              << " (workers=" << config.workers
+              << " queue=" << config.queueCapacity << " cache="
+              << (config.cacheRoot.empty()
+                      ? std::string("off")
+                      : config.cacheRoot + " [" +
+                            cacheModeName(config.cacheMode) + "]")
+              << ")" << std::endl;
+
+    // Sleep until SIGTERM/SIGINT pokes the self-pipe.
+    char byte = 0;
+    while (::read(signalPipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+
+    std::cout << "camsd: draining..." << std::endl;
+    server.requestDrain();
+    server.waitDrained();
+
+    const ServeStats stats = server.stats();
+    const std::string metrics = server.metricsJson();
+    server.stop();
+
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        if (!out) {
+            std::cerr << "camsd: cannot write " << metrics_path
+                      << "\n";
+            return 1;
+        }
+        out << metrics << "\n";
+    }
+    std::cout << "camsd: drained: " << stats.completed
+              << " results (" << stats.cacheHits << " cache hits), "
+              << stats.shedFull + stats.shedDraining << " shed, "
+              << stats.cancelledQueued + stats.cancelledInFlight
+              << " cancelled, " << stats.deadlineExpired
+              << " deadline-expired, " << stats.protocolErrors
+              << " protocol errors over " << stats.connections
+              << " connections" << std::endl;
+    return 0;
+}

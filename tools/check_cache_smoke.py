@@ -134,10 +134,21 @@ def main():
             "warm figures differ from cold: " + "; ".join(mismatches[:10])
         )
 
-    serial = warm.get("serial", {})
+    serial = warm.get("serial")
+    if not isinstance(serial, dict):
+        sys.exit(
+            f"error: warm bench JSON '{args.warm}' is missing its "
+            f"'serial' section (found {type(serial).__name__}); was "
+            "it produced by bench/scheduler_compare?"
+        )
     jobs = serial.get("jobs", 0)
     hits = serial.get("cache_hits", 0)
-    if not isinstance(jobs, int) or jobs <= 0:
+    if not isinstance(hits, (int, float)) or isinstance(hits, bool):
+        sys.exit(
+            f"error: warm bench JSON '{args.warm}' has non-numeric "
+            f"'cache_hits' ({hits!r})"
+        )
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs <= 0:
         failures.append(f"warm serial arm reports no jobs ({jobs!r})")
         hit_rate = 0.0
     else:

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Gate the camsd serve-smoke run from its BENCH_serve.json files.
+
+Consumes one or two cams_load reports -- a steady-rate run and an
+optional overload run with a burst phase -- and fails (exit 1) when
+the serving contract is violated:
+
+  * any protocol errors, send failures, served-result disagreements
+    or unanswered requests anywhere (the server must answer every
+    accepted request, identically for identical inputs);
+  * the steady run shed or timed out anything: at the steady offered
+    rate the bounded queue must never fill;
+  * --check-direct was requested but the steady report carries no
+    direct-comparison verdict, or it found mismatches (served results
+    must be byte-identical to a direct in-process camsc-style
+    compile, timings aside);
+  * steady sustained throughput fell below --min-loops-per-sec, or
+    steady p99 latency exceeded --max-p99-ms;
+  * the overload run's burst phase shed a fraction outside
+    [--min-shed, --max-shed]: too little shed means the overload did
+    not actually overload (the gate proved nothing), too much means
+    admission control collapsed and stopped serving even its fair
+    share.
+
+Unreadable or malformed input stops immediately with a one-line
+error.
+
+Usage:
+  tools/check_serve_smoke.py STEADY.json [--overload OVERLOAD.json]
+      [--min-loops-per-sec R] [--max-p99-ms MS]
+      [--min-shed F] [--max-shed F] [--require-direct]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_json(path, what):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as err:
+        sys.exit(f"error: cannot read {what} '{path}': {err.strerror}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"error: {what} '{path}' is not valid JSON: {err}")
+    if not isinstance(data, dict):
+        sys.exit(
+            f"error: {what} '{path}' must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    return data
+
+
+def require_number(data, key, path):
+    value = data.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        sys.exit(
+            f"error: '{path}' is missing numeric field '{key}' "
+            f"(found {value!r}); was it produced by cams_load?"
+        )
+    return value
+
+
+def require_section(data, key, path):
+    value = data.get(key)
+    if not isinstance(value, dict):
+        sys.exit(
+            f"error: '{path}' is missing its '{key}' section; "
+            "was it produced by cams_load?"
+        )
+    return value
+
+
+def check_clean(report, path, failures):
+    """The invariants every cams_load run must satisfy."""
+    for key in ("protocol_errors", "send_failures",
+                "served_disagreements"):
+        value = require_number(report, key, path)
+        if value != 0:
+            failures.append(f"{path}: {key} = {value} (must be 0)")
+    for phase in ("steady", "burst"):
+        if phase not in report:
+            continue
+        section = require_section(report, phase, path)
+        unanswered = require_number(section, "unanswered", path)
+        if unanswered != 0:
+            failures.append(
+                f"{path}: {phase} left {unanswered} requests "
+                "unanswered (must be 0)"
+            )
+        errors = require_number(section, "errors", path)
+        if errors != 0:
+            failures.append(
+                f"{path}: {phase} saw {errors} error responses "
+                "(must be 0)"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("steady", help="BENCH_serve.json of the "
+                        "steady-rate run")
+    parser.add_argument("--overload", default=None,
+                        help="BENCH_serve.json of the overload run "
+                        "(burst phase required)")
+    parser.add_argument("--min-loops-per-sec", type=float, default=None,
+                        help="required steady sustained throughput")
+    parser.add_argument("--max-p99-ms", type=float, default=None,
+                        help="steady p99 latency ceiling")
+    parser.add_argument("--min-shed", type=float, default=0.2,
+                        help="minimum burst shed fraction (proves "
+                        "the burst actually overloaded)")
+    parser.add_argument("--max-shed", type=float, default=0.98,
+                        help="maximum burst shed fraction")
+    parser.add_argument("--require-direct", action="store_true",
+                        help="require a passing direct-comparison "
+                        "verdict in the steady report")
+    args = parser.parse_args()
+
+    steady_report = load_json(args.steady, "steady serve JSON")
+    failures = []
+
+    check_clean(steady_report, args.steady, failures)
+    steady = require_section(steady_report, "steady", args.steady)
+
+    for key in ("shed", "timeouts"):
+        value = require_number(steady, key, args.steady)
+        if value != 0:
+            failures.append(
+                f"steady run {key} = {value}: the queue must absorb "
+                "the steady rate"
+            )
+
+    requests = require_number(steady, "requests", args.steady)
+    completed = require_number(steady, "completed", args.steady)
+    rate = require_number(steady, "loops_per_sec", args.steady)
+    if args.min_loops_per_sec is not None and rate < args.min_loops_per_sec:
+        failures.append(
+            f"steady throughput {rate:.1f} loops/s below required "
+            f"{args.min_loops_per_sec:.1f}"
+        )
+
+    latency = require_section(steady, "latency_ms", args.steady)
+    p99 = require_number(latency, "p99", args.steady)
+    if args.max_p99_ms is not None and p99 > args.max_p99_ms:
+        failures.append(
+            f"steady p99 latency {p99:.2f} ms exceeds ceiling "
+            f"{args.max_p99_ms:.2f} ms"
+        )
+
+    if args.require_direct:
+        direct = steady_report.get("direct")
+        if not isinstance(direct, dict):
+            failures.append(
+                f"{args.steady}: no 'direct' section -- was "
+                "--check-direct passed to cams_load?"
+            )
+        else:
+            checked = require_number(direct, "checked", args.steady)
+            mismatches = require_number(direct, "mismatches",
+                                        args.steady)
+            if checked == 0:
+                failures.append("direct comparison checked 0 loops")
+            if mismatches != 0:
+                failures.append(
+                    f"served results diverge from direct compiles "
+                    f"on {mismatches}/{checked} loops"
+                )
+
+    shed_line = ""
+    if args.overload is not None:
+        overload_report = load_json(args.overload,
+                                    "overload serve JSON")
+        check_clean(overload_report, args.overload, failures)
+        burst = require_section(overload_report, "burst",
+                                args.overload)
+        burst_requests = require_number(burst, "requests",
+                                        args.overload)
+        burst_shed = require_number(burst, "shed", args.overload)
+        if burst_requests <= 0:
+            failures.append(f"{args.overload}: empty burst phase")
+        else:
+            fraction = burst_shed / burst_requests
+            shed_line = (
+                f", burst shed {burst_shed}/{burst_requests} "
+                f"({fraction:.1%})"
+            )
+            if fraction < args.min_shed:
+                failures.append(
+                    f"burst shed fraction {fraction:.1%} below "
+                    f"{args.min_shed:.1%}: the burst did not "
+                    "overload the queue, gate proves nothing"
+                )
+            elif fraction > args.max_shed:
+                failures.append(
+                    f"burst shed fraction {fraction:.1%} above "
+                    f"{args.max_shed:.1%}: admission control served "
+                    "almost nothing under burst"
+                )
+
+    print(
+        f"serve smoke: steady {completed}/{requests} ok at "
+        f"{rate:.1f} loops/s, p99 {p99:.2f} ms{shed_line}"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("serve smoke gate: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,9 @@ def main():
     except (OSError, json.JSONDecodeError) as err:
         fail(f"cannot load {args.trace}: {err}")
 
+    if not isinstance(trace, dict):
+        fail(f"{args.trace}: top level must be a JSON object, "
+             f"got {type(trace).__name__}")
     events = trace.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail("traceEvents missing or empty")
@@ -58,9 +61,13 @@ def main():
     decisions = 0
     cache_probes = 0
     for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"event {i} is not an object: {event!r}")
         for key in ("name", "ph", "pid", "tid"):
             if key not in event:
                 fail(f"event {i} lacks '{key}': {event}")
+        if not isinstance(event["tid"], (str, int)):
+            fail(f"event {i} has non-scalar tid: {event!r}")
         ph = event["ph"]
         if ph == "M":
             if event["name"] == "thread_name":
@@ -69,29 +76,34 @@ def main():
         if "ts" not in event:
             fail(f"event {i} lacks 'ts': {event}")
         lanes.add(event["tid"])
+        event_args = event.get("args")
+        if not isinstance(event_args, dict):
+            event_args = {}
         if ph == "X":
             scopes += 1
-            if event.get("dur", -1) < 0:
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) \
+                    or isinstance(dur, bool) or dur < 0:
                 fail(f"complete event {i} has negative/missing dur")
         elif ph == "i":
             if event["name"] == "assign_decide":
-                verdicts = event.get("args", {}).get("verdicts", "")
-                if ":" not in verdicts:
+                verdicts = event_args.get("verdicts", "")
+                if not isinstance(verdicts, str) \
+                        or ":" not in verdicts:
                     fail(f"assign_decide without verdicts: {event}")
                 decisions += 1
             elif event["name"] == "cache_probe":
-                outcome = event.get("args", {}).get("outcome")
+                outcome = event_args.get("outcome")
                 if outcome not in ("hit", "miss"):
                     fail(f"cache_probe with bad outcome: {event}")
                 if outcome == "hit" and not str(
-                        event["args"].get("ii", "")).isdigit():
+                        event_args.get("ii", "")).isdigit():
                     fail(f"cache_probe hit without served II: {event}")
                 cache_probes += 1
             elif event["name"] == "hint_probe":
-                hint_args = event.get("args", {})
-                if hint_args.get("outcome") not in ("used", "stale"):
+                if event_args.get("outcome") not in ("used", "stale"):
                     fail(f"hint_probe with bad outcome: {event}")
-                if not str(hint_args.get("hint_ii", "")).isdigit():
+                if not str(event_args.get("hint_ii", "")).isdigit():
                     fail(f"hint_probe without hint_ii: {event}")
         else:
             fail(f"event {i} has unexpected ph '{ph}'")
