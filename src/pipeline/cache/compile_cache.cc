@@ -8,6 +8,7 @@
 #include <functional>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "mrt/mrt.hh"
 #include "pipeline/cache/serialize.hh"
@@ -69,6 +70,66 @@ uint64_t
 hashDouble(double value)
 {
     return std::bit_cast<uint64_t>(value);
+}
+
+/** Same acceptance rule as loadHints(), as a predicate. */
+bool
+validHintLine(const std::string &line)
+{
+    std::istringstream fields(line);
+    std::string tag, idText;
+    WarmStartHint hint;
+    if (!(fields >> tag >> idText >> hint.ii >> hint.mii >>
+          hint.rotation))
+        return false;
+    if (tag != "h1")
+        return false;
+    uint64_t id = 0;
+    if (!parseHex16(idText, id))
+        return false;
+    return hint.ii > 0 && hint.mii > 0 && hint.rotation >= 0;
+}
+
+/**
+ * Full structural validation of one entry image: everything lookup()
+ * checks short of the (input-dependent) byte-image gate and the
+ * verifier pass, plus the file-name/stored-hash consistency check.
+ */
+bool
+validCacheEntryBytes(const std::string &bytes, uint64_t expectId)
+{
+    ByteReader reader(bytes);
+    uint32_t magic = 0, version = 0;
+    uint64_t loop_hash = 0, machine_hash = 0, options_hash = 0;
+    uint64_t checksum = 0;
+    std::string payload;
+    if (!reader.u32(magic) || !reader.u32(version) ||
+        !reader.u64(loop_hash) || !reader.u64(machine_hash) ||
+        !reader.u64(options_hash) || !reader.u64(checksum) ||
+        !reader.str(payload) || !reader.atEnd() ||
+        magic != entryMagic || version != entryFormatVersion ||
+        checksum != hashBytes(payload))
+        return false;
+
+    // A renamed or cross-linked file serves the wrong key: the name
+    // must re-derive from the stored hashes.
+    CacheKey stored;
+    stored.loopHash = loop_hash;
+    stored.machineHash = machine_hash;
+    stored.optionsHash = options_hash;
+    if (stored.entryId() != expectId)
+        return false;
+
+    ByteReader body(payload);
+    std::string graph_bytes, machine_bytes;
+    CompileResult result;
+    if (!body.str(graph_bytes) || !body.str(machine_bytes) ||
+        !readCompileResult(body, result) || !body.atEnd())
+        return false;
+    Dfg graph;
+    MachineDesc machine;
+    return readDfg(graph_bytes, graph) &&
+           readMachine(machine_bytes, machine);
 }
 
 } // namespace
@@ -232,6 +293,7 @@ CompileCache::loadHints()
     std::ifstream in((fs::path(directory_) / hintFileName).string());
     if (!in)
         return;
+    std::lock_guard<std::mutex> lock(hintMutex_);
     std::string line;
     while (std::getline(in, line)) {
         std::istringstream fields(line);
@@ -415,6 +477,131 @@ CompileCache::store(const CacheKey &key, const Dfg &graph,
     totals_.bytesWritten += static_cast<long>(bytes.size());
 }
 
+ScrubReport
+scrubCacheDir(const std::string &directory)
+{
+    ScrubReport report;
+    std::error_code ec;
+    if (!fs::is_directory(directory, ec)) {
+        report.error = "not a directory: " + directory;
+        return report;
+    }
+
+    const fs::path corruptDir = fs::path(directory) / "corrupt";
+    const auto quarantine = [&](const fs::path &path) {
+        std::error_code qec;
+        fs::create_directories(corruptDir, qec);
+        fs::path target = corruptDir / path.filename();
+        // Never clobber evidence from an earlier scrub.
+        for (int n = 1; fs::exists(target, qec); ++n)
+            target = corruptDir / (path.filename().string() + "." +
+                                   std::to_string(n));
+        fs::rename(path, target, qec);
+        if (qec)
+            fs::remove(path, qec); // removal beats serving corruption
+        ++report.quarantined;
+    };
+
+    // Snapshot the listing first: quarantining mutates the directory.
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(directory, ec)) {
+        std::error_code fec;
+        if (entry.is_regular_file(fec))
+            files.push_back(entry.path());
+    }
+
+    for (const fs::path &path : files) {
+        const std::string name = path.filename().string();
+        if (name.rfind(".tmp-", 0) == 0) {
+            // Debris of a writer killed between open and rename.
+            std::error_code rec;
+            fs::remove(path, rec);
+            ++report.tmpRemoved;
+            continue;
+        }
+        if (path.extension() != ".cce")
+            continue;
+        ++report.entriesScanned;
+        uint64_t id = 0;
+        std::string bytes;
+        if (!parseHex16(path.stem().string(), id) ||
+            !readFileBytes(path.string(), bytes) ||
+            !validCacheEntryBytes(bytes, id)) {
+            quarantine(path);
+            continue;
+        }
+        ++report.entriesOk;
+    }
+
+    // hints.log: keep the parseable terminated lines; a torn tail is
+    // dropped even when it happens to parse (a truncated number can
+    // still read as a number -- hints are verified on use, but there
+    // is no reason to keep bytes known to be incomplete).
+    const fs::path hintPath = fs::path(directory) / hintFileName;
+    std::string hintBytes;
+    if (readFileBytes(hintPath.string(), hintBytes) &&
+        !hintBytes.empty()) {
+        std::vector<std::string> kept;
+        long dropped = 0;
+        size_t start = 0;
+        while (start < hintBytes.size()) {
+            const size_t end = hintBytes.find('\n', start);
+            const bool unterminated = end == std::string::npos;
+            const std::string line = hintBytes.substr(
+                start, unterminated ? std::string::npos : end - start);
+            start = unterminated ? hintBytes.size() : end + 1;
+            if (!unterminated && validHintLine(line))
+                kept.push_back(line);
+            else
+                ++dropped;
+        }
+        report.hintLinesKept = static_cast<long>(kept.size());
+        report.hintLinesDropped = dropped;
+        if (dropped > 0) {
+            quarantine(hintPath);
+            const fs::path tmp =
+                fs::path(directory) / ".tmp-hints-rewrite";
+            {
+                std::ofstream out(tmp, std::ios::trunc);
+                for (const std::string &line : kept)
+                    out << line << '\n';
+            }
+            std::error_code rec;
+            fs::rename(tmp, hintPath, rec);
+            report.hintLogRepaired = true;
+        }
+    }
+    return report;
+}
+
+ScrubReport
+CompileCache::scrub()
+{
+    ScrubReport report;
+    if (mode_ != CacheMode::ReadWrite || !ok_) {
+        report.error = "scrub requires an open read-write cache";
+        return report;
+    }
+    report = scrubCacheDir(directory_);
+
+    // Rebuild the in-memory view of what survived.
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.entries.clear();
+    }
+    scanDirectory();
+    {
+        std::lock_guard<std::mutex> lock(hintMutex_);
+        hints_.clear();
+    }
+    loadHints();
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        totals_.quarantined += report.quarantined;
+    }
+    return report;
+}
+
 bool
 CompileCache::hint(const CacheKey &key, WarmStartHint &out) const
 {
@@ -485,6 +672,8 @@ CompileCache::publish(MetricsRegistry &registry) const
     registry.add("cache.bytes_written",
                  t.bytesWritten - published_.bytesWritten);
     registry.add("cache.hint_entries", hintCount - publishedHints_);
+    registry.add("cache.quarantined",
+                 t.quarantined - published_.quarantined);
     published_ = t;
     publishedHints_ = hintCount;
 }

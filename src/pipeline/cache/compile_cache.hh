@@ -107,6 +107,38 @@ struct CacheKey
 CacheKey makeCacheKey(const Dfg &graph, const MachineDesc &machine,
                       const CompileOptions &options, bool clustered);
 
+/** Outcome of one cache-directory scrub pass. */
+struct ScrubReport
+{
+    long entriesScanned = 0;   ///< .cce files examined
+    long entriesOk = 0;        ///< entries that validated fully
+    long quarantined = 0;      ///< files moved to corrupt/ (incl. hint log)
+    long tmpRemoved = 0;       ///< leftover .tmp-* writer files deleted
+    long hintLinesKept = 0;    ///< valid hints.log lines preserved
+    long hintLinesDropped = 0; ///< torn/unparseable hint lines removed
+    bool hintLogRepaired = false; ///< hints.log was rewritten cleaned
+
+    /** Non-empty when the scrub itself could not run. */
+    std::string error;
+};
+
+/**
+ * Validates every .cce entry in @p directory -- magic, format
+ * version, stored-hash/file-name consistency, payload checksum, and
+ * a full decode of the embedded graph/machine/result images -- and
+ * quarantines anything torn, truncated or bit-rotted into
+ * <directory>/corrupt/ (moved, never deleted, so forensics survive).
+ * Leftover .tmp-* files from writers killed mid-store are removed.
+ * The hints.log tail is repaired: parseable lines are kept, a torn
+ * or corrupt remainder is dropped, and the original log is
+ * quarantined whenever anything had to go. Designed for startup and
+ * offline use (camsd runs it on every tenant directory before
+ * serving; cams_scrub runs it standalone); racing it against live
+ * lookups in another process is safe -- an entry quarantined
+ * mid-lookup degrades to a miss -- but wasteful.
+ */
+ScrubReport scrubCacheDir(const std::string &directory);
+
 /** What a prior compile of the same loop/machine/scheduler achieved. */
 struct WarmStartHint
 {
@@ -159,6 +191,14 @@ class CompileCache
     /** Records a warm-start hint (ReadWrite only; last write wins). */
     void storeHint(const CacheKey &key, const WarmStartHint &hint);
 
+    /**
+     * Runs scrubCacheDir() on this cache's directory, then rebuilds
+     * the in-memory entry index and hint store from what survived
+     * (ReadWrite only). Not meant to run concurrently with lookups
+     * through this object: run it before serving.
+     */
+    ScrubReport scrub();
+
     /** Cache-wide accounting (monotonic over this object's life). */
     struct Totals
     {
@@ -170,6 +210,7 @@ class CompileCache
         long bytesWritten = 0;  ///< entry bytes published
         long entries = 0;       ///< entries indexed right now
         long bytesOnDisk = 0;   ///< sum of indexed entry sizes
+        long quarantined = 0;   ///< files scrub() moved to corrupt/
     };
     Totals totals() const;
 

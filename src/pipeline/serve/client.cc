@@ -13,11 +13,12 @@ ServeClient::connect(const std::string &socketPath,
 
     HelloMsg hello;
     hello.tenant = tenant;
-    if (!writeFrame(fd.fd(), encodeHello(hello), error))
+    if (!stream_.writeFrame(fd.fd(), encodeHello(hello), error))
         return false;
 
     std::string payload;
-    if (!readFrame(fd.fd(), payload, serveMaxFrameBytes, error))
+    if (!stream_.readFrame(fd.fd(), payload, serveMaxFrameBytes,
+                           readTimeoutMs_, error))
         return false;
     ServerMsg ack;
     if (!decodeServerMsg(payload, ack)) {
@@ -47,7 +48,7 @@ ServeClient::sendPayload(const std::string &payload, std::string &error)
         error = "not connected";
         return false;
     }
-    return writeFrame(fd_.fd(), payload, error);
+    return stream_.writeFrame(fd_.fd(), payload, error);
 }
 
 bool
@@ -77,7 +78,8 @@ ServeClient::readMsg(ServerMsg &out, std::string &error)
         return false;
     }
     std::string payload;
-    if (!readFrame(fd_.fd(), payload, serveMaxFrameBytes, error))
+    if (!stream_.readFrame(fd_.fd(), payload, serveMaxFrameBytes,
+                           readTimeoutMs_, error))
         return false;
     if (!decodeServerMsg(payload, out)) {
         error = "malformed server message";

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "pipeline/serve/proto.hh"
+#include "pipeline/serve/stream.hh"
 #include "support/socket.hh"
 
 namespace cams
@@ -30,6 +31,28 @@ class ServeClient
 
     ServeClient(const ServeClient &) = delete;
     ServeClient &operator=(const ServeClient &) = delete;
+
+    /**
+     * Arms chaos injection on this connection's stream. Call before
+     * connect(); the handshake itself is then fair game for faults.
+     */
+    void enableChaos(const ChaosConfig &config)
+    {
+        stream_.enableChaos(config);
+    }
+
+    /**
+     * Mid-frame read deadline for readMsg() (0 = none). A server
+     * that starts a frame and stalls past the budget fails the read
+     * instead of pinning the reader thread.
+     */
+    void setReadTimeoutMs(double timeoutMs)
+    {
+        readTimeoutMs_ = timeoutMs;
+    }
+
+    /** This connection's frame codec (fault counters live here). */
+    const ServeStream &stream() const { return stream_; }
 
     /**
      * Connects and runs the Hello handshake under @p tenant. False
@@ -64,8 +87,10 @@ class ServeClient
     bool sendPayload(const std::string &payload, std::string &error);
 
     SocketFd fd_;
+    ServeStream stream_;
     std::mutex sendMutex_;
     std::mutex recvMutex_;
+    double readTimeoutMs_ = 0.0;
     uint32_t workers_ = 0;
     uint32_t queueCapacity_ = 0;
 };

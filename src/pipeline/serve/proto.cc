@@ -62,6 +62,7 @@ encodeSubmit(const SubmitMsg &msg)
     ByteWriter writer;
     writeType(writer, ServeMsgType::Submit);
     writer.u64(msg.id);
+    writer.u64(msg.retryKey);
     writer.u32(msg.clustered ? 1 : 0);
     writer.u32(msg.scheduler);
     writer.f64(msg.deadlineMs);
@@ -111,13 +112,15 @@ encodeAccepted(uint64_t id, uint32_t queueDepth)
 }
 
 std::string
-encodeShed(uint64_t id, const std::string &reason, uint32_t queueDepth)
+encodeShed(uint64_t id, const std::string &reason, uint32_t queueDepth,
+           double retryAfterMs)
 {
     ByteWriter writer;
     writeType(writer, ServeMsgType::Shed);
     writer.u64(id);
     writer.str(reason);
     writer.u32(queueDepth);
+    writer.f64(retryAfterMs);
     return writer.take();
 }
 
@@ -125,16 +128,25 @@ std::string
 encodeResult(uint64_t id, const CompileResult &result, double queueMs,
              double compileMs)
 {
+    ByteWriter body;
+    writeCompileResult(body, result);
+    return encodeResultBytes(id, result.fromCache, result.hintUsed,
+                             queueMs, compileMs, body.take());
+}
+
+std::string
+encodeResultBytes(uint64_t id, bool fromCache, bool hintUsed,
+                  double queueMs, double compileMs,
+                  const std::string &resultBytes)
+{
     ByteWriter writer;
     writeType(writer, ServeMsgType::Result);
     writer.u64(id);
-    writer.u32(result.fromCache ? 1 : 0);
-    writer.u32(result.hintUsed ? 1 : 0);
+    writer.u32(fromCache ? 1 : 0);
+    writer.u32(hintUsed ? 1 : 0);
     writer.f64(queueMs);
     writer.f64(compileMs);
-    ByteWriter body;
-    writeCompileResult(body, result);
-    writer.str(body.take());
+    writer.str(resultBytes);
     return writer.take();
 }
 
@@ -184,7 +196,8 @@ decodeClientMsg(const std::string &payload, ClientMsg &out)
         case ServeMsgType::Submit: {
             uint32_t clustered = 0;
             SubmitMsg &msg = out.submit;
-            if (!reader.u64(msg.id) || !reader.u32(clustered) ||
+            if (!reader.u64(msg.id) || !reader.u64(msg.retryKey) ||
+                !reader.u32(clustered) ||
                 !reader.u32(msg.scheduler) ||
                 !reader.f64(msg.deadlineMs) ||
                 !reader.f64(msg.debugSleepMs) ||
@@ -228,7 +241,8 @@ decodeServerMsg(const std::string &payload, ServerMsg &out)
             break;
         case ServeMsgType::Shed:
             if (!reader.u64(out.id) || !reader.str(out.reason) ||
-                !reader.u32(out.queueDepth))
+                !reader.u32(out.queueDepth) ||
+                !reader.f64(out.retryAfterMs))
                 return false;
             break;
         case ServeMsgType::Result: {

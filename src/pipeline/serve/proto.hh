@@ -1,7 +1,7 @@
 /**
  * @file
  * The camsd wire protocol: the messages that travel inside the
- * length-prefixed frames of support/socket.hh.
+ * checksummed frames of pipeline/serve/stream.hh.
  *
  * Every payload is ByteWriter-encoded (little-endian fixed-width
  * ints, length-prefixed strings) and starts with a u32 message type.
@@ -35,8 +35,12 @@
 namespace cams
 {
 
-/** Bumped on any incompatible wire change. */
-constexpr uint32_t serveProtoVersion = 1;
+/**
+ * Bumped on any incompatible wire change. v2: per-frame payload
+ * checksums (stream.hh), the Submit retry key, and the Shed
+ * retry-after hint.
+ */
+constexpr uint32_t serveProtoVersion = 2;
 
 /** Frames larger than this are protocol errors on both sides. */
 constexpr uint32_t serveMaxFrameBytes = 64u << 20;
@@ -73,6 +77,19 @@ struct SubmitMsg
 {
     /** Client-chosen id, unique per connection. */
     uint64_t id = 0;
+
+    /**
+     * Idempotency key for crash-safe retries; 0 = none. A resubmitted
+     * request carries the same non-zero key (unique per logical
+     * request across the tenant's connections), and the server dedups
+     * against in-flight and recently completed work under that key:
+     * the retry joins the running compile or replays the stored
+     * result bytes verbatim, so a retried Submit never compiles twice
+     * and never returns divergent bytes. Keyed work also survives its
+     * client's disconnect -- the compile finishes into the dedup
+     * table and waits for the reconnecting client.
+     */
+    uint64_t retryKey = 0;
 
     /** False compiles the unified baseline path. */
     bool clustered = true;
@@ -128,7 +145,8 @@ struct ServerMsg
 
     // Accepted / Shed
     uint32_t queueDepth = 0;
-    std::string reason; ///< Shed: "queue_full" or "draining"
+    std::string reason;       ///< Shed: "queue_full" or "draining"
+    double retryAfterMs = 0.0; ///< Shed: suggested retry delay (0 = now)
 
     // Result
     bool fromCache = false;
@@ -157,9 +175,18 @@ std::string encodePing(uint64_t token);
 std::string encodeHelloAck(uint32_t workers, uint32_t queueCapacity);
 std::string encodeAccepted(uint64_t id, uint32_t queueDepth);
 std::string encodeShed(uint64_t id, const std::string &reason,
-                       uint32_t queueDepth);
+                       uint32_t queueDepth, double retryAfterMs);
 std::string encodeResult(uint64_t id, const CompileResult &result,
                          double queueMs, double compileMs);
+
+/**
+ * encodeResult() from pre-serialized writeCompileResult bytes, for
+ * replaying a deduplicated result without re-decoding it.
+ */
+std::string encodeResultBytes(uint64_t id, bool fromCache,
+                              bool hintUsed, double queueMs,
+                              double compileMs,
+                              const std::string &resultBytes);
 std::string encodeCancelled(uint64_t id, bool wasQueued);
 std::string encodeError(uint64_t id, const std::string &message);
 std::string encodePong(uint64_t token);

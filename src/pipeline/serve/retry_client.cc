@@ -1,0 +1,552 @@
+#include "pipeline/serve/retry_client.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include <unistd.h>
+
+#include "pipeline/cache/hash.hh"
+#include "support/time.hh"
+
+namespace cams
+{
+
+namespace
+{
+
+/** Distinguishes client instances sharing a process. */
+uint64_t
+nextClientNonce(uint64_t seed)
+{
+    static std::atomic<uint64_t> counter{0};
+    uint64_t nonce = hashCombine(
+        static_cast<uint64_t>(::getpid()),
+        counter.fetch_add(1, std::memory_order_relaxed) + 1);
+    return mix64(hashCombine(nonce, seed)) | 1u; // never 0
+}
+
+std::chrono::steady_clock::time_point
+microsTimePoint(int64_t micros)
+{
+    return std::chrono::steady_clock::time_point(
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::microseconds(micros)));
+}
+
+constexpr size_t doneRingCapacity = 8192;
+
+} // namespace
+
+CamsClient::~CamsClient()
+{
+    close();
+}
+
+void
+CamsClient::setTerminalHandler(TerminalHandler handler)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    terminalHandler_ = std::move(handler);
+}
+
+void
+CamsClient::setEventHandler(EventHandler handler)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    eventHandler_ = std::move(handler);
+}
+
+bool
+CamsClient::start(const CamsClientConfig &config, std::string &error)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (started_ || closed_) {
+            error = "client already started";
+            return false;
+        }
+        config_ = config;
+        nonce_ = nextClientNonce(config.retry.seed);
+        rng_ = Rng(hashCombine(config.retry.seed, nonce_));
+    }
+    if (!reconnectLoop(/*initial=*/true)) {
+        error = "could not connect to " + config.socketPath +
+                " within the connect budget";
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    started_ = true;
+    reader_ = std::thread(&CamsClient::readerLoop, this);
+    timer_ = std::thread(&CamsClient::timerLoop, this);
+    return true;
+}
+
+bool
+CamsClient::submit(SubmitMsg msg)
+{
+    std::shared_ptr<ServeClient> conn;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!started_ || closed_ || dead_)
+            return false;
+        if (msg.retryKey == 0)
+            msg.retryKey = nonce_ ^ mix64(msg.id);
+        Pending pending;
+        pending.msg = msg;
+        if (config_.retry.requestBudgetMs > 0.0)
+            pending.deadlineMicros =
+                nowMicros() + static_cast<int64_t>(
+                                  config_.retry.requestBudgetMs * 1000.0);
+        const auto inserted = pending_.emplace(msg.id, pending);
+        if (!inserted.second)
+            return false; // duplicate id
+        if (connected_) {
+            inserted.first->second.everSent = true;
+            conn = conn_;
+        }
+    }
+    if (conn) {
+        // A failed send tears the connection down; the reader thread
+        // notices and resubmits every pending request on reconnect.
+        std::string error;
+        conn->submit(msg, error);
+    }
+    return true;
+}
+
+bool
+CamsClient::compile(SubmitMsg msg, ServerMsg &out, std::string &error)
+{
+    const uint64_t id = msg.id;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        waiters_.insert(id);
+    }
+    if (!submit(std::move(msg))) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        waiters_.erase(id);
+        error = "client closed or gave up";
+        return false;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] {
+        return closed_ || delivered_.count(id) != 0;
+    });
+    waiters_.erase(id);
+    const auto it = delivered_.find(id);
+    if (it == delivered_.end()) {
+        error = "client closed";
+        return false;
+    }
+    out = it->second;
+    delivered_.erase(it);
+    if (out.type == ServeMsgType::Error) {
+        error = out.message;
+        return false;
+    }
+    return true;
+}
+
+void
+CamsClient::cancel(uint64_t id)
+{
+    std::shared_ptr<ServeClient> conn;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (connected_)
+            conn = conn_;
+    }
+    if (conn) {
+        std::string error;
+        conn->cancel(id, error);
+    }
+}
+
+bool
+CamsClient::healthy() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return started_ && !closed_ && !dead_;
+}
+
+size_t
+CamsClient::pendingCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_.size();
+}
+
+uint32_t
+CamsClient::serverWorkers() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return workers_;
+}
+
+uint32_t
+CamsClient::serverQueueCapacity() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queueCapacity_;
+}
+
+CamsClient::Stats
+CamsClient::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+CamsClient::close()
+{
+    std::shared_ptr<ServeClient> conn;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        connected_ = false;
+        conn = conn_;
+    }
+    cv_.notify_all();
+    if (conn)
+        conn->close();
+    if (reader_.joinable())
+        reader_.join();
+    if (timer_.joinable())
+        timer_.join();
+}
+
+void
+CamsClient::readerLoop()
+{
+    for (;;) {
+        std::shared_ptr<ServeClient> conn;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return;
+            if (connected_)
+                conn = conn_;
+        }
+        if (conn) {
+            ServerMsg msg;
+            std::string error;
+            if (conn->readMsg(msg, error)) {
+                handleServerMsg(msg);
+                continue;
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return;
+            connected_ = false;
+            conn_.reset();
+        }
+        if (!reconnectLoop(/*initial=*/false))
+            return;
+    }
+}
+
+bool
+CamsClient::reconnectLoop(bool initial)
+{
+    double backoff = config_.retry.initialBackoffMs;
+    Deadline budget(config_.retry.connectBudgetMs);
+    std::string error;
+    for (;;) {
+        uint64_t seq = 0;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return false;
+            seq = connSeq_++;
+        }
+        auto fresh = std::make_shared<ServeClient>();
+        if (config_.chaos.any()) {
+            ChaosConfig chaos = config_.chaos;
+            chaos.seed = hashCombine(config_.chaos.seed, seq);
+            fresh->enableChaos(chaos);
+        }
+        // The handshake answer is one tiny frame. Bound its read
+        // separately: a corrupted length prefix would otherwise park
+        // this attempt on the full read timeout and could eat the
+        // whole outage budget in one bite.
+        const double handshakeTimeoutMs =
+            config_.retry.readTimeoutMs > 0.0
+                ? std::min(config_.retry.readTimeoutMs, 5000.0)
+                : 5000.0;
+        fresh->setReadTimeoutMs(handshakeTimeoutMs);
+        if (fresh->connect(config_.socketPath, config_.tenant, error)) {
+            fresh->setReadTimeoutMs(config_.retry.readTimeoutMs);
+            std::vector<uint64_t> exhausted;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                if (closed_)
+                    return false;
+                conn_ = fresh;
+                connected_ = true;
+                workers_ = fresh->serverWorkers();
+                queueCapacity_ = fresh->serverQueueCapacity();
+                if (!initial)
+                    ++stats_.reconnects;
+                const int64_t now = nowMicros();
+                for (auto &entry : pending_) {
+                    Pending &pending = entry.second;
+                    const bool overBudget =
+                        pending.deadlineMicros > 0 &&
+                        now >= pending.deadlineMicros;
+                    if (pending.everSent &&
+                        (overBudget ||
+                         pending.resubmits >=
+                             config_.retry.maxResubmits)) {
+                        exhausted.push_back(entry.first);
+                        continue;
+                    }
+                    // Mark due-now; the timer thread does the actual
+                    // resubmission. This runs on the reader thread,
+                    // which must get back to draining the socket: a
+                    // reader that bulk-writes while nobody reads
+                    // deadlocks against a server whose writer is
+                    // likewise blocked on our full inbound buffer.
+                    pending.dueMicros = now;
+                }
+                for (uint64_t id : exhausted)
+                    failPendingLocked(lock, id,
+                                      "retry budget exhausted");
+            }
+            if (!initial)
+                emitEvent(0, Event::Reconnect);
+            cv_.notify_all();
+            return true;
+        }
+        if (budget.expired()) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            dead_ = true;
+            std::vector<uint64_t> ids;
+            ids.reserve(pending_.size());
+            for (const auto &entry : pending_)
+                ids.push_back(entry.first);
+            for (uint64_t id : ids)
+                failPendingLocked(lock, id,
+                                  "reconnect budget exhausted: " +
+                                      error);
+            return false;
+        }
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            const double jittered =
+                backoff *
+                (1.0 - config_.retry.jitter * rng_.uniformReal());
+            cv_.wait_for(
+                lock,
+                std::chrono::duration<double, std::milli>(jittered),
+                [&] { return closed_; });
+            if (closed_)
+                return false;
+        }
+        backoff = std::min(backoff * config_.retry.backoffFactor,
+                           config_.retry.maxBackoffMs);
+    }
+}
+
+void
+CamsClient::timerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!closed_) {
+        int64_t nextDue = 0;
+        for (const auto &entry : pending_) {
+            const int64_t due = entry.second.dueMicros;
+            if (due > 0 && (nextDue == 0 || due < nextDue))
+                nextDue = due;
+        }
+        if (nextDue == 0) {
+            cv_.wait(lock);
+            continue;
+        }
+        cv_.wait_until(lock, microsTimePoint(nextDue));
+        if (closed_)
+            break;
+        const int64_t now = nowMicros();
+        std::vector<std::pair<SubmitMsg, bool>> toSend;
+        std::vector<uint64_t> toFail;
+        for (auto &entry : pending_) {
+            Pending &pending = entry.second;
+            if (pending.dueMicros == 0 || pending.dueMicros > now)
+                continue;
+            pending.dueMicros = 0;
+            const bool overBudget = pending.deadlineMicros > 0 &&
+                                    now >= pending.deadlineMicros;
+            if (overBudget ||
+                pending.resubmits >= config_.retry.maxResubmits) {
+                toFail.push_back(entry.first);
+                continue;
+            }
+            if (!connected_)
+                continue; // marked due again on the next reconnect
+            const bool isResubmit = pending.everSent;
+            if (isResubmit) {
+                ++pending.resubmits;
+                ++stats_.resubmissions;
+            }
+            pending.everSent = true;
+            toSend.push_back({pending.msg, isResubmit});
+        }
+        auto conn = conn_;
+        for (uint64_t id : toFail)
+            failPendingLocked(lock, id, "retry budget exhausted");
+        if (!toSend.empty() && conn) {
+            lock.unlock();
+            for (const auto &[msg, isResubmit] : toSend) {
+                if (isResubmit)
+                    emitEvent(msg.id, Event::Resubmit);
+                std::string error;
+                conn->submit(msg, error);
+            }
+            lock.lock();
+        }
+    }
+}
+
+void
+CamsClient::handleServerMsg(const ServerMsg &msg)
+{
+    switch (msg.type) {
+    case ServeMsgType::Accepted:
+    case ServeMsgType::Pong:
+        return;
+    case ServeMsgType::Shed: {
+        std::unique_lock<std::mutex> lock(mutex_);
+        const auto it = pending_.find(msg.id);
+        if (it == pending_.end())
+            return;
+        if (config_.retry.retryOnShed) {
+            Pending &pending = it->second;
+            const int64_t now = nowMicros();
+            const bool overBudget = pending.deadlineMicros > 0 &&
+                                    now >= pending.deadlineMicros;
+            if (!overBudget &&
+                pending.resubmits < config_.retry.maxResubmits) {
+                const double delayMs =
+                    std::max(msg.retryAfterMs,
+                             backoffForLocked(pending.resubmits));
+                pending.dueMicros =
+                    now + static_cast<int64_t>(delayMs * 1000.0);
+                ++stats_.shedRetries;
+                lock.unlock();
+                emitEvent(msg.id, Event::ShedRetry);
+                cv_.notify_all();
+                return;
+            }
+            failPendingLocked(lock, msg.id,
+                              "shed and retry budget exhausted");
+            return;
+        }
+        pending_.erase(it);
+        recordDoneLocked(msg.id);
+        lock.unlock();
+        deliverTerminal(msg);
+        return;
+    }
+    case ServeMsgType::Result:
+    case ServeMsgType::Cancelled:
+    case ServeMsgType::Error: {
+        if (msg.type == ServeMsgType::Error && msg.id == 0)
+            return; // connection-level; the read loop sees the close
+        std::unique_lock<std::mutex> lock(mutex_);
+        const auto it = pending_.find(msg.id);
+        if (it == pending_.end()) {
+            // A retry raced the original answer: both were served,
+            // the second is suppressed here. The server's dedup
+            // table guarantees the two carried identical bytes.
+            if (doneIds_.count(msg.id) != 0) {
+                ++stats_.duplicatesSuppressed;
+                lock.unlock();
+                emitEvent(msg.id, Event::DuplicateSuppressed);
+            }
+            return;
+        }
+        pending_.erase(it);
+        recordDoneLocked(msg.id);
+        lock.unlock();
+        deliverTerminal(msg);
+        return;
+    }
+    default:
+        return;
+    }
+}
+
+void
+CamsClient::deliverTerminal(const ServerMsg &msg)
+{
+    TerminalHandler handler;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (waiters_.count(msg.id) != 0) {
+            delivered_[msg.id] = msg;
+            cv_.notify_all();
+            return;
+        }
+        handler = terminalHandler_;
+    }
+    if (handler)
+        handler(msg);
+}
+
+void
+CamsClient::failPendingLocked(std::unique_lock<std::mutex> &lock,
+                              uint64_t id, const std::string &message)
+{
+    pending_.erase(id);
+    recordDoneLocked(id);
+    ++stats_.gaveUp;
+    ServerMsg terminal;
+    terminal.type = ServeMsgType::Error;
+    terminal.id = id;
+    terminal.message = message;
+    lock.unlock();
+    emitEvent(id, Event::GaveUp);
+    deliverTerminal(terminal);
+    lock.lock();
+}
+
+void
+CamsClient::recordDoneLocked(uint64_t id)
+{
+    if (doneIds_.insert(id).second) {
+        doneOrder_.push_back(id);
+        while (doneOrder_.size() > doneRingCapacity) {
+            doneIds_.erase(doneOrder_.front());
+            doneOrder_.pop_front();
+        }
+    }
+}
+
+double
+CamsClient::backoffForLocked(int step)
+{
+    double backoff = config_.retry.initialBackoffMs;
+    for (int i = 0; i < step && backoff < config_.retry.maxBackoffMs;
+         ++i)
+        backoff *= config_.retry.backoffFactor;
+    backoff = std::min(backoff, config_.retry.maxBackoffMs);
+    return backoff * (1.0 - config_.retry.jitter * rng_.uniformReal());
+}
+
+void
+CamsClient::emitEvent(uint64_t id, Event event)
+{
+    EventHandler handler;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        handler = eventHandler_;
+    }
+    if (handler)
+        handler(id, event);
+}
+
+} // namespace cams

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * CamsClient: the resilient camsd client. Wraps ServeClient with the
+ * recovery machinery a production caller needs to survive a flaky
+ * wire and a crash-restarting daemon:
+ *
+ *  - reconnect with capped exponential backoff plus jitter, bounded
+ *    by a per-outage budget;
+ *  - idempotent resubmission: every Submit carries a retryKey, all
+ *    still-pending requests are resubmitted after a reconnect, and
+ *    the server's dedup table guarantees a retried request never
+ *    compiles twice and never returns divergent bytes;
+ *  - duplicate suppression: when a retry races the original answer,
+ *    the second terminal for an id is counted and dropped, never
+ *    delivered twice;
+ *  - Shed-aware retries honoring the server's retry-after hint
+ *    (opt-in, so load accounting can keep Shed as a terminal
+ *    outcome);
+ *  - deadline-aware retry budgets: a request stops being retried
+ *    once its end-to-end budget or resubmission cap is spent and
+ *    fails with a synthesized Error instead of retrying forever.
+ *
+ * Delivery contract: every submitted id receives *exactly one*
+ * terminal callback -- Result, Cancelled, Shed (when shed retries
+ * are off), or a synthesized Error once retries are exhausted --
+ * no matter how many times the connection dies in between.
+ * Callbacks run on the client's internal threads; handlers must be
+ * thread-safe and must not call back into the client.
+ */
+
+#ifndef CAMS_PIPELINE_SERVE_RETRY_CLIENT_HH
+#define CAMS_PIPELINE_SERVE_RETRY_CLIENT_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "pipeline/serve/client.hh"
+#include "pipeline/serve/proto.hh"
+#include "pipeline/serve/stream.hh"
+
+namespace cams
+{
+
+/** Backoff and retry-budget knobs of CamsClient. */
+struct RetryPolicy
+{
+    /** Resubmissions allowed per request before giving up. */
+    int maxResubmits = 32;
+
+    double initialBackoffMs = 10.0; ///< first backoff step
+    double maxBackoffMs = 1000.0;   ///< backoff cap
+    double backoffFactor = 2.0;     ///< growth per step
+    double jitter = 0.25;           ///< randomized backoff fraction
+
+    /** Wall-clock budget per connect outage before giving up. */
+    double connectBudgetMs = 30000.0;
+
+    /** End-to-end retry budget per request; 0 = unbounded. */
+    double requestBudgetMs = 0.0;
+
+    /** Mid-frame read deadline on the connection (0 = none). */
+    double readTimeoutMs = 30000.0;
+
+    /**
+     * Resubmit requests the server sheds, after its retry-after
+     * hint. Off by default so callers that account load (the open
+     * loop generator's overload phases) keep Shed as a terminal.
+     */
+    bool retryOnShed = false;
+
+    /** Seed of the backoff jitter stream. */
+    uint64_t seed = 1;
+};
+
+/** Connection parameters of one CamsClient. */
+struct CamsClientConfig
+{
+    std::string socketPath;
+    std::string tenant = "default";
+    RetryPolicy retry;
+
+    /** Armed on every connection when any site can trip. */
+    ChaosConfig chaos;
+};
+
+/** Resilient, auto-reconnecting camsd client. */
+class CamsClient
+{
+  public:
+    /** Recovery actions, observable via the event handler. */
+    enum class Event
+    {
+        Reconnect,           ///< connection re-established
+        Resubmit,            ///< pending request sent again
+        ShedRetry,           ///< shed request scheduled for resubmit
+        DuplicateSuppressed, ///< second terminal for an id dropped
+        GaveUp,              ///< retries exhausted, Error synthesized
+    };
+
+    /** Totals across the client's lifetime. */
+    struct Stats
+    {
+        long reconnects = 0;
+        long resubmissions = 0;
+        long shedRetries = 0;
+        long duplicatesSuppressed = 0;
+        long gaveUp = 0;
+    };
+
+    /** Receives each request's single terminal message. */
+    using TerminalHandler = std::function<void(const ServerMsg &)>;
+
+    /** Observes recovery events (id 0 = connection-level). */
+    using EventHandler = std::function<void(uint64_t id, Event event)>;
+
+    CamsClient() = default;
+    ~CamsClient();
+
+    CamsClient(const CamsClient &) = delete;
+    CamsClient &operator=(const CamsClient &) = delete;
+
+    /** Install handlers before start(). */
+    void setTerminalHandler(TerminalHandler handler);
+    void setEventHandler(EventHandler handler);
+
+    /**
+     * Connects (retrying within the connect budget) and starts the
+     * reader and retry threads. False with @p error set when the
+     * first connection cannot be established in budget.
+     */
+    bool start(const CamsClientConfig &config, std::string &error);
+
+    /**
+     * Owns @p msg until its terminal callback fires. Assigns a
+     * fresh retryKey when the caller left it 0. Never blocks on a
+     * dead connection: the request is queued and rides the next
+     * reconnect. False only when the client is closed or has
+     * exhausted a connect budget.
+     */
+    bool submit(SubmitMsg msg);
+
+    /**
+     * Blocking convenience: submit() and wait for the terminal,
+     * which is returned in @p out instead of the terminal handler.
+     */
+    bool compile(SubmitMsg msg, ServerMsg &out, std::string &error);
+
+    /** Best-effort Cancel of an in-flight request. */
+    void cancel(uint64_t id);
+
+    /** True until a connect budget is exhausted or close() runs. */
+    bool healthy() const;
+
+    /** Requests submitted but not yet terminal. */
+    size_t pendingCount() const;
+
+    /** Server-reported sizing from the latest handshake. */
+    uint32_t serverWorkers() const;
+    uint32_t serverQueueCapacity() const;
+
+    Stats stats() const;
+
+    /** Stops the threads; undelivered requests are dropped. */
+    void close();
+
+  private:
+    struct Pending
+    {
+        SubmitMsg msg;
+        int64_t deadlineMicros = 0; ///< 0 = no request budget
+        int64_t dueMicros = 0;      ///< >0 = scheduled resubmit
+        int resubmits = 0;
+        bool everSent = false;
+    };
+
+    void readerLoop();
+    void timerLoop();
+    bool reconnectLoop(bool initial);
+    void handleServerMsg(const ServerMsg &msg);
+    void deliverTerminal(const ServerMsg &msg);
+    void failPendingLocked(std::unique_lock<std::mutex> &lock,
+                           uint64_t id, const std::string &message);
+    void recordDoneLocked(uint64_t id);
+    double backoffForLocked(int step);
+    void emitEvent(uint64_t id, Event event);
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    CamsClientConfig config_;
+    TerminalHandler terminalHandler_;
+    EventHandler eventHandler_;
+    std::shared_ptr<ServeClient> conn_;
+    bool connected_ = false;
+    bool closed_ = false;
+    bool dead_ = false;
+    bool started_ = false;
+    uint64_t nonce_ = 0;
+    uint64_t connSeq_ = 0;
+    Rng rng_{1};
+    Stats stats_;
+    uint32_t workers_ = 0;
+    uint32_t queueCapacity_ = 0;
+    std::unordered_map<uint64_t, Pending> pending_;
+    std::unordered_set<uint64_t> doneIds_;
+    std::deque<uint64_t> doneOrder_;
+    std::unordered_set<uint64_t> waiters_;
+    std::unordered_map<uint64_t, ServerMsg> delivered_;
+    std::thread reader_;
+    std::thread timer_;
+};
+
+} // namespace cams
+
+#endif // CAMS_PIPELINE_SERVE_RETRY_CLIENT_HH

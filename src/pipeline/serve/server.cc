@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <filesystem>
 
 #include "pipeline/cache/hash.hh"
 #include "pipeline/cache/serialize.hh"
@@ -11,6 +12,25 @@
 
 namespace cams
 {
+
+namespace
+{
+
+/**
+ * Identity of a Submit's compile-relevant payload, guarding the
+ * dedup table against retry-key reuse: a key that comes back with a
+ * *different* payload is new work, never a replay.
+ */
+uint64_t
+submitPayloadHash(const SubmitMsg &msg)
+{
+    return hashCombine(
+        hashCombine(hashBytes(msg.dfgBytes),
+                    hashBytes(msg.machineBytes)),
+        hashCombine(msg.scheduler, msg.clustered ? 1 : 0));
+}
+
+} // namespace
 
 std::string
 sanitizeTenant(const std::string &tenant)
@@ -48,12 +68,18 @@ CamsServer::start(std::string &error)
         error = "server already started";
         return false;
     }
+    if (config_.scrubOnStart)
+        scrubTenantCaches();
     if (!listener_.open(config_.socketPath, error))
         return false;
     workerThreads_.reserve(config_.workers);
     for (int i = 0; i < config_.workers; ++i)
         workerThreads_.emplace_back([this] { workerLoop(); });
     acceptThread_ = std::thread([this] { acceptLoop(); });
+    if (config_.watchdogMs > 0.0) {
+        watchdogStop_.store(false);
+        watchdogThread_ = std::thread([this] { watchdogLoop(); });
+    }
     started_.store(true);
     return true;
 }
@@ -97,6 +123,9 @@ CamsServer::stop()
     for (std::thread &worker : workerThreads_)
         worker.join();
     workerThreads_.clear();
+    watchdogStop_.store(true);
+    if (watchdogThread_.joinable())
+        watchdogThread_.join();
     if (acceptThread_.joinable())
         acceptThread_.join();
     {
@@ -131,6 +160,13 @@ CamsServer::stats() const
         registry_.counter("serve.cancelled_in_flight");
     stats.protocolErrors =
         registry_.counter("serve.protocol_errors");
+    stats.readTimeouts = registry_.counter("serve.read_timeouts");
+    stats.watchdogFired = registry_.counter("serve.watchdog_fired");
+    stats.dedupReplayed = registry_.counter("serve.dedup_replayed");
+    stats.dedupJoined = registry_.counter("serve.dedup_joined");
+    stats.dedupMismatch = registry_.counter("serve.dedup_mismatch");
+    stats.quarantined =
+        registry_.counter("serve.cache_quarantined");
     return stats;
 }
 
@@ -156,6 +192,14 @@ CamsServer::acceptLoop()
             return; // listener closed (drain) or fatal accept error
         auto conn = std::make_shared<Conn>();
         conn->fd = SocketFd(fd);
+        if (config_.chaos.any()) {
+            // Every connection gets its own deterministic coin
+            // stream; a reconnecting client sees fresh faults, not a
+            // replay of the ones that just killed it.
+            ChaosConfig chaos = config_.chaos;
+            chaos.seed = hashCombine(config_.chaos.seed, ++connSeq_);
+            conn->stream.enableChaos(chaos);
+        }
         {
             std::lock_guard<std::mutex> lock(connMutex_);
             // Refuse connections that raced the drain: the reader
@@ -181,7 +225,7 @@ CamsServer::send(Conn &conn, const std::string &payload)
         return;
     std::lock_guard<std::mutex> lock(conn.writeMutex);
     std::string error;
-    if (!writeFrame(conn.fd.fd(), payload, error))
+    if (!conn.stream.writeFrame(conn.fd.fd(), payload, error))
         conn.alive.store(false);
 }
 
@@ -191,11 +235,14 @@ CamsServer::connectionLoop(std::shared_ptr<Conn> conn)
     std::string payload;
     std::string error;
     bool cleanEof = false;
+    bool timedOut = false;
 
     // The handshake must come first and must match our version.
     bool handshakeOk = false;
-    if (readFrame(conn->fd.fd(), payload, serveMaxFrameBytes, error,
-                  &cleanEof)) {
+    if (conn->stream.readFrame(conn->fd.fd(), payload,
+                               serveMaxFrameBytes,
+                               config_.readTimeoutMs, error, &cleanEof,
+                               &timedOut)) {
         ClientMsg msg;
         if (!decodeClientMsg(payload, msg) ||
             msg.type != ServeMsgType::Hello) {
@@ -218,16 +265,28 @@ CamsServer::connectionLoop(std::shared_ptr<Conn> conn)
                      static_cast<uint32_t>(config_.queueCapacity)));
             handshakeOk = true;
         }
+    } else if (timedOut) {
+        registry_.add("serve.read_timeouts");
     } else if (!cleanEof) {
         registry_.add("serve.protocol_errors");
     }
 
     while (handshakeOk && conn->alive.load()) {
-        if (!readFrame(conn->fd.fd(), payload, serveMaxFrameBytes,
-                       error, &cleanEof)) {
+        timedOut = false;
+        if (!conn->stream.readFrame(conn->fd.fd(), payload,
+                                    serveMaxFrameBytes,
+                                    config_.readTimeoutMs, error,
+                                    &cleanEof, &timedOut)) {
             // Clean EOF and torn sockets both just end the session;
-            // an oversized frame is the peer's protocol bug.
-            if (!cleanEof && error.find("ceiling") != std::string::npos) {
+            // a slow-loris peer costs a read timeout; an oversized or
+            // corrupted frame is the peer's protocol bug.
+            if (timedOut) {
+                registry_.add("serve.read_timeouts");
+                send(*conn, encodeError(0, error));
+            } else if (!cleanEof &&
+                       (error.find("ceiling") != std::string::npos ||
+                        error.find("checksum") !=
+                            std::string::npos)) {
                 registry_.add("serve.protocol_errors");
                 send(*conn, encodeError(0, error));
             }
@@ -279,23 +338,67 @@ CamsServer::handleSubmit(const std::shared_ptr<Conn> &conn,
 {
     // Admission decision and reply happen under the queue lock, so
     // the Accepted frame is on the wire before any worker can pop
-    // the request and answer it.
+    // the request and answer it. All submits serialize here, which
+    // also makes the dedup check-or-create atomic.
     std::lock_guard<std::mutex> lock(queueMutex_);
     const uint32_t depth = static_cast<uint32_t>(queue_.size());
+
+    // Idempotent retries come first: a replay or join must work even
+    // while draining or shedding, or a crash-retry loop could never
+    // collect a result the server already computed.
+    if (msg.retryKey != 0) {
+        std::lock_guard<std::mutex> dlock(dedupMutex_);
+        const auto it =
+            dedup_.find(DedupKey{conn->tenant, msg.retryKey});
+        if (it != dedup_.end()) {
+            DedupEntry &entry = *it->second;
+            if (entry.payloadHash != submitPayloadHash(msg)) {
+                // Key reuse with a different payload: new work, and
+                // the admission below repoints the key at it.
+                registry_.add("serve.dedup_mismatch");
+            } else if (entry.done) {
+                registry_.add("serve.dedup_replayed");
+                send(*conn, encodeAccepted(msg.id, depth));
+                registry_.add("serve.completed");
+                send(*conn,
+                     encodeResultBytes(msg.id, entry.fromCache,
+                                       entry.hintUsed, entry.queueMs,
+                                       entry.compileMs,
+                                       entry.resultBytes));
+                return true;
+            } else {
+                registry_.add("serve.dedup_joined");
+                entry.waiters.emplace_back(conn, msg.id);
+                send(*conn, encodeAccepted(msg.id, depth));
+                return true;
+            }
+        }
+    }
+
     if (draining_ || stopping_) {
         registry_.add("serve.shed_draining");
-        send(*conn, encodeShed(msg.id, "draining", depth));
+        send(*conn, encodeShed(msg.id, "draining", depth,
+                               /*retryAfterMs=*/100.0));
         return false;
     }
     if (static_cast<int>(queue_.size()) >= config_.queueCapacity) {
         registry_.add("serve.shed_full");
-        send(*conn, encodeShed(msg.id, "queue_full", depth));
+        send(*conn, encodeShed(msg.id, "queue_full", depth,
+                               /*retryAfterMs=*/25.0));
         return false;
     }
     auto request = std::make_shared<Request>();
     request->conn = conn;
     request->msg = msg;
+    request->tenant = conn->tenant;
     request->arrivalMicros = nowMicros();
+    if (msg.retryKey != 0) {
+        auto entry = std::make_shared<DedupEntry>();
+        entry->payloadHash = submitPayloadHash(msg);
+        request->dedup = entry;
+        std::lock_guard<std::mutex> dlock(dedupMutex_);
+        dedup_[DedupKey{conn->tenant, msg.retryKey}] = entry;
+    }
     queue_.push_back(request);
     registry_.add("serve.accepted");
     send(*conn, encodeAccepted(
@@ -307,22 +410,29 @@ CamsServer::handleSubmit(const std::shared_ptr<Conn> &conn,
 void
 CamsServer::handleCancel(const std::shared_ptr<Conn> &conn, uint64_t id)
 {
-    std::lock_guard<std::mutex> lock(queueMutex_);
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if ((*it)->conn == conn && (*it)->msg.id == id) {
-            queue_.erase(it);
-            registry_.add("serve.cancelled_queued");
-            send(*conn, encodeCancelled(id, /*wasQueued=*/true));
-            notifyIfDrained();
-            return;
+    std::shared_ptr<Request> queued;
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if ((*it)->conn == conn && (*it)->msg.id == id) {
+                queued = *it;
+                queue_.erase(it);
+                notifyIfDrained();
+                break;
+            }
+        }
+        if (!queued) {
+            for (const std::shared_ptr<Request> &request :
+                 inFlight_) {
+                if (request->conn == conn && request->msg.id == id) {
+                    request->cancelled.store(true);
+                    return; // the worker answers Cancelled
+                }
+            }
         }
     }
-    for (const std::shared_ptr<Request> &request : inFlight_) {
-        if (request->conn == conn && request->msg.id == id) {
-            request->cancelled.store(true);
-            return; // the worker answers Cancelled
-        }
-    }
+    if (queued)
+        deliverCancelled(queued, /*wasQueued=*/true);
     // Unknown id: the Result already went out (a benign race) or the
     // client never submitted it. Either way there is nothing to undo.
 }
@@ -341,6 +451,7 @@ CamsServer::workerLoop()
                 return; // stopping, nothing left
             request = queue_.front();
             queue_.pop_front();
+            request->startedMicros = nowMicros();
             inFlight_.push_back(request);
         }
         process(request);
@@ -359,16 +470,19 @@ CamsServer::process(const std::shared_ptr<Request> &request)
 {
     Conn &conn = *request->conn;
     const SubmitMsg &msg = request->msg;
+    const bool keyed = request->dedup != nullptr;
     const double queueMs =
         static_cast<double>(nowMicros() - request->arrivalMicros) /
         1000.0;
     registry_.record("serve.queue_ms", queueMs);
 
-    if (!conn.alive.load())
-        return; // the client is gone; compiling would be waste
+    // The client is gone: unkeyed work is pure waste, but keyed work
+    // must still finish into the dedup table -- its owner is probably
+    // mid-reconnect and will resubmit for the answer.
+    if (!conn.alive.load() && !keyed)
+        return;
     if (request->cancelled.load()) {
-        registry_.add("serve.cancelled_in_flight");
-        send(conn, encodeCancelled(msg.id, /*wasQueued=*/false));
+        deliverCancelled(request, /*wasQueued=*/false);
         return;
     }
 
@@ -381,23 +495,24 @@ CamsServer::process(const std::shared_ptr<Request> &request)
             "deadline of ", msg.deadlineMs, " ms expired after ",
             queueMs, " ms in the admission queue");
         registry_.add("serve.deadline_expired");
-        registry_.add("serve.completed");
-        send(conn, encodeResult(msg.id, expired, queueMs, 0.0));
+        deliverResult(request, expired, queueMs, 0.0);
         return;
     }
 
     if (config_.allowDebugSleep && msg.debugSleepMs > 0.0) {
         const Deadline nap(msg.debugSleepMs);
         while (!nap.expired() && !request->cancelled.load() &&
-               conn.alive.load()) {
+               !request->abandoned.load() &&
+               (conn.alive.load() || keyed)) {
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(2));
         }
         if (request->cancelled.load()) {
-            registry_.add("serve.cancelled_in_flight");
-            send(conn, encodeCancelled(msg.id, /*wasQueued=*/false));
+            deliverCancelled(request, /*wasQueued=*/false);
             return;
         }
+        if (request->abandoned.load())
+            return; // the watchdog already answered
     }
 
     Dfg graph;
@@ -406,7 +521,7 @@ CamsServer::process(const std::shared_ptr<Request> &request)
         !readMachine(msg.machineBytes, machine) ||
         msg.scheduler > 1) {
         registry_.add("serve.protocol_errors");
-        send(conn, encodeError(msg.id, "malformed submit payload"));
+        deliverError(request, "malformed submit payload");
         return;
     }
     // compileUnified's single-cluster precondition is a panic (an
@@ -414,10 +529,9 @@ CamsServer::process(const std::shared_ptr<Request> &request)
     // never die on it.
     if (!msg.clustered && machine.numClusters() != 1) {
         registry_.add("serve.protocol_errors");
-        send(conn, encodeError(
-                       msg.id,
-                       "unified compile requires a single-cluster "
-                       "machine"));
+        deliverError(request,
+                     "unified compile requires a single-cluster "
+                     "machine");
         return;
     }
 
@@ -426,9 +540,9 @@ CamsServer::process(const std::shared_ptr<Request> &request)
                                            : SchedulerKind::Swing;
     options.trace = TraceConfig{};
     options.faults = nullptr;
-    options.cache = tenantCache(conn.tenant);
+    options.cache = tenantCache(request->tenant);
     options.cacheSalt =
-        options.cache ? hashBytes(conn.tenant) : 0;
+        options.cache ? hashBytes(request->tenant) : 0;
 
     // The server-wide budget keeps cache keys stable; a tight
     // deadline shrinks it for this one request only.
@@ -459,27 +573,228 @@ CamsServer::process(const std::shared_ptr<Request> &request)
         registry_.add("serve.cache_hits");
 
     if (request->cancelled.load()) {
-        registry_.add("serve.cancelled_in_flight");
-        send(conn, encodeCancelled(msg.id, /*wasQueued=*/false));
+        deliverCancelled(request, /*wasQueued=*/false);
         return;
     }
-    registry_.add("serve.completed");
-    send(conn, encodeResult(msg.id, result, queueMs, compileMs));
+    deliverResult(request, result, queueMs, compileMs);
+}
+
+void
+CamsServer::deliverResult(const std::shared_ptr<Request> &request,
+                          const CompileResult &result, double queueMs,
+                          double compileMs)
+{
+    ByteWriter body;
+    writeCompileResult(body, result);
+    deliverEncoded(request, result.fromCache, result.hintUsed,
+                   queueMs, compileMs, body.take());
+}
+
+void
+CamsServer::deliverEncoded(const std::shared_ptr<Request> &request,
+                           bool fromCache, bool hintUsed,
+                           double queueMs, double compileMs,
+                           const std::string &resultBytes)
+{
+    // Exactly one of worker and watchdog wins the exchange; the
+    // loser's answer (e.g. a hung compile finally finishing after
+    // the watchdog classified it) is dropped on the floor.
+    if (request->answered.exchange(true))
+        return;
+
+    std::vector<std::pair<std::shared_ptr<Conn>, uint64_t>> targets;
+    if (request->conn && request->conn->alive.load())
+        targets.emplace_back(request->conn, request->msg.id);
+    if (request->dedup) {
+        std::lock_guard<std::mutex> lock(dedupMutex_);
+        DedupEntry &entry = *request->dedup;
+        if (!entry.done) {
+            entry.done = true;
+            entry.fromCache = fromCache;
+            entry.hintUsed = hintUsed;
+            entry.queueMs = queueMs;
+            entry.compileMs = compileMs;
+            entry.resultBytes = resultBytes;
+            for (auto &[weakConn, id] : entry.waiters) {
+                std::shared_ptr<Conn> waiter = weakConn.lock();
+                if (waiter && waiter->alive.load())
+                    targets.emplace_back(std::move(waiter), id);
+            }
+            entry.waiters.clear();
+            dedupDone_.emplace_back(
+                DedupKey{request->tenant, request->msg.retryKey},
+                request->dedup);
+            evictDedupLocked();
+        }
+    }
+    for (const auto &[target, id] : targets) {
+        registry_.add("serve.completed");
+        send(*target, encodeResultBytes(id, fromCache, hintUsed,
+                                        queueMs, compileMs,
+                                        resultBytes));
+    }
+}
+
+void
+CamsServer::deliverCancelled(const std::shared_ptr<Request> &request,
+                             bool wasQueued)
+{
+    if (request->answered.exchange(true))
+        return;
+    registry_.add(wasQueued ? "serve.cancelled_queued"
+                            : "serve.cancelled_in_flight");
+    const auto waiters = abandonDedup(request);
+    if (request->conn && request->conn->alive.load())
+        send(*request->conn,
+             encodeCancelled(request->msg.id, wasQueued));
+    for (const auto &[waiter, id] : waiters)
+        send(*waiter, encodeCancelled(id, wasQueued));
+}
+
+void
+CamsServer::deliverError(const std::shared_ptr<Request> &request,
+                         const std::string &message)
+{
+    if (request->answered.exchange(true))
+        return;
+    const auto waiters = abandonDedup(request);
+    if (request->conn && request->conn->alive.load())
+        send(*request->conn, encodeError(request->msg.id, message));
+    for (const auto &[waiter, id] : waiters)
+        send(*waiter, encodeError(id, message));
+}
+
+std::vector<std::pair<std::shared_ptr<CamsServer::Conn>, uint64_t>>
+CamsServer::abandonDedup(const std::shared_ptr<Request> &request)
+{
+    std::vector<std::pair<std::shared_ptr<Conn>, uint64_t>> waiters;
+    if (!request->dedup)
+        return waiters;
+    std::lock_guard<std::mutex> lock(dedupMutex_);
+    DedupEntry &entry = *request->dedup;
+    for (auto &[weakConn, id] : entry.waiters) {
+        std::shared_ptr<Conn> waiter = weakConn.lock();
+        if (waiter && waiter->alive.load())
+            waiters.emplace_back(std::move(waiter), id);
+    }
+    entry.waiters.clear();
+    // A cancelled/errored request leaves no replayable answer; drop
+    // the key (only if it still points here -- a mismatch admission
+    // may have repointed it) so a retry becomes fresh work.
+    const auto it =
+        dedup_.find(DedupKey{request->tenant, request->msg.retryKey});
+    if (it != dedup_.end() && it->second == request->dedup)
+        dedup_.erase(it);
+    return waiters;
+}
+
+void
+CamsServer::evictDedupLocked()
+{
+    const size_t capacity =
+        config_.dedupCapacity < 1
+            ? 1
+            : static_cast<size_t>(config_.dedupCapacity);
+    while (dedupDone_.size() > capacity) {
+        const auto &[key, entry] = dedupDone_.front();
+        const auto it = dedup_.find(key);
+        if (it != dedup_.end() && it->second == entry)
+            dedup_.erase(it);
+        dedupDone_.pop_front();
+    }
+}
+
+void
+CamsServer::watchdogLoop()
+{
+    const double periodMs =
+        std::max(5.0, std::min(50.0, config_.watchdogMs / 4.0));
+    while (!watchdogStop_.load()) {
+        std::vector<std::shared_ptr<Request>> hung;
+        {
+            std::lock_guard<std::mutex> lock(queueMutex_);
+            const int64_t now = nowMicros();
+            for (const std::shared_ptr<Request> &request :
+                 inFlight_) {
+                if (request->answered.load() ||
+                    request->abandoned.load() ||
+                    request->startedMicros == 0)
+                    continue;
+                const double runMs =
+                    static_cast<double>(now -
+                                        request->startedMicros) /
+                    1000.0;
+                if (runMs >= config_.watchdogMs) {
+                    request->abandoned.store(true);
+                    hung.push_back(request);
+                }
+            }
+        }
+        for (const std::shared_ptr<Request> &request : hung) {
+            registry_.add("serve.watchdog_fired");
+            CompileResult timedOut;
+            timedOut.failure = FailureKind::Timeout;
+            timedOut.failureDetail = detail::concat(
+                "watchdog: compile still running after ",
+                config_.watchdogMs, " ms");
+            const double queueMs =
+                static_cast<double>(request->startedMicros -
+                                    request->arrivalMicros) /
+                1000.0;
+            deliverResult(request, timedOut, queueMs,
+                          config_.watchdogMs);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<int>(periodMs)));
+    }
+}
+
+void
+CamsServer::scrubTenantCaches()
+{
+    if (config_.cacheRoot.empty() ||
+        config_.cacheMode != CacheMode::ReadWrite)
+        return;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(config_.cacheRoot, ec);
+    if (ec)
+        return; // no cache directory yet: nothing to scrub
+    long quarantined = 0;
+    long tmpRemoved = 0;
+    for (const auto &dirEntry : it) {
+        if (!dirEntry.is_directory(ec) || ec)
+            continue;
+        const ScrubReport report =
+            scrubCacheDir(dirEntry.path().string());
+        quarantined += report.quarantined;
+        tmpRemoved += report.tmpRemoved;
+        if (!report.error.empty())
+            cams_warn("cache scrub of ", dirEntry.path().string(),
+                      " failed: ", report.error);
+    }
+    if (quarantined > 0)
+        registry_.add("serve.cache_quarantined", quarantined);
+    if (tmpRemoved > 0)
+        registry_.add("serve.cache_tmp_removed", tmpRemoved);
 }
 
 void
 CamsServer::dropConnection(const std::shared_ptr<Conn> &conn)
 {
     std::lock_guard<std::mutex> lock(queueMutex_);
+    // Keyed requests survive their connection: the client is
+    // expected back with the same retryKey, and the dedup table is
+    // where it collects the answer. Unkeyed work dies with the conn.
     for (auto it = queue_.begin(); it != queue_.end();) {
-        if ((*it)->conn == conn)
+        if ((*it)->conn == conn && !(*it)->dedup)
             it = queue_.erase(it);
         else
             ++it;
     }
-    // In-flight compiles for a dead client finish but skip the send.
+    // Unkeyed in-flight compiles for a dead client finish but skip
+    // the send.
     for (const std::shared_ptr<Request> &request : inFlight_) {
-        if (request->conn == conn)
+        if (request->conn == conn && !request->dedup)
             request->cancelled.store(true);
     }
     notifyIfDrained();

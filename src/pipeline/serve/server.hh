@@ -56,6 +56,7 @@
 #include "pipeline/cache/compile_cache.hh"
 #include "pipeline/driver.hh"
 #include "pipeline/serve/proto.hh"
+#include "pipeline/serve/stream.hh"
 #include "support/metrics.hh"
 #include "support/socket.hh"
 
@@ -93,6 +94,37 @@ struct ServeConfig
     bool allowDebugSleep = false;
 
     /**
+     * Mid-frame read deadline per connection in milliseconds (0 =
+     * none). Idle connections wait forever; a peer that starts a
+     * frame and stalls -- slow-loris -- is disconnected after this
+     * budget. Must comfortably exceed any chaos stall in tests.
+     */
+    double readTimeoutMs = 5000.0;
+
+    /**
+     * Hung-compile watchdog in milliseconds (0 = off). An in-flight
+     * request still unanswered this long after dequeue is answered
+     * with a classified FailureKind::Timeout result; the worker's
+     * eventual completion is suppressed. The worker thread itself is
+     * never killed (that is not safe), so a truly wedged compile
+     * still occupies its thread -- the watchdog unwedges the
+     * *client*, not the pool.
+     */
+    double watchdogMs = 0.0;
+
+    /** Completed idempotency records kept for retried Submits. */
+    int dedupCapacity = 4096;
+
+    /**
+     * Scrub every tenant cache directory under cacheRoot on start(),
+     * quarantining entries torn by a previous crash.
+     */
+    bool scrubOnStart = true;
+
+    /** Server-side outbound chaos injection (tests/harness only). */
+    ChaosConfig chaos;
+
+    /**
      * Base options of every served compile. scheduler/clustered come
      * from each Submit; cache, cacheSalt and timeBudgetMs are
      * overwritten per request. Clients that want byte-identical
@@ -115,6 +147,12 @@ struct ServeStats
     long cancelledQueued = 0;  ///< cancels that removed a queued request
     long cancelledInFlight = 0; ///< cancels that caught a running one
     long protocolErrors = 0;   ///< malformed frames/messages seen
+    long readTimeouts = 0;     ///< connections cut mid-frame (slow peer)
+    long watchdogFired = 0;    ///< hung compiles answered as Timeout
+    long dedupReplayed = 0;    ///< retried Submits served stored bytes
+    long dedupJoined = 0;      ///< retried Submits joined in-flight work
+    long dedupMismatch = 0;    ///< retry-key reuse with different payload
+    long quarantined = 0;      ///< cache files quarantined at startup
 };
 
 /** The compile server. One instance per socket. */
@@ -164,20 +202,52 @@ class CamsServer
         SocketFd fd;
         std::mutex writeMutex;
         std::string tenant;
+        ServeStream stream;
         std::atomic<bool> alive{true};
     };
+
+    /**
+     * Idempotency record of one retry-keyed request. Created at
+     * admission, completed by whichever of worker and watchdog
+     * answers first, and kept (bounded LRU) so late retries replay
+     * the exact stored bytes. Guarded by dedupMutex_.
+     */
+    struct DedupEntry
+    {
+        uint64_t payloadHash = 0;
+        bool done = false;
+        bool fromCache = false;
+        bool hintUsed = false;
+        double queueMs = 0.0;
+        double compileMs = 0.0;
+        std::string resultBytes;
+        /** Retried connections waiting on the in-flight compile. */
+        std::vector<std::pair<std::weak_ptr<Conn>, uint64_t>> waiters;
+    };
+
+    using DedupKey = std::pair<std::string, uint64_t>;
 
     struct Request
     {
         std::shared_ptr<Conn> conn;
         SubmitMsg msg;
+        std::string tenant;
         int64_t arrivalMicros = 0;
+        /** Dequeue time; set/read under queueMutex_ (watchdog). */
+        int64_t startedMicros = 0;
+        /** Non-null iff msg.retryKey != 0. */
+        std::shared_ptr<DedupEntry> dedup;
         std::atomic<bool> cancelled{false};
+        /** A terminal answer went out (worker or watchdog). */
+        std::atomic<bool> answered{false};
+        /** The watchdog gave up on this request's worker. */
+        std::atomic<bool> abandoned{false};
     };
 
     void acceptLoop();
     void connectionLoop(std::shared_ptr<Conn> conn);
     void workerLoop();
+    void watchdogLoop();
     void process(const std::shared_ptr<Request> &request);
     void dropConnection(const std::shared_ptr<Conn> &conn);
 
@@ -187,6 +257,30 @@ class CamsServer
     bool handleSubmit(const std::shared_ptr<Conn> &conn,
                       const SubmitMsg &msg);
     void handleCancel(const std::shared_ptr<Conn> &conn, uint64_t id);
+
+    /** Terminal delivery to the primary connection and all dedup
+     *  waiters, at most once per request. */
+    void deliverResult(const std::shared_ptr<Request> &request,
+                       const CompileResult &result, double queueMs,
+                       double compileMs);
+    void deliverEncoded(const std::shared_ptr<Request> &request,
+                        bool fromCache, bool hintUsed, double queueMs,
+                        double compileMs,
+                        const std::string &resultBytes);
+    void deliverCancelled(const std::shared_ptr<Request> &request,
+                          bool wasQueued);
+    void deliverError(const std::shared_ptr<Request> &request,
+                      const std::string &message);
+
+    /** Drops this request's dedup entry (not done) and returns the
+     *  waiters that must still be answered. Takes dedupMutex_. */
+    std::vector<std::pair<std::shared_ptr<Conn>, uint64_t>>
+    abandonDedup(const std::shared_ptr<Request> &request);
+
+    void evictDedupLocked();
+
+    /** Scrubs every tenant directory under cacheRoot (startup). */
+    void scrubTenantCaches();
 
     /** Lazily opened per-tenant cache; null when caching is off. */
     CompileCache *tenantCache(const std::string &tenant);
@@ -211,6 +305,16 @@ class CamsServer
     std::vector<std::shared_ptr<Conn>> conns_;
     int activeReaders_ = 0;
     std::condition_variable readersDone_;
+    uint64_t connSeq_ = 0; ///< accept thread only (chaos seeding)
+
+    /** After queueMutex_ in lock order; before conn.writeMutex. */
+    std::mutex dedupMutex_;
+    std::map<DedupKey, std::shared_ptr<DedupEntry>> dedup_;
+    std::deque<std::pair<DedupKey, std::shared_ptr<DedupEntry>>>
+        dedupDone_;
+
+    std::thread watchdogThread_;
+    std::atomic<bool> watchdogStop_{false};
 
     mutable std::mutex cacheMutex_;
     std::map<std::string, std::unique_ptr<CompileCache>> tenantCaches_;

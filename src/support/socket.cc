@@ -3,9 +3,12 @@
 #include <cerrno>
 #include <cstring>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "support/time.hh"
 
 namespace cams
 {
@@ -84,6 +87,67 @@ recvAll(int fd, void *data, size_t size, std::string &error,
     char *bytes = static_cast<char *>(data);
     size_t got = 0;
     while (got < size) {
+        const ssize_t n = ::recv(fd, bytes + got, size - got, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = errnoString("recv");
+            return false;
+        }
+        if (n == 0) {
+            if (got == 0 && cleanEof) {
+                *cleanEof = true;
+                error = "connection closed";
+            } else {
+                error = "connection closed mid-frame";
+            }
+            return false;
+        }
+        got += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+recvAllDeadline(int fd, void *data, size_t size, double timeoutMs,
+                std::string &error, bool *cleanEof, bool *timedOut)
+{
+    if (timedOut)
+        *timedOut = false;
+    if (timeoutMs <= 0.0)
+        return recvAll(fd, data, size, error, cleanEof);
+    if (cleanEof)
+        *cleanEof = false;
+    char *bytes = static_cast<char *>(data);
+    size_t got = 0;
+    const int64_t end =
+        nowMicros() + static_cast<int64_t>(timeoutMs * 1000.0);
+    while (got < size) {
+        const int64_t leftUs = end - nowMicros();
+        if (leftUs <= 0) {
+            if (timedOut)
+                *timedOut = true;
+            error = "read timed out after " +
+                    std::to_string(static_cast<long>(timeoutMs)) +
+                    " ms with " + std::to_string(size - got) +
+                    " bytes outstanding";
+            return false;
+        }
+        pollfd waiter{};
+        waiter.fd = fd;
+        waiter.events = POLLIN;
+        const int ready = ::poll(
+            &waiter, 1, static_cast<int>(leftUs / 1000) + 1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            error = errnoString("poll");
+            return false;
+        }
+        if (ready == 0)
+            continue; // deadline re-checked at the top of the loop
+        // POLLHUP/POLLERR also fall through to recv(), which then
+        // reports the close or the pending socket error precisely.
         const ssize_t n = ::recv(fd, bytes + got, size - got, 0);
         if (n < 0) {
             if (errno == EINTR)

@@ -74,6 +74,17 @@ bool sendAll(int fd, const void *data, size_t size, std::string &error);
 bool recvAll(int fd, void *data, size_t size, std::string &error,
              bool *cleanEof = nullptr);
 
+/**
+ * recvAll() under a wall-clock deadline: the whole buffer must
+ * arrive within @p timeoutMs or the call fails with @p timedOut set
+ * (when given). The wait is poll()-based and EINTR-safe, so a peer
+ * that dribbles bytes slower than the budget cannot pin the calling
+ * thread. @p timeoutMs <= 0 degrades to plain recvAll().
+ */
+bool recvAllDeadline(int fd, void *data, size_t size, double timeoutMs,
+                     std::string &error, bool *cleanEof = nullptr,
+                     bool *timedOut = nullptr);
+
 /** Writes one length-prefixed frame. */
 bool writeFrame(int fd, const std::string &payload, std::string &error);
 

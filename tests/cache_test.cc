@@ -444,6 +444,208 @@ TEST(CompileCacheTest, HintsPersistAcrossReopen)
     EXPECT_EQ(hint.rotation, 1);
 }
 
+/** Whole-file read/write helpers for corruption tests. */
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+spill(const fs::path &path, const std::string &bytes, size_t length)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(
+                  std::min(length, bytes.size())));
+}
+
+TEST(CompileCacheTest, ScrubQuarantinesTornEntryAtEveryBoundary)
+{
+    const std::string dir = scratchDir("cache_scrub_torn");
+    const Dfg graph = sampleLoop();
+    const MachineDesc machine = busedGpMachine(2, 2, 1);
+    CompileOptions options;
+    CompileResult cold;
+    {
+        CompileCache cache(dir, CacheMode::ReadWrite);
+        options.cache = &cache;
+        cold = compileClustered(graph, machine, options);
+        ASSERT_TRUE(cold.success);
+    }
+    const CacheKey key = makeCacheKey(graph, machine, options, true);
+    const fs::path entry = fs::path(dir) / key.fileName();
+    const std::string valid = slurp(entry);
+    ASSERT_FALSE(valid.empty());
+
+    // A write torn at *any* byte must be quarantined, never served.
+    for (size_t length = 0; length < valid.size(); ++length) {
+        spill(entry, valid, length);
+        const ScrubReport report = scrubCacheDir(dir);
+        ASSERT_TRUE(report.error.empty()) << report.error;
+        ASSERT_EQ(report.entriesScanned, 1) << "length " << length;
+        ASSERT_EQ(report.quarantined, 1) << "length " << length;
+        ASSERT_FALSE(fs::exists(entry)) << "length " << length;
+        fs::remove_all(fs::path(dir) / "corrupt");
+    }
+
+    // Intact bytes survive the scrub, and the warm lookup after it
+    // serves the same result the cold compile produced.
+    spill(entry, valid, valid.size());
+    const ScrubReport clean = scrubCacheDir(dir);
+    EXPECT_EQ(clean.entriesOk, 1);
+    EXPECT_EQ(clean.quarantined, 0);
+    CompileCache cache(dir, CacheMode::ReadWrite);
+    options.cache = &cache;
+    const CompileResult warm = compileClustered(graph, machine,
+                                                options);
+    EXPECT_TRUE(warm.fromCache);
+    EXPECT_EQ(warm.ii, cold.ii);
+    EXPECT_EQ(warm.copies, cold.copies);
+    EXPECT_EQ(packDfg(warm.loop.graph), packDfg(cold.loop.graph));
+}
+
+TEST(CompileCacheTest, ScrubQuarantinesBitRotAndMisnamedEntries)
+{
+    const std::string dir = scratchDir("cache_scrub_rot");
+    const Dfg graph = sampleLoop();
+    const MachineDesc machine = busedGpMachine(2, 2, 1);
+    CompileOptions options;
+    {
+        CompileCache cache(dir, CacheMode::ReadWrite);
+        options.cache = &cache;
+        ASSERT_TRUE(
+            compileClustered(graph, machine, options).success);
+    }
+    const CacheKey key = makeCacheKey(graph, machine, options, true);
+    const fs::path entry = fs::path(dir) / key.fileName();
+    const std::string valid = slurp(entry);
+
+    // One flipped bit deep in the payload: the checksum catches it.
+    std::string rotten = valid;
+    rotten[rotten.size() - 3] ^= 0x20;
+    spill(entry, rotten, rotten.size());
+    // And valid bytes filed under the wrong name: the stored-hash /
+    // file-name consistency check catches the mismatch.
+    const fs::path foreign = fs::path(dir) / "0123456789abcdef.cce";
+    spill(foreign, valid, valid.size());
+
+    const ScrubReport report = scrubCacheDir(dir);
+    EXPECT_EQ(report.entriesScanned, 2);
+    EXPECT_EQ(report.quarantined, 2);
+    EXPECT_EQ(report.entriesOk, 0);
+    EXPECT_FALSE(fs::exists(entry));
+    EXPECT_FALSE(fs::exists(foreign));
+    // Quarantined, not deleted: the evidence moves to corrupt/.
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "corrupt" /
+                           key.fileName()));
+}
+
+TEST(CompileCacheTest, ScrubRemovesWriterDebrisAndRebuildsIndex)
+{
+    const std::string dir = scratchDir("cache_scrub_tmp");
+    const Dfg graph = sampleLoop();
+    const MachineDesc machine = busedGpMachine(2, 2, 1);
+    CompileOptions options;
+    {
+        CompileCache cache(dir, CacheMode::ReadWrite);
+        options.cache = &cache;
+        ASSERT_TRUE(
+            compileClustered(graph, machine, options).success);
+    }
+    // Debris of a writer killed between open and rename, plus a
+    // corrupt entry the index would otherwise have trusted.
+    spill(fs::path(dir) / ".tmp-12345-deadbeef", "partial", 7);
+    spill(fs::path(dir) / "00000000000000ff.cce", "garbage", 7);
+
+    CompileCache cache(dir, CacheMode::ReadWrite);
+    EXPECT_EQ(cache.totals().entries, 2); // scan trusted both names
+    const ScrubReport report = cache.scrub();
+    EXPECT_EQ(report.tmpRemoved, 1);
+    EXPECT_EQ(report.quarantined, 1);
+    EXPECT_EQ(report.entriesOk, 1);
+    EXPECT_EQ(cache.totals().entries, 1); // index rebuilt
+    EXPECT_EQ(cache.totals().quarantined, 1);
+    EXPECT_FALSE(fs::exists(fs::path(dir) / ".tmp-12345-deadbeef"));
+
+    const CacheKey key = makeCacheKey(graph, machine, options, true);
+    CompileResult out;
+    EXPECT_TRUE(cache.lookup(key, graph, machine, out));
+
+    // And a scrub of a directory that is not there reports an error
+    // instead of inventing an empty one.
+    const ScrubReport missing =
+        scrubCacheDir(dir + "/does-not-exist");
+    EXPECT_FALSE(missing.error.empty());
+}
+
+TEST(CompileCacheTest, ScrubRepairsTornHintLogAtEveryBoundary)
+{
+    const std::string dir = scratchDir("cache_scrub_hints");
+    std::vector<CacheKey> keys;
+    {
+        CompileCache cache(dir, CacheMode::ReadWrite);
+        for (int i = 0; i < 3; ++i) {
+            CacheKey key;
+            key.loopHash = 100 + i;
+            key.machineHash = 7;
+            key.optionsHash = 9;
+            key.hintSalt = static_cast<uint64_t>(i);
+            keys.push_back(key);
+            WarmStartHint hint;
+            hint.ii = 4 + i;
+            hint.mii = 3;
+            hint.rotation = i;
+            cache.storeHint(key, hint);
+        }
+    }
+    const fs::path hintPath = fs::path(dir) / "hints.log";
+    const std::string valid = slurp(hintPath);
+    ASSERT_FALSE(valid.empty());
+    ASSERT_EQ(valid.back(), '\n');
+    std::vector<size_t> newlines;
+    for (size_t i = 0; i < valid.size(); ++i)
+        if (valid[i] == '\n')
+            newlines.push_back(i);
+    ASSERT_EQ(newlines.size(), 3u);
+
+    for (size_t length = 0; length < valid.size(); ++length) {
+        spill(hintPath, valid, length);
+        const ScrubReport report = scrubCacheDir(dir);
+        ASSERT_TRUE(report.error.empty()) << report.error;
+        long fullLines = 0;
+        for (const size_t pos : newlines)
+            fullLines += pos < length ? 1 : 0;
+        const bool tornTail =
+            length > 0 && valid[length - 1] != '\n';
+        ASSERT_EQ(report.hintLinesKept, fullLines)
+            << "length " << length;
+        ASSERT_EQ(report.hintLinesDropped, tornTail ? 1 : 0)
+            << "length " << length;
+        ASSERT_EQ(report.hintLogRepaired, tornTail)
+            << "length " << length;
+        if (tornTail) {
+            // The rewritten log is clean: scrubbing again drops
+            // nothing and keeps the same lines.
+            const ScrubReport again = scrubCacheDir(dir);
+            ASSERT_EQ(again.hintLinesKept, fullLines);
+            ASSERT_EQ(again.hintLinesDropped, 0);
+        }
+        fs::remove_all(fs::path(dir) / "corrupt");
+    }
+
+    // With the intact log back, every stored hint is served.
+    spill(hintPath, valid, valid.size());
+    CompileCache cache(dir, CacheMode::ReadWrite);
+    for (size_t i = 0; i < keys.size(); ++i) {
+        WarmStartHint hint;
+        ASSERT_TRUE(cache.hint(keys[i], hint)) << "key " << i;
+        EXPECT_EQ(hint.ii, 4 + static_cast<int>(i));
+    }
+}
+
 TEST(CompileCacheTest, ModeParsing)
 {
     CacheMode mode = CacheMode::Off;

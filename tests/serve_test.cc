@@ -17,9 +17,13 @@
 
 #include <unistd.h>
 
+#include <cstring>
+
 #include "machine/configs.hh"
+#include "pipeline/cache/hash.hh"
 #include "pipeline/cache/serialize.hh"
 #include "pipeline/serve/client.hh"
+#include "pipeline/serve/retry_client.hh"
 #include "pipeline/serve/server.hh"
 #include "workload/suite.hh"
 
@@ -496,21 +500,23 @@ TEST_F(ServeTest, MalformedFrameGetsErrorAndClose)
     std::string error;
     SocketFd fd = connectUnix(config.socketPath, error);
     ASSERT_TRUE(fd.valid()) << error;
-    ASSERT_TRUE(writeFrame(fd.fd(), "garbage that is no message",
-                           error))
+    ServeStream stream;
+    ASSERT_TRUE(stream.writeFrame(fd.fd(),
+                                  "garbage that is no message",
+                                  error))
         << error;
 
     std::string payload;
-    ASSERT_TRUE(readFrame(fd.fd(), payload, serveMaxFrameBytes,
-                          error))
+    ASSERT_TRUE(stream.readFrame(fd.fd(), payload, serveMaxFrameBytes,
+                                 0.0, error))
         << error;
     ServerMsg msg;
     ASSERT_TRUE(decodeServerMsg(payload, msg));
     EXPECT_EQ(msg.type, ServeMsgType::Error);
 
     // The server closes after a protocol error.
-    EXPECT_FALSE(readFrame(fd.fd(), payload, serveMaxFrameBytes,
-                           error));
+    EXPECT_FALSE(stream.readFrame(fd.fd(), payload,
+                                  serveMaxFrameBytes, 0.0, error));
     // Stats are eventually consistent with connection teardown.
     for (int i = 0; i < 50 && server->stats().protocolErrors == 0;
          ++i) {
@@ -532,12 +538,13 @@ TEST_F(ServeTest, VersionMismatchIsRefused)
     HelloMsg hello;
     hello.version = serveProtoVersion + 7;
     hello.tenant = "t";
-    ASSERT_TRUE(writeFrame(fd.fd(), encodeHello(hello), error))
+    ServeStream stream;
+    ASSERT_TRUE(stream.writeFrame(fd.fd(), encodeHello(hello), error))
         << error;
 
     std::string payload;
-    ASSERT_TRUE(readFrame(fd.fd(), payload, serveMaxFrameBytes,
-                          error))
+    ASSERT_TRUE(stream.readFrame(fd.fd(), payload, serveMaxFrameBytes,
+                                 0.0, error))
         << error;
     ServerMsg msg;
     ASSERT_TRUE(decodeServerMsg(payload, msg));
@@ -598,6 +605,335 @@ TEST(ServeProto, TrailingBytesAreRejected)
     const std::string payload = encodeCancel(7) + "x";
     ClientMsg decoded;
     EXPECT_FALSE(decodeClientMsg(payload, decoded));
+}
+
+/** Raw handshake over an explicit stream (for wire-level tests). */
+bool
+rawHandshake(int fd, ServeStream &stream, std::string &error)
+{
+    HelloMsg hello;
+    hello.tenant = "t";
+    if (!stream.writeFrame(fd, encodeHello(hello), error))
+        return false;
+    std::string payload;
+    if (!stream.readFrame(fd, payload, serveMaxFrameBytes, 0.0,
+                          error))
+        return false;
+    ServerMsg msg;
+    return decodeServerMsg(payload, msg) &&
+           msg.type == ServeMsgType::HelloAck;
+}
+
+TEST_F(ServeTest, CorruptedFrameIsDetectedAndRefused)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("bitflip");
+    startServer(config);
+
+    std::string error;
+    SocketFd fd = connectUnix(config.socketPath, error);
+    ASSERT_TRUE(fd.valid()) << error;
+    ServeStream stream;
+    ASSERT_TRUE(rawHandshake(fd.fd(), stream, error)) << error;
+
+    // A frame whose checksum does not match its payload -- one
+    // flipped bit on the wire -- must be refused, never decoded.
+    const std::string payload = encodePing(1);
+    const uint32_t length = static_cast<uint32_t>(payload.size());
+    const uint64_t badSum = hashBytes(payload) ^ 1;
+    std::string wire(serveFrameOverhead, '\0');
+    std::memcpy(&wire[0], &length, sizeof(length));
+    std::memcpy(&wire[4], &badSum, sizeof(badSum));
+    wire += payload;
+    ASSERT_TRUE(sendAll(fd.fd(), wire.data(), wire.size(), error))
+        << error;
+
+    std::string response;
+    ASSERT_TRUE(stream.readFrame(fd.fd(), response,
+                                 serveMaxFrameBytes, 0.0, error))
+        << error;
+    ServerMsg msg;
+    ASSERT_TRUE(decodeServerMsg(response, msg));
+    EXPECT_EQ(msg.type, ServeMsgType::Error);
+    EXPECT_NE(msg.message.find("checksum"), std::string::npos)
+        << msg.message;
+
+    // The connection is closed: framing may be desynchronized.
+    EXPECT_FALSE(stream.readFrame(fd.fd(), response,
+                                  serveMaxFrameBytes, 0.0, error));
+    server->stop();
+}
+
+TEST_F(ServeTest, SlowLorisPeerIsCutByReadTimeout)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("loris");
+    config.readTimeoutMs = 100.0;
+    startServer(config);
+
+    std::string error;
+    SocketFd fd = connectUnix(config.socketPath, error);
+    ASSERT_TRUE(fd.valid()) << error;
+    ServeStream stream;
+    ASSERT_TRUE(rawHandshake(fd.fd(), stream, error)) << error;
+
+    // Start a frame and stall: the mid-frame deadline must cut the
+    // connection instead of wedging the reader thread forever.
+    const char dribble[3] = {0x10, 0x00, 0x00};
+    ASSERT_TRUE(sendAll(fd.fd(), dribble, sizeof(dribble), error))
+        << error;
+
+    std::string response;
+    ASSERT_TRUE(stream.readFrame(fd.fd(), response,
+                                 serveMaxFrameBytes, 0.0, error))
+        << error;
+    ServerMsg msg;
+    ASSERT_TRUE(decodeServerMsg(response, msg));
+    EXPECT_EQ(msg.type, ServeMsgType::Error);
+    EXPECT_NE(msg.message.find("timed out"), std::string::npos)
+        << msg.message;
+    EXPECT_FALSE(stream.readFrame(fd.fd(), response,
+                                  serveMaxFrameBytes, 0.0, error));
+    for (int i = 0; i < 50 && server->stats().readTimeouts == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(server->stats().readTimeouts, 1);
+    server->stop();
+}
+
+TEST_F(ServeTest, RetriedSubmitReplaysIdenticalBytes)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("dedup");
+    startServer(config);
+
+    SubmitMsg msg = makeSubmit(1, 0);
+    msg.retryKey = 0xFEEDFACE;
+
+    std::string error;
+    std::string firstBytes;
+    {
+        ServeClient client;
+        ASSERT_TRUE(client.connect(config.socketPath, "t", error))
+            << error;
+        ASSERT_TRUE(client.submit(msg, error)) << error;
+        auto outcomes = collect(client, {1});
+        ASSERT_EQ(outcomes[1].type, ServeMsgType::Result);
+        firstBytes = outcomes[1].msg.resultBytes;
+    }
+
+    // The "crashed" client reconnects and resubmits the same key:
+    // the stored bytes come back verbatim, with no second compile.
+    ServeClient retry;
+    ASSERT_TRUE(retry.connect(config.socketPath, "t", error))
+        << error;
+    msg.id = 9; // a fresh connection may renumber requests
+    ASSERT_TRUE(retry.submit(msg, error)) << error;
+    auto outcomes = collect(retry, {9});
+    ASSERT_EQ(outcomes[9].type, ServeMsgType::Result);
+    EXPECT_EQ(outcomes[9].msg.resultBytes, firstBytes);
+
+    const ServeStats stats = server->stats();
+    EXPECT_EQ(stats.compiled, 1);
+    EXPECT_EQ(stats.dedupReplayed, 1);
+    server->stop();
+}
+
+TEST_F(ServeTest, RetryJoinsInFlightCompile)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("dedupjoin");
+    config.allowDebugSleep = true;
+    startServer(config);
+
+    SubmitMsg msg = makeSubmit(1, 0);
+    msg.retryKey = 0xBEEF;
+    msg.debugSleepMs = 300.0;
+
+    std::string error;
+    ServeClient first;
+    ASSERT_TRUE(first.connect(config.socketPath, "t", error))
+        << error;
+    ASSERT_TRUE(first.submit(msg, error)) << error;
+
+    // Wait until the request is actually running, then "retry" it
+    // from a second connection while the first is still waiting.
+    for (int i = 0; i < 100 && server->stats().accepted == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    ServeClient second;
+    ASSERT_TRUE(second.connect(config.socketPath, "t", error))
+        << error;
+    SubmitMsg retry = msg;
+    retry.id = 2;
+    ASSERT_TRUE(second.submit(retry, error)) << error;
+
+    auto firstOutcome = collect(first, {1});
+    auto secondOutcome = collect(second, {2});
+    ASSERT_EQ(firstOutcome[1].type, ServeMsgType::Result);
+    ASSERT_EQ(secondOutcome[2].type, ServeMsgType::Result);
+    EXPECT_EQ(firstOutcome[1].msg.resultBytes,
+              secondOutcome[2].msg.resultBytes);
+
+    const ServeStats stats = server->stats();
+    EXPECT_EQ(stats.compiled, 1);
+    EXPECT_EQ(stats.dedupJoined, 1);
+    server->stop();
+}
+
+TEST_F(ServeTest, KeyedWorkSurvivesClientDisconnect)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("orphan");
+    config.allowDebugSleep = true;
+    startServer(config);
+
+    SubmitMsg msg = makeSubmit(1, 0);
+    msg.retryKey = 0xD15C;
+    msg.debugSleepMs = 200.0;
+
+    std::string error;
+    {
+        ServeClient doomed;
+        ASSERT_TRUE(doomed.connect(config.socketPath, "t", error))
+            << error;
+        ASSERT_TRUE(doomed.submit(msg, error)) << error;
+        for (int i = 0; i < 100 && server->stats().accepted == 0;
+             ++i)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        // The client dies mid-compile. Keyed work must finish into
+        // the dedup table instead of being cancelled.
+    }
+
+    ServeClient back;
+    ASSERT_TRUE(back.connect(config.socketPath, "t", error))
+        << error;
+    SubmitMsg retry = msg;
+    retry.id = 5;
+    ASSERT_TRUE(back.submit(retry, error)) << error;
+    auto outcomes = collect(back, {5});
+    ASSERT_EQ(outcomes[5].type, ServeMsgType::Result);
+
+    const ServeStats stats = server->stats();
+    EXPECT_EQ(stats.compiled, 1);
+    EXPECT_EQ(stats.dedupReplayed + stats.dedupJoined, 1);
+    server->stop();
+}
+
+TEST_F(ServeTest, WatchdogAnswersHungCompile)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("watchdog");
+    config.allowDebugSleep = true;
+    config.watchdogMs = 100.0;
+    startServer(config);
+
+    SubmitMsg msg = makeSubmit(1, 0);
+    msg.debugSleepMs = 10000.0; // "hung" far beyond the watchdog
+
+    std::string error;
+    ServeClient client;
+    ASSERT_TRUE(client.connect(config.socketPath, "t", error))
+        << error;
+    ASSERT_TRUE(client.submit(msg, error)) << error;
+    auto outcomes = collect(client, {1});
+    ASSERT_EQ(outcomes[1].type, ServeMsgType::Result);
+
+    CompileResult served;
+    ByteReader reader(outcomes[1].msg.resultBytes);
+    ASSERT_TRUE(readCompileResult(reader, served));
+    EXPECT_EQ(served.failure, FailureKind::Timeout);
+    EXPECT_NE(served.failureDetail.find("watchdog"),
+              std::string::npos)
+        << served.failureDetail;
+    EXPECT_EQ(server->stats().watchdogFired, 1);
+    server->stop();
+}
+
+TEST_F(ServeTest, CamsClientReconnectsAcrossServerRestart)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("restart");
+
+    auto serverA = std::make_unique<CamsServer>(config);
+    std::string error;
+    ASSERT_TRUE(serverA->start(error)) << error;
+
+    CamsClient client;
+    CamsClientConfig clientConfig;
+    clientConfig.socketPath = config.socketPath;
+    clientConfig.tenant = "t";
+    clientConfig.retry.initialBackoffMs = 5.0;
+    ASSERT_TRUE(client.start(clientConfig, error)) << error;
+
+    ServerMsg out;
+    SubmitMsg first = makeSubmit(1, 0);
+    ASSERT_TRUE(client.compile(first, out, error)) << error;
+    ASSERT_EQ(out.type, ServeMsgType::Result);
+    const std::string bytesA = out.resultBytes;
+
+    // Take the server down and bring a fresh one up on the same
+    // socket; the client must ride the outage transparently.
+    serverA->stop();
+    serverA.reset();
+    std::thread restarter([&] {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(200));
+        server = std::make_unique<CamsServer>(config);
+        std::string startError;
+        ASSERT_TRUE(server->start(startError)) << startError;
+    });
+
+    SubmitMsg second = makeSubmit(2, 0);
+    ASSERT_TRUE(client.compile(second, out, error)) << error;
+    restarter.join();
+    ASSERT_EQ(out.type, ServeMsgType::Result);
+    EXPECT_EQ(out.resultBytes.size(), bytesA.size());
+    EXPECT_GE(client.stats().reconnects, 1);
+    client.close();
+    server->stop();
+}
+
+TEST_F(ServeTest, ChaosCompilesStayByteIdentical)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("chaos");
+    config.readTimeoutMs = 300.0;
+    config.chaos = ChaosConfig::uniform(0.05, 7);
+    config.chaos.stallMs = 20.0;
+    startServer(config);
+
+    CamsClient client;
+    CamsClientConfig clientConfig;
+    clientConfig.socketPath = config.socketPath;
+    clientConfig.tenant = "t";
+    clientConfig.retry.initialBackoffMs = 2.0;
+    clientConfig.retry.readTimeoutMs = 500.0;
+    clientConfig.retry.retryOnShed = true;
+    clientConfig.chaos = ChaosConfig::uniform(0.05, 9);
+    clientConfig.chaos.stallMs = 20.0;
+    std::string error;
+    ASSERT_TRUE(client.start(clientConfig, error)) << error;
+
+    CompileOptions options;
+    options.timeBudgetMs = config.compileBudgetMs;
+    for (uint64_t id = 1; id <= 24; ++id) {
+        SubmitMsg msg = makeSubmit(id, int(id % suite.size()));
+        ServerMsg out;
+        ASSERT_TRUE(client.compile(msg, out, error))
+            << "id " << id << ": " << error;
+        ASSERT_EQ(out.type, ServeMsgType::Result) << "id " << id;
+        CompileResult served;
+        ByteReader reader(out.resultBytes);
+        ASSERT_TRUE(readCompileResult(reader, served));
+        const CompileResult local = compileClustered(
+            suite[id % suite.size()], machine, options);
+        EXPECT_EQ(canonicalBytes(served), canonicalBytes(local))
+            << "id " << id;
+    }
+    client.close();
+    server->stop();
 }
 
 } // namespace

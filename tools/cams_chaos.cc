@@ -1,0 +1,398 @@
+/**
+ * @file
+ * cams_chaos -- the kill -9 chaos harness for camsd.
+ *
+ * Orchestrates the full crash-recovery story end to end: it launches
+ * a camsd with fault injection armed, drives it with a cams_load
+ * burst (whose resilient clients carry idempotent retry keys and
+ * their own client-side chaos), then SIGKILLs the daemon at seeded
+ * points mid-burst and restarts it -- several times. Every restart
+ * runs camsd's startup scrub, so entries torn by the kill are
+ * quarantined before the cache serves again.
+ *
+ * The run passes only when
+ *   - cams_load exits 0: every request reached exactly one terminal,
+ *     no protocol errors, no served-result disagreements, and (via
+ *     --check-direct) every served image byte-identical to a local
+ *     compile -- through every kill;
+ *   - the final, gracefully-SIGTERMed camsd exits 0;
+ *   - a last offline scrub of the tenant caches finds nothing left
+ *     to quarantine: torn writes never outlive the restart that
+ *     follows them.
+ *
+ * Usage:
+ *   cams_chaos --camsd PATH --cams-load PATH [--dir DIR]
+ *              [--kills N] [--chaos P] [--seed S]
+ *              [--rate R] [--duration S] [--corpus N]
+ *              [--connections C] [--jobs N] [--out FILE]
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "pipeline/cache/compile_cache.hh"
+#include "support/random.hh"
+#include "support/socket.hh"
+#include "support/str.hh"
+
+namespace
+{
+
+using namespace cams;
+namespace fs = std::filesystem;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: cams_chaos --camsd PATH --cams-load PATH "
+           "[options]\n"
+           "  --dir DIR        working directory for socket + cache "
+           "(default ./chaos-run)\n"
+           "  --kills N        SIGKILL/restart cycles mid-burst "
+           "(default 3)\n"
+           "  --chaos P        fault-injection probability, both "
+           "sides (default 0.02)\n"
+           "  --seed S         master seed for kill times and chaos "
+           "coins (default 1)\n"
+           "  --rate R         offered load in req/s (default 150)\n"
+           "  --duration S     load length in seconds (default 12)\n"
+           "  --corpus N       distinct loops (default 60)\n"
+           "  --connections C  client connections (default 4)\n"
+           "  --jobs N         camsd worker threads (default 4)\n"
+           "  --out FILE       report JSON (default "
+           "BENCH_chaos.json)\n";
+    return 2;
+}
+
+/** fork/exec one child; -1 on fork failure, else its pid. */
+pid_t
+spawn(const std::vector<std::string> &argvStrings)
+{
+    std::vector<char *> argvPtrs;
+    argvPtrs.reserve(argvStrings.size() + 1);
+    for (const std::string &arg : argvStrings)
+        argvPtrs.push_back(const_cast<char *>(arg.c_str()));
+    argvPtrs.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::execv(argvPtrs[0], argvPtrs.data());
+        std::cerr << "cams_chaos: cannot exec " << argvStrings[0]
+                  << ": " << std::strerror(errno) << "\n";
+        ::_exit(127);
+    }
+    return pid;
+}
+
+/** Blocks until the daemon accepts connections; false on timeout. */
+bool
+waitListening(const std::string &socketPath, double timeoutS)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(
+            static_cast<long>(timeoutS * 1000.0));
+    while (std::chrono::steady_clock::now() < deadline) {
+        std::string error;
+        SocketFd fd = connectUnix(socketPath, error);
+        if (fd.valid())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+}
+
+/** waitpid wrapper: exit status, or 128+signal, or -1. */
+int
+reapChild(pid_t pid)
+{
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0) {
+        if (errno != EINTR)
+            return -1;
+    }
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    if (WIFSIGNALED(status))
+        return 128 + WTERMSIG(status);
+    return -1;
+}
+
+/** True while the child has not exited; reaps it when it has. */
+bool
+stillRunning(pid_t pid, int &exitCode)
+{
+    int status = 0;
+    const pid_t done = ::waitpid(pid, &status, WNOHANG);
+    if (done == 0)
+        return true;
+    if (done == pid) {
+        exitCode = WIFEXITED(status) ? WEXITSTATUS(status)
+                   : WIFSIGNALED(status)
+                       ? 128 + WTERMSIG(status)
+                       : -1;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string camsd_path;
+    std::string load_path;
+    std::string dir = "chaos-run";
+    std::string out_path = "BENCH_chaos.json";
+    int kills = 3;
+    double chaos_p = 0.02;
+    uint64_t seed = 1;
+    double rate = 150.0;
+    double duration_s = 12.0;
+    int corpus_size = 60;
+    int connections = 4;
+    int jobs = 4;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--camsd") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            camsd_path = value;
+        } else if (arg == "--cams-load") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            load_path = value;
+        } else if (arg == "--dir") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            dir = value;
+        } else if (arg == "--kills") {
+            const char *value = next();
+            if (!value || std::atoi(value) < 0)
+                return usage();
+            kills = std::atoi(value);
+        } else if (arg == "--chaos") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            chaos_p = std::atof(value);
+        } else if (arg == "--seed") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            seed = std::strtoull(value, nullptr, 10);
+        } else if (arg == "--rate") {
+            const char *value = next();
+            if (!value || std::atof(value) <= 0.0)
+                return usage();
+            rate = std::atof(value);
+        } else if (arg == "--duration") {
+            const char *value = next();
+            if (!value || std::atof(value) <= 0.0)
+                return usage();
+            duration_s = std::atof(value);
+        } else if (arg == "--corpus") {
+            const char *value = next();
+            if (!value || std::atoi(value) <= 0)
+                return usage();
+            corpus_size = std::atoi(value);
+        } else if (arg == "--connections") {
+            const char *value = next();
+            if (!value || std::atoi(value) <= 0)
+                return usage();
+            connections = std::atoi(value);
+        } else if (arg == "--jobs") {
+            const char *value = next();
+            if (!value || std::atoi(value) <= 0)
+                return usage();
+            jobs = std::atoi(value);
+        } else if (arg == "--out") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            out_path = value;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            return usage();
+        }
+    }
+    if (camsd_path.empty() || load_path.empty())
+        return usage();
+
+    // The daemons we SIGKILL die mid-write into our pipes too.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        std::cerr << "cams_chaos: cannot create " << dir << ": "
+                  << ec.message() << "\n";
+        return 2;
+    }
+    const std::string socket_path = dir + "/camsd.sock";
+    const std::string cache_root = dir + "/cache";
+    const std::string load_out = dir + "/BENCH_serve_chaos.json";
+    fs::remove(socket_path, ec);
+
+    const std::vector<std::string> camsd_argv = {
+        camsd_path,
+        "--socket", socket_path,
+        "--jobs", std::to_string(jobs),
+        "--cache-dir", cache_root,
+        "--chaos", formatFixed(chaos_p, 4),
+        "--chaos-seed", std::to_string(seed),
+        "--watchdog-ms", "auto",
+    };
+    const std::vector<std::string> load_argv = {
+        load_path,
+        "--socket", socket_path,
+        "--tenant", "chaos",
+        "--rate", formatFixed(rate, 1),
+        "--duration", formatFixed(duration_s, 1),
+        "--corpus", std::to_string(corpus_size),
+        "--connections", std::to_string(connections),
+        "--chaos", formatFixed(chaos_p, 4),
+        "--chaos-seed", std::to_string(seed + 1000),
+        "--retry-shed",
+        "--check-direct",
+        "--wait-server-s", "30",
+        "--out", load_out,
+    };
+
+    pid_t daemon = spawn(camsd_argv);
+    if (daemon < 0 || !waitListening(socket_path, 10.0)) {
+        std::cerr << "cams_chaos: camsd never started listening\n";
+        return 2;
+    }
+
+    pid_t load = spawn(load_argv);
+    if (load < 0) {
+        std::cerr << "cams_chaos: cannot start cams_load\n";
+        ::kill(daemon, SIGKILL);
+        reapChild(daemon);
+        return 2;
+    }
+
+    // Seeded kill schedule: N SIGKILLs spread across the middle of
+    // the burst, each jittered so no kill lands on a quiet phase
+    // boundary, with an immediate restart. The clients must ride
+    // every one of them.
+    Rng rng(seed);
+    const auto t0 = std::chrono::steady_clock::now();
+    int restarts = 0;
+    int load_exit = -1;
+    bool load_done = false;
+    for (int k = 0; k < kills; ++k) {
+        const double slot_s = duration_s / (kills + 1);
+        const double at_s =
+            slot_s * (k + 1) + slot_s * 0.5 * rng.uniformReal();
+        std::this_thread::sleep_until(
+            t0 + std::chrono::milliseconds(
+                     static_cast<long>(at_s * 1000.0)));
+        if (!stillRunning(load, load_exit)) {
+            load_done = true;
+            break;
+        }
+        std::cout << "cams_chaos: kill -9 camsd at "
+                  << formatFixed(at_s, 2) << " s" << std::endl;
+        ::kill(daemon, SIGKILL);
+        reapChild(daemon);
+        fs::remove(socket_path, ec);
+        daemon = spawn(camsd_argv);
+        if (daemon < 0 || !waitListening(socket_path, 10.0)) {
+            std::cerr
+                << "cams_chaos: camsd never came back after kill "
+                << (k + 1) << "\n";
+            ::kill(load, SIGKILL);
+            reapChild(load);
+            return 2;
+        }
+        ++restarts;
+    }
+
+    if (!load_done)
+        load_exit = reapChild(load);
+
+    // Graceful end: SIGTERM drains the final daemon; it owes a clean
+    // exit with every accepted request answered.
+    ::kill(daemon, SIGTERM);
+    const int camsd_exit = reapChild(daemon);
+
+    // Offline scrub over every tenant directory: the kills may have
+    // torn writes, but each restart's startup scrub must already
+    // have quarantined them. Nothing may be left for us.
+    ScrubReport scrub;
+    fs::directory_iterator tenants(cache_root, ec);
+    if (!ec) {
+        for (const auto &entry : tenants) {
+            if (!entry.is_directory(ec) || ec ||
+                entry.path().filename() == "corrupt")
+                continue;
+            const ScrubReport report =
+                scrubCacheDir(entry.path().string());
+            if (!report.error.empty()) {
+                std::cerr << "cams_chaos: scrub failed: "
+                          << report.error << "\n";
+                return 2;
+            }
+            scrub.entriesScanned += report.entriesScanned;
+            scrub.entriesOk += report.entriesOk;
+            scrub.quarantined += report.quarantined;
+            scrub.tmpRemoved += report.tmpRemoved;
+        }
+    }
+
+    const bool ok = load_exit == 0 && camsd_exit == 0 &&
+                    restarts == kills && scrub.quarantined == 0 &&
+                    scrub.tmpRemoved == 0;
+
+    std::ostringstream json;
+    json << "{\"bench\":\"cams_chaos\","
+         << "\"seed\":" << seed << ","
+         << "\"chaos\":" << formatFixed(chaos_p, 4) << ","
+         << "\"kills\":" << kills << ","
+         << "\"restarts\":" << restarts << ","
+         << "\"load_exit\":" << load_exit << ","
+         << "\"camsd_final_exit\":" << camsd_exit << ","
+         << "\"scrub\":{\"entries_scanned\":" << scrub.entriesScanned
+         << ",\"entries_ok\":" << scrub.entriesOk
+         << ",\"quarantined\":" << scrub.quarantined
+         << ",\"tmp_removed\":" << scrub.tmpRemoved << "},"
+         << "\"load_report\":\"" << load_out << "\","
+         << "\"ok\":" << (ok ? "true" : "false") << "}";
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "cams_chaos: cannot write " << out_path << "\n";
+        return 2;
+    }
+    out << json.str() << "\n";
+
+    std::cout << "cams_chaos: " << restarts << "/" << kills
+              << " kill/restart cycles, load exit " << load_exit
+              << ", final camsd exit " << camsd_exit << ", scrub "
+              << scrub.entriesOk << "/" << scrub.entriesScanned
+              << " ok with " << scrub.quarantined
+              << " quarantined -- " << (ok ? "PASS" : "FAIL") << " ("
+              << out_path << " written)" << std::endl;
+    return ok ? 0 : 1;
+}

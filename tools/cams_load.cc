@@ -16,18 +16,28 @@
  * afterwards and byte-compares writeCompileResult images against the
  * served ones, proving served == local.
  *
+ * Each connection is a resilient CamsClient: requests carry idempotent
+ * retry keys, connection loss triggers reconnect-and-resubmit, and
+ * per-phase retry/reconnect/duplicate-suppressed counts land in the
+ * report. With --chaos the client's own socket layer injects seeded
+ * faults (the server side is armed via camsd --chaos), which is how
+ * the chaos harness proves results stay byte-identical through torn
+ * wires and daemon kills.
+ *
  * Usage:
  *   cams_load --socket PATH [--rate R] [--duration S]
  *             [--burst-rate R2] [--burst-duration S2]
  *             [--connections C] [--corpus N] [--seed S]
  *             [--machine FILE] [--tenant NAME] [--deadline-ms D]
  *             [--check-direct] [--out FILE]
+ *             [--chaos P] [--chaos-seed N] [--retry-shed]
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -41,7 +51,7 @@
 #include "machine/configs.hh"
 #include "machine/machinetext.hh"
 #include "pipeline/cache/serialize.hh"
-#include "pipeline/serve/client.hh"
+#include "pipeline/serve/retry_client.hh"
 #include "support/metrics.hh"
 #include "support/str.hh"
 #include "support/time.hh"
@@ -83,7 +93,14 @@ usage()
            "  --check-direct      byte-compare served results "
            "against local compiles\n"
            "  --out FILE          output JSON (default "
-           "BENCH_serve.json)\n";
+           "BENCH_serve.json)\n"
+           "  --chaos P           arm client-side fault injection "
+           "with probability P at every site\n"
+           "  --chaos-seed N      chaos coin-flip seed (default 1)\n"
+           "  --retry-shed        resubmit shed requests after the "
+           "server's retry-after hint (off: Shed is terminal,\n"
+           "                      keeping the overload-phase "
+           "accounting honest)\n";
     return 2;
 }
 
@@ -99,7 +116,7 @@ struct Pending
     bool resultTimeout = false;
 };
 
-/** Shared tally across sender and reader threads. */
+/** Shared tally across sender and client callback threads. */
 struct Collector
 {
     std::mutex mutex;
@@ -110,10 +127,19 @@ struct Collector
     /** First served writeCompileResult image per corpus loop. */
     std::map<int, std::string> servedBytes;
     long servedDisagreements = 0;
+    /** Distinct Error-terminal messages, for the console summary. */
+    std::map<std::string, long> errorMessages;
+    /** Recovery activity, split by the phase of the involved id. */
+    long retries[2] = {0, 0};
+    long shedRetries[2] = {0, 0};
+    long duplicatesSuppressed[2] = {0, 0};
+    long gaveUp[2] = {0, 0};
+    long reconnects = 0;
     MetricsRegistry registry;
 
     void finish(uint64_t id, ServeMsgType outcome,
                 const ServerMsg *msg);
+    void onEvent(uint64_t id, CamsClient::Event event);
 };
 
 const char *phaseNames[2] = {"steady", "burst"};
@@ -176,43 +202,37 @@ Collector::finish(uint64_t id, ServeMsgType outcome,
         } else {
             ++protocolErrors;
         }
+    } else if (outcome == ServeMsgType::Error && msg != nullptr) {
+        ++errorMessages[msg->message];
     }
     ++terminal;
     allDone.notify_all();
 }
 
 void
-readerLoop(ServeClient &client, Collector &collector)
+Collector::onEvent(uint64_t id, CamsClient::Event event)
 {
-    for (;;) {
-        ServerMsg msg;
-        std::string error;
-        if (!client.readMsg(msg, error))
-            return; // connection closed (normal at teardown)
-        switch (msg.type) {
-            case ServeMsgType::Accepted:
-                break; // intermediate
-            case ServeMsgType::Result:
-            case ServeMsgType::Shed:
-            case ServeMsgType::Cancelled:
-                collector.finish(msg.id, msg.type, &msg);
-                break;
-            case ServeMsgType::Error:
-                if (msg.id != 0) {
-                    collector.finish(msg.id, msg.type, nullptr);
-                }
-                {
-                    std::lock_guard<std::mutex> lock(
-                        collector.mutex);
-                    ++collector.protocolErrors;
-                }
-                break;
-            default: {
-                std::lock_guard<std::mutex> lock(collector.mutex);
-                ++collector.protocolErrors;
-                break;
-            }
-        }
+    std::lock_guard<std::mutex> lock(mutex);
+    int phase = 0;
+    const auto it = pending.find(id);
+    if (it != pending.end())
+        phase = it->second.phase;
+    switch (event) {
+        case CamsClient::Event::Reconnect:
+            ++reconnects;
+            break;
+        case CamsClient::Event::Resubmit:
+            ++retries[phase];
+            break;
+        case CamsClient::Event::ShedRetry:
+            ++shedRetries[phase];
+            break;
+        case CamsClient::Event::DuplicateSuppressed:
+            ++duplicatesSuppressed[phase];
+            break;
+        case CamsClient::Event::GaveUp:
+            ++gaveUp[phase];
+            break;
     }
 }
 
@@ -245,7 +265,7 @@ histogramJson(const HistogramSummary &s)
 
 std::string
 phaseJson(const PhaseTally &tally, double ratePerS, double durationS,
-          Collector &collector, const char *phase)
+          Collector &collector, const char *phase, int phaseIndex)
 {
     const double loopsPerSec =
         durationS > 0.0
@@ -262,6 +282,11 @@ phaseJson(const PhaseTally &tally, double ratePerS, double durationS,
        << ",\"cancelled\":" << tally.cancelled
        << ",\"errors\":" << tally.errors
        << ",\"unanswered\":" << tally.unanswered
+       << ",\"retries\":" << collector.retries[phaseIndex]
+       << ",\"shed_retries\":" << collector.shedRetries[phaseIndex]
+       << ",\"duplicates_suppressed\":"
+       << collector.duplicatesSuppressed[phaseIndex]
+       << ",\"gave_up\":" << collector.gaveUp[phaseIndex]
        << ",\"loops_per_sec\":" << formatFixed(loopsPerSec, 3)
        << ",\"latency_ms\":"
        << histogramJson(collector.registry.histogram(
@@ -297,6 +322,9 @@ main(int argc, char **argv)
     double wait_server_s = 10.0;
     double drain_wait_s = 60.0;
     bool check_direct = false;
+    double chaos_p = 0.0;
+    uint64_t chaos_seed = 1;
+    bool retry_shed = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -383,6 +411,18 @@ main(int argc, char **argv)
             drain_wait_s = std::atof(value);
         } else if (arg == "--check-direct") {
             check_direct = true;
+        } else if (arg == "--chaos") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            chaos_p = std::atof(value);
+        } else if (arg == "--chaos-seed") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            chaos_seed = std::strtoull(value, nullptr, 10);
+        } else if (arg == "--retry-shed") {
+            retry_shed = true;
         } else if (arg == "--out") {
             const char *value = next();
             if (!value)
@@ -395,6 +435,10 @@ main(int argc, char **argv)
     }
     if (socket_path.empty())
         return usage();
+
+    // A server that dies mid-write must cost a retried request, not
+    // a dead load generator.
+    ::signal(SIGPIPE, SIG_IGN);
 
     MachineDesc machine = busedGpMachine(2, 2, 1);
     if (!machine_path.empty()) {
@@ -417,30 +461,50 @@ main(int argc, char **argv)
         dfgBytes.push_back(packDfg(loop));
     const std::string machineBytes = packMachine(machine);
 
-    // Connect (retrying while the server comes up).
-    std::vector<std::unique_ptr<ServeClient>> clients;
-    const Deadline connectWindow(wait_server_s * 1000.0);
+    // Connect (retrying while the server comes up). Every
+    // connection is a resilient CamsClient: it reconnects and
+    // resubmits on its own, so the collector only ever sees terminal
+    // messages and recovery events.
+    Collector collector;
+    std::vector<std::unique_ptr<CamsClient>> clients;
     for (int c = 0; c < connections; ++c) {
-        auto client = std::make_unique<ServeClient>();
+        CamsClientConfig client_config;
+        client_config.socketPath = socket_path;
+        client_config.tenant = tenant;
+        client_config.retry.connectBudgetMs =
+            wait_server_s * 1000.0;
+        client_config.retry.retryOnShed = retry_shed;
+        // Every reconnect resubmits all pending ids, and the server
+        // dedups them, so under sustained chaos the production
+        // default of 32 gives up on requests that would still win.
+        // The generator's contract is a terminal for every request.
+        client_config.retry.maxResubmits = 100000;
+        // Mid-frame gaps on a loopback socket are microseconds; the
+        // only way a frame stalls for seconds is a fault (torn wire,
+        // flipped length prefix). Cut those short so a stall costs
+        // one reconnect, not the default 30 s.
+        client_config.retry.readTimeoutMs = 2000.0;
+        client_config.retry.seed =
+            seed + static_cast<uint64_t>(c);
+        if (chaos_p > 0.0)
+            client_config.chaos = ChaosConfig::uniform(
+                chaos_p, chaos_seed + static_cast<uint64_t>(c));
+        auto client = std::make_unique<CamsClient>();
+        client->setTerminalHandler(
+            [&collector](const ServerMsg &msg) {
+                collector.finish(msg.id, msg.type, &msg);
+            });
+        client->setEventHandler(
+            [&collector](uint64_t id, CamsClient::Event event) {
+                collector.onEvent(id, event);
+            });
         std::string error;
-        while (!client->connect(socket_path, tenant, error)) {
-            if (connectWindow.expired()) {
-                std::cerr << "cams_load: cannot connect to "
-                          << socket_path << ": " << error << "\n";
-                return 1;
-            }
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(50));
+        if (!client->start(client_config, error)) {
+            std::cerr << "cams_load: cannot connect to "
+                      << socket_path << ": " << error << "\n";
+            return 1;
         }
         clients.push_back(std::move(client));
-    }
-
-    Collector collector;
-    std::vector<std::thread> readers;
-    readers.reserve(clients.size());
-    for (auto &client : clients) {
-        readers.emplace_back(
-            [&client, &collector] { readerLoop(*client, collector); });
     }
 
     struct Phase
@@ -490,10 +554,9 @@ main(int argc, char **argv)
                 entry.sendMicros = nowMicros();
                 collector.pending.emplace(msg.id, entry);
             }
-            std::string error;
-            ServeClient &client =
+            CamsClient &client =
                 *clients[msg.id % clients.size()];
-            if (!client.submit(msg, error)) {
+            if (!client.submit(msg)) {
                 ++sendFailures;
                 collector.finish(msg.id, ServeMsgType::Error,
                                  nullptr);
@@ -519,8 +582,6 @@ main(int argc, char **argv)
     }
     for (auto &client : clients)
         client->close();
-    for (std::thread &reader : readers)
-        reader.join();
 
     // Tally.
     PhaseTally tallies[2];
@@ -576,10 +637,16 @@ main(int argc, char **argv)
 
     long protocolErrors;
     long servedDisagreements;
+    long reconnects;
+    long resubmitsTotal;
+    long gaveUpTotal;
     {
         std::lock_guard<std::mutex> lock(collector.mutex);
         protocolErrors = collector.protocolErrors;
         servedDisagreements = collector.servedDisagreements;
+        reconnects = collector.reconnects;
+        resubmitsTotal = collector.retries[0] + collector.retries[1];
+        gaveUpTotal = collector.gaveUp[0] + collector.gaveUp[1];
     }
 
     std::ostringstream json;
@@ -596,13 +663,16 @@ main(int argc, char **argv)
          << "\"send_failures\":" << sendFailures << ","
          << "\"protocol_errors\":" << protocolErrors << ","
          << "\"served_disagreements\":" << servedDisagreements << ","
+         << "\"reconnects\":" << reconnects << ","
+         << "\"gave_up\":" << gaveUpTotal << ","
+         << "\"chaos\":" << formatFixed(chaos_p, 4) << ","
          << "\"steady\":"
          << phaseJson(tallies[0], rate, duration_s, collector,
-                      "steady");
+                      "steady", 0);
     if (burst_rate > 0.0) {
         json << ",\"burst\":"
              << phaseJson(tallies[1], burst_rate, burst_duration_s,
-                          collector, "burst");
+                          collector, "burst", 1);
     }
     if (check_direct) {
         json << ",\"direct\":{\"checked\":" << directChecked
@@ -635,13 +705,21 @@ main(int argc, char **argv)
                   << tallies[1].shed << " shed of "
                   << tallies[1].requests;
     }
-    std::cout << "; " << protocolErrors << " protocol errors ("
+    std::cout << "; " << protocolErrors << " protocol errors, "
+              << reconnects << " reconnects, " << resubmitsTotal
+              << " resubmits, " << gaveUpTotal << " gave up ("
               << out_path << " written)" << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(collector.mutex);
+        for (const auto &[message, count] : collector.errorMessages)
+            std::cerr << "cams_load: " << count << " x error: "
+                      << message << "\n";
+    }
 
     const bool ok =
         protocolErrors == 0 && servedDisagreements == 0 &&
-        sendFailures == 0 && tallies[0].unanswered == 0 &&
-        tallies[1].unanswered == 0 &&
+        sendFailures == 0 && gaveUpTotal == 0 &&
+        tallies[0].unanswered == 0 && tallies[1].unanswered == 0 &&
         (!check_direct || directMismatches == 0);
     return ok ? 0 : 1;
 }

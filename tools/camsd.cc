@@ -13,6 +13,8 @@
  *   camsd --socket PATH [--jobs N] [--queue-depth N]
  *         [--cache-dir DIR] [--cache off|ro|rw]
  *         [--compile-budget-ms D] [--metrics FILE] [--allow-debug]
+ *         [--read-timeout-ms D] [--watchdog-ms D|auto] [--no-scrub]
+ *         [--chaos P] [--chaos-seed N]
  */
 
 #include <atomic>
@@ -53,7 +55,17 @@ usage()
            "  --metrics FILE         write the serve metrics "
            "registry as JSON on exit\n"
            "  --allow-debug          honor the protocol's "
-           "debug-sleep test hook\n";
+           "debug-sleep test hook\n"
+           "  --read-timeout-ms D    mid-frame read deadline per "
+           "connection (default 5000, 0 = none)\n"
+           "  --watchdog-ms D        hung-compile watchdog; 'auto' "
+           "derives it from the compile budget (default off)\n"
+           "  --no-scrub             skip the startup scrub of the "
+           "tenant cache directories\n"
+           "  --chaos P              arm outbound fault injection "
+           "with probability P at every site (tests only)\n"
+           "  --chaos-seed N         chaos coin-flip seed "
+           "(default 1)\n";
     return 2;
 }
 
@@ -81,6 +93,9 @@ main(int argc, char **argv)
     config.workers = ThreadPool::defaultThreads();
     std::string metrics_path;
     CacheMode cache_mode = CacheMode::ReadWrite;
+    bool watchdog_auto = false;
+    double chaos_p = 0.0;
+    uint64_t chaos_seed = 1;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -131,6 +146,31 @@ main(int argc, char **argv)
             metrics_path = value;
         } else if (arg == "--allow-debug") {
             config.allowDebugSleep = true;
+        } else if (arg == "--read-timeout-ms") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            config.readTimeoutMs = std::atof(value);
+        } else if (arg == "--watchdog-ms") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            if (std::string(value) == "auto")
+                watchdog_auto = true;
+            else
+                config.watchdogMs = std::atof(value);
+        } else if (arg == "--no-scrub") {
+            config.scrubOnStart = false;
+        } else if (arg == "--chaos") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            chaos_p = std::atof(value);
+        } else if (arg == "--chaos-seed") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            chaos_seed = std::strtoull(value, nullptr, 10);
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             return usage();
@@ -139,6 +179,16 @@ main(int argc, char **argv)
     if (config.socketPath.empty())
         return usage();
     config.cacheMode = cache_mode;
+    if (watchdog_auto) {
+        // Generous: the budget bounds the compile, the watchdog only
+        // catches work that ignores the budget entirely.
+        config.watchdogMs =
+            config.compileBudgetMs > 0.0
+                ? 4.0 * config.compileBudgetMs + 5000.0
+                : 60000.0;
+    }
+    if (chaos_p > 0.0)
+        config.chaos = ChaosConfig::uniform(chaos_p, chaos_seed);
 
     if (::pipe(signalPipe) != 0) {
         std::cerr << "camsd: cannot create signal pipe: "
@@ -194,7 +244,12 @@ main(int argc, char **argv)
               << stats.cancelledQueued + stats.cancelledInFlight
               << " cancelled, " << stats.deadlineExpired
               << " deadline-expired, " << stats.protocolErrors
-              << " protocol errors over " << stats.connections
-              << " connections" << std::endl;
+              << " protocol errors, "
+              << stats.dedupReplayed + stats.dedupJoined
+              << " retries deduped, " << stats.readTimeouts
+              << " read timeouts, " << stats.watchdogFired
+              << " watchdog kills, " << stats.quarantined
+              << " cache files quarantined over "
+              << stats.connections << " connections" << std::endl;
     return 0;
 }

@@ -35,6 +35,11 @@ COUNTER_KEYS = {
     "timeouts", "cancelled", "errors", "unanswered",
     "protocol_errors", "served_disagreements", "send_failures",
     "count", "checked", "mismatches",
+    "retries", "shed_retries", "duplicates_suppressed", "gave_up",
+    "reconnects",
+    "kills", "restarts",
+    "directories", "entries_scanned", "entries_ok", "quarantined",
+    "tmp_removed", "hint_lines_kept", "hint_lines_dropped",
 }
 
 # Per-kind required top-level keys ("bench" selects the row).
@@ -50,7 +55,15 @@ REQUIRED = {
     ),
     "cams_load": (
         "corpus", "connections", "send_failures", "protocol_errors",
-        "served_disagreements", "steady",
+        "served_disagreements", "reconnects", "gave_up", "steady",
+    ),
+    "cams_chaos": (
+        "seed", "kills", "restarts", "load_exit",
+        "camsd_final_exit", "scrub", "ok",
+    ),
+    "cams_scrub": (
+        "directories", "entries_scanned", "entries_ok",
+        "quarantined", "tmp_removed",
     ),
 }
 
@@ -60,7 +73,11 @@ BATCH_STATS_KEYS = (
 )
 PHASE_KEYS = (
     "requests", "completed", "shed", "timeouts", "unanswered",
+    "retries", "shed_retries", "duplicates_suppressed", "gave_up",
     "loops_per_sec", "latency_ms",
+)
+SCRUB_KEYS = (
+    "entries_scanned", "entries_ok", "quarantined", "tmp_removed",
 )
 
 
@@ -182,6 +199,15 @@ def check_file(path):
         for phase in ("steady", "burst"):
             if phase in data:
                 require_keys(phase, data[phase], PHASE_KEYS, problems)
+    elif kind == "cams_chaos":
+        if "scrub" in data:
+            require_keys("scrub", data["scrub"], SCRUB_KEYS, problems)
+        if data.get("ok") is not True:
+            problems.append(
+                f"ok: chaos run did not pass (ok={data.get('ok')!r}, "
+                f"load_exit={data.get('load_exit')!r}, "
+                f"camsd_final_exit={data.get('camsd_final_exit')!r})"
+            )
 
     walk("", data, problems)
     return kind, problems
