@@ -70,6 +70,56 @@ ServeClient::ping(uint64_t token, std::string &error)
 }
 
 bool
+ServeClient::requestStats(uint64_t token, std::string &error)
+{
+    return sendPayload(encodeStatsRequest(token), error);
+}
+
+bool
+ServeClient::requestHealth(uint64_t token, std::string &error)
+{
+    return sendPayload(encodeHealthRequest(token), error);
+}
+
+bool
+ServeClient::stats(StatsReplyMsg &out, std::string &error)
+{
+    if (!requestStats(1, error))
+        return false;
+    ServerMsg msg;
+    while (readMsg(msg, error)) {
+        if (msg.type == ServeMsgType::StatsReply) {
+            out = std::move(msg.stats);
+            return true;
+        }
+        if (msg.type == ServeMsgType::Error) {
+            error = msg.message;
+            return false;
+        }
+    }
+    return false;
+}
+
+bool
+ServeClient::health(HealthReplyMsg &out, std::string &error)
+{
+    if (!requestHealth(1, error))
+        return false;
+    ServerMsg msg;
+    while (readMsg(msg, error)) {
+        if (msg.type == ServeMsgType::HealthReply) {
+            out = std::move(msg.health);
+            return true;
+        }
+        if (msg.type == ServeMsgType::Error) {
+            error = msg.message;
+            return false;
+        }
+    }
+    return false;
+}
+
+bool
 ServeClient::readMsg(ServerMsg &out, std::string &error)
 {
     std::lock_guard<std::mutex> lock(recvMutex_);

@@ -72,6 +72,19 @@ class ServeClient
     bool cancel(uint64_t id, std::string &error);
     bool ping(uint64_t token, std::string &error);
 
+    /** Fire-and-forget polls; the reply arrives via readMsg(). */
+    bool requestStats(uint64_t token, std::string &error);
+    bool requestHealth(uint64_t token, std::string &error);
+
+    /**
+     * Blocking polls: send the request and read until its reply.
+     * Only safe on a connection with no other traffic in flight (a
+     * dedicated monitoring connection -- cams_top's shape); compile
+     * responses encountered while waiting are discarded.
+     */
+    bool stats(StatsReplyMsg &out, std::string &error);
+    bool health(HealthReplyMsg &out, std::string &error);
+
     /**
      * Blocks for the next server message. False on connection loss
      * or a malformed frame. Messages for different requests arrive

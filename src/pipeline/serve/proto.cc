@@ -31,6 +31,14 @@ serveMsgTypeName(ServeMsgType type)
             return "ping";
         case ServeMsgType::Pong:
             return "pong";
+        case ServeMsgType::StatsRequest:
+            return "stats_request";
+        case ServeMsgType::StatsReply:
+            return "stats_reply";
+        case ServeMsgType::HealthRequest:
+            return "health_request";
+        case ServeMsgType::HealthReply:
+            return "health_reply";
     }
     return "unknown";
 }
@@ -69,6 +77,8 @@ encodeSubmit(const SubmitMsg &msg)
     writer.f64(msg.debugSleepMs);
     writer.str(msg.dfgBytes);
     writer.str(msg.machineBytes);
+    writer.u64(msg.traceId);
+    writer.u32(msg.traceSampled ? 1 : 0);
     return writer.take();
 }
 
@@ -86,6 +96,24 @@ encodePing(uint64_t token)
 {
     ByteWriter writer;
     writeType(writer, ServeMsgType::Ping);
+    writer.u64(token);
+    return writer.take();
+}
+
+std::string
+encodeStatsRequest(uint64_t token)
+{
+    ByteWriter writer;
+    writeType(writer, ServeMsgType::StatsRequest);
+    writer.u64(token);
+    return writer.take();
+}
+
+std::string
+encodeHealthRequest(uint64_t token)
+{
+    ByteWriter writer;
+    writeType(writer, ServeMsgType::HealthRequest);
     writer.u64(token);
     return writer.take();
 }
@@ -179,6 +207,85 @@ encodePong(uint64_t token)
     return writer.take();
 }
 
+namespace
+{
+
+void
+writeSummary(ByteWriter &writer, const HistogramSummary &summary)
+{
+    writer.u64(summary.count);
+    writer.f64(summary.min);
+    writer.f64(summary.mean);
+    writer.f64(summary.max);
+    writer.f64(summary.p50);
+    writer.f64(summary.p90);
+    writer.f64(summary.p99);
+}
+
+bool
+readSummary(ByteReader &reader, HistogramSummary &summary)
+{
+    return reader.u64(summary.count) && reader.f64(summary.min) &&
+           reader.f64(summary.mean) && reader.f64(summary.max) &&
+           reader.f64(summary.p50) && reader.f64(summary.p90) &&
+           reader.f64(summary.p99);
+}
+
+} // namespace
+
+std::string
+encodeStatsReply(const StatsReplyMsg &msg)
+{
+    ByteWriter writer;
+    writeType(writer, ServeMsgType::StatsReply);
+    writer.u64(msg.token);
+    writer.f64(msg.uptimeSeconds);
+    writer.f64(msg.windowSeconds);
+    writer.u32(msg.queueDepth);
+    writer.u32(msg.inFlight);
+    writer.u32(msg.workers);
+    writer.u32(msg.queueCapacity);
+    writer.u32(msg.draining ? 1 : 0);
+    writer.u32(static_cast<uint32_t>(msg.counters.size()));
+    for (const StatsCounter &counter : msg.counters) {
+        writer.str(counter.name);
+        writer.u64(static_cast<uint64_t>(counter.total));
+        writer.u64(static_cast<uint64_t>(counter.last1m));
+        writer.u64(static_cast<uint64_t>(counter.last5m));
+    }
+    writer.u32(static_cast<uint32_t>(msg.histograms.size()));
+    for (const StatsHistogram &histogram : msg.histograms) {
+        writer.str(histogram.name);
+        writeSummary(writer, histogram.total);
+        writeSummary(writer, histogram.last1m);
+        writeSummary(writer, histogram.last5m);
+    }
+    writer.u32(static_cast<uint32_t>(msg.tenants.size()));
+    for (const TenantStats &tenant : msg.tenants) {
+        writer.str(tenant.tenant);
+        writer.u64(static_cast<uint64_t>(tenant.submitted));
+        writer.u64(static_cast<uint64_t>(tenant.completed));
+        writer.u64(static_cast<uint64_t>(tenant.shed));
+        writer.u64(static_cast<uint64_t>(tenant.cacheHits));
+    }
+    return writer.take();
+}
+
+std::string
+encodeHealthReply(const HealthReplyMsg &msg)
+{
+    ByteWriter writer;
+    writeType(writer, ServeMsgType::HealthReply);
+    writer.u64(msg.token);
+    writer.str(msg.status);
+    writer.u32(msg.version);
+    writer.f64(msg.uptimeSeconds);
+    writer.u32(msg.queueDepth);
+    writer.u32(msg.queueCapacity);
+    writer.u32(msg.inFlight);
+    return writer.take();
+}
+
 bool
 decodeClientMsg(const std::string &payload, ClientMsg &out)
 {
@@ -205,6 +312,10 @@ decodeClientMsg(const std::string &payload, ClientMsg &out)
                 !reader.str(msg.machineBytes))
                 return false;
             msg.clustered = clustered != 0;
+            uint32_t sampled = 0;
+            if (!reader.u64(msg.traceId) || !reader.u32(sampled))
+                return false;
+            msg.traceSampled = sampled != 0;
             break;
         }
         case ServeMsgType::Cancel:
@@ -212,6 +323,8 @@ decodeClientMsg(const std::string &payload, ClientMsg &out)
                 return false;
             break;
         case ServeMsgType::Ping:
+        case ServeMsgType::StatsRequest:
+        case ServeMsgType::HealthRequest:
             if (!reader.u64(out.token))
                 return false;
             break;
@@ -272,6 +385,84 @@ decodeServerMsg(const std::string &payload, ServerMsg &out)
             if (!reader.u64(out.token))
                 return false;
             break;
+        case ServeMsgType::StatsReply: {
+            StatsReplyMsg &msg = out.stats;
+            uint32_t draining = 0;
+            uint32_t counters = 0;
+            if (!reader.u64(msg.token) ||
+                !reader.f64(msg.uptimeSeconds) ||
+                !reader.f64(msg.windowSeconds) ||
+                !reader.u32(msg.queueDepth) ||
+                !reader.u32(msg.inFlight) ||
+                !reader.u32(msg.workers) ||
+                !reader.u32(msg.queueCapacity) ||
+                !reader.u32(draining) || !reader.u32(counters))
+                return false;
+            // Element counts are bounded by the payload itself (every
+            // entry costs multiple bytes), so a corrupt count cannot
+            // drive a huge allocation before the read fails.
+            if (counters > payload.size())
+                return false;
+            msg.draining = draining != 0;
+            msg.counters.resize(counters);
+            for (StatsCounter &counter : msg.counters) {
+                uint64_t total = 0;
+                uint64_t last1m = 0;
+                uint64_t last5m = 0;
+                if (!reader.str(counter.name) ||
+                    !reader.u64(total) || !reader.u64(last1m) ||
+                    !reader.u64(last5m))
+                    return false;
+                counter.total = static_cast<int64_t>(total);
+                counter.last1m = static_cast<int64_t>(last1m);
+                counter.last5m = static_cast<int64_t>(last5m);
+            }
+            uint32_t histograms = 0;
+            if (!reader.u32(histograms) ||
+                histograms > payload.size())
+                return false;
+            msg.histograms.resize(histograms);
+            for (StatsHistogram &histogram : msg.histograms) {
+                if (!reader.str(histogram.name) ||
+                    !readSummary(reader, histogram.total) ||
+                    !readSummary(reader, histogram.last1m) ||
+                    !readSummary(reader, histogram.last5m))
+                    return false;
+            }
+            uint32_t tenants = 0;
+            if (!reader.u32(tenants) || tenants > payload.size())
+                return false;
+            msg.tenants.resize(tenants);
+            for (TenantStats &tenant : msg.tenants) {
+                uint64_t submitted = 0;
+                uint64_t completed = 0;
+                uint64_t shed = 0;
+                uint64_t cacheHits = 0;
+                if (!reader.str(tenant.tenant) ||
+                    !reader.u64(submitted) ||
+                    !reader.u64(completed) || !reader.u64(shed) ||
+                    !reader.u64(cacheHits))
+                    return false;
+                tenant.submitted = static_cast<int64_t>(submitted);
+                tenant.completed = static_cast<int64_t>(completed);
+                tenant.shed = static_cast<int64_t>(shed);
+                tenant.cacheHits = static_cast<int64_t>(cacheHits);
+            }
+            out.token = msg.token;
+            break;
+        }
+        case ServeMsgType::HealthReply: {
+            HealthReplyMsg &msg = out.health;
+            if (!reader.u64(msg.token) || !reader.str(msg.status) ||
+                !reader.u32(msg.version) ||
+                !reader.f64(msg.uptimeSeconds) ||
+                !reader.u32(msg.queueDepth) ||
+                !reader.u32(msg.queueCapacity) ||
+                !reader.u32(msg.inFlight))
+                return false;
+            out.token = msg.token;
+            break;
+        }
         default:
             return false; // client-to-server or unknown type
     }

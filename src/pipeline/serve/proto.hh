@@ -29,8 +29,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "pipeline/driver.hh"
+#include "support/metrics.hh"
 
 namespace cams
 {
@@ -38,9 +40,10 @@ namespace cams
 /**
  * Bumped on any incompatible wire change. v2: per-frame payload
  * checksums (stream.hh), the Submit retry key, and the Shed
- * retry-after hint.
+ * retry-after hint. v3: Stats/Health polling messages and the
+ * Submit trace id + sampling flag.
  */
-constexpr uint32_t serveProtoVersion = 2;
+constexpr uint32_t serveProtoVersion = 3;
 
 /** Frames larger than this are protocol errors on both sides. */
 constexpr uint32_t serveMaxFrameBytes = 64u << 20;
@@ -59,6 +62,11 @@ enum class ServeMsgType : uint32_t
     Error,      ///< server: protocol or connection-level failure
     Ping,       ///< client: liveness probe
     Pong,       ///< server: liveness answer
+
+    StatsRequest = 12,  ///< client: poll live telemetry
+    StatsReply = 13,    ///< server: counters/histograms/windows
+    HealthRequest = 14, ///< client: cheap liveness + readiness probe
+    HealthReply = 15,   ///< server: status + queue headroom
 };
 
 /** Stable name of a message type (for logs and errors). */
@@ -120,6 +128,80 @@ struct SubmitMsg
 
     /** packMachine image of the target machine. */
     std::string machineBytes;
+
+    /**
+     * Client-generated 64-bit trace correlation id; 0 = none. When
+     * @ref traceSampled is also set, the server threads this id
+     * through every TraceSink scope the request touches (admission,
+     * queue wait, compile phases, cache probes), so one request
+     * reads as a single correlated lane from client submit to
+     * result. The id travels even when unsampled so logs can still
+     * name the request.
+     */
+    uint64_t traceId = 0;
+
+    /**
+     * Head-based sampling decision, made once by the client
+     * (--trace-sample=N keeps every Nth request) and honored by the
+     * server: only sampled requests record trace events.
+     */
+    bool traceSampled = false;
+};
+
+/** One counter in a StatsReply: cumulative plus recent windows. */
+struct StatsCounter
+{
+    std::string name;
+    int64_t total = 0;  ///< since process start
+    int64_t last1m = 0; ///< last-1-minute delta
+    int64_t last5m = 0; ///< last-5-minutes delta
+};
+
+/** One distribution in a StatsReply. */
+struct StatsHistogram
+{
+    std::string name;
+    HistogramSummary total;  ///< since process start
+    HistogramSummary last1m; ///< last-1-minute window
+    HistogramSummary last5m; ///< last-5-minutes window
+};
+
+/** Per-tenant request breakdown in a StatsReply. */
+struct TenantStats
+{
+    std::string tenant;
+    int64_t submitted = 0;
+    int64_t completed = 0;
+    int64_t shed = 0;
+    int64_t cacheHits = 0;
+};
+
+/** Live telemetry snapshot of a running daemon. */
+struct StatsReplyMsg
+{
+    uint64_t token = 0; ///< echo of the request token
+    double uptimeSeconds = 0.0;
+    double windowSeconds = 0.0; ///< live-window span of the registry
+    uint32_t queueDepth = 0;
+    uint32_t inFlight = 0;
+    uint32_t workers = 0;
+    uint32_t queueCapacity = 0;
+    bool draining = false;
+    std::vector<StatsCounter> counters;
+    std::vector<StatsHistogram> histograms;
+    std::vector<TenantStats> tenants;
+};
+
+/** Liveness + readiness answer. */
+struct HealthReplyMsg
+{
+    uint64_t token = 0;
+    std::string status; ///< "ok" or "draining"
+    uint32_t version = 0;
+    double uptimeSeconds = 0.0;
+    uint32_t queueDepth = 0;
+    uint32_t queueCapacity = 0;
+    uint32_t inFlight = 0;
 };
 
 /** Decoded client -> server message. */
@@ -129,7 +211,7 @@ struct ClientMsg
     HelloMsg hello;
     SubmitMsg submit;
     uint64_t id = 0;    ///< Cancel target
-    uint64_t token = 0; ///< Ping payload
+    uint64_t token = 0; ///< Ping / StatsRequest / HealthRequest payload
 };
 
 /** Decoded server -> client message. */
@@ -161,8 +243,14 @@ struct ServerMsg
     // Error
     std::string message;
 
-    // Pong
+    // Pong / StatsReply / HealthReply correlation
     uint64_t token = 0;
+
+    // StatsReply
+    StatsReplyMsg stats;
+
+    // HealthReply
+    HealthReplyMsg health;
 };
 
 // Client-side encoders.
@@ -170,6 +258,8 @@ std::string encodeHello(const HelloMsg &msg);
 std::string encodeSubmit(const SubmitMsg &msg);
 std::string encodeCancel(uint64_t id);
 std::string encodePing(uint64_t token);
+std::string encodeStatsRequest(uint64_t token);
+std::string encodeHealthRequest(uint64_t token);
 
 // Server-side encoders.
 std::string encodeHelloAck(uint32_t workers, uint32_t queueCapacity);
@@ -190,6 +280,8 @@ std::string encodeResultBytes(uint64_t id, bool fromCache,
 std::string encodeCancelled(uint64_t id, bool wasQueued);
 std::string encodeError(uint64_t id, const std::string &message);
 std::string encodePong(uint64_t token);
+std::string encodeStatsReply(const StatsReplyMsg &msg);
+std::string encodeHealthReply(const HealthReplyMsg &msg);
 
 /** Parses a client payload; false = protocol error. */
 bool decodeClientMsg(const std::string &payload, ClientMsg &out);

@@ -54,6 +54,30 @@ CamsServer::CamsServer(ServeConfig config) : config_(std::move(config))
         config_.workers = 1;
     if (config_.queueCapacity < 1)
         config_.queueCapacity = 1;
+    ids_.connections = registry_.counterId("serve.connections");
+    ids_.accepted = registry_.counterId("serve.accepted");
+    ids_.shedFull = registry_.counterId("serve.shed_full");
+    ids_.shedDraining = registry_.counterId("serve.shed_draining");
+    ids_.completed = registry_.counterId("serve.completed");
+    ids_.compiled = registry_.counterId("serve.compiled");
+    ids_.cacheHits = registry_.counterId("serve.cache_hits");
+    ids_.deadlineExpired =
+        registry_.counterId("serve.deadline_expired");
+    ids_.cancelledQueued =
+        registry_.counterId("serve.cancelled_queued");
+    ids_.cancelledInFlight =
+        registry_.counterId("serve.cancelled_in_flight");
+    ids_.protocolErrors =
+        registry_.counterId("serve.protocol_errors");
+    ids_.readTimeouts = registry_.counterId("serve.read_timeouts");
+    ids_.watchdogFired = registry_.counterId("serve.watchdog_fired");
+    ids_.dedupReplayed = registry_.counterId("serve.dedup_replayed");
+    ids_.dedupJoined = registry_.counterId("serve.dedup_joined");
+    ids_.dedupMismatch = registry_.counterId("serve.dedup_mismatch");
+    ids_.statsPolls = registry_.counterId("serve.stats_polls");
+    ids_.queueMs = registry_.histogramId("serve.queue_ms");
+    ids_.compileMs = registry_.histogramId("serve.compile_ms");
+    ids_.queueDepth = registry_.histogramId("serve.queue_depth");
 }
 
 CamsServer::~CamsServer()
@@ -80,6 +104,7 @@ CamsServer::start(std::string &error)
         watchdogStop_.store(false);
         watchdogThread_ = std::thread([this] { watchdogLoop(); });
     }
+    startMicros_ = nowMicros();
     started_.store(true);
     return true;
 }
@@ -182,6 +207,110 @@ CamsServer::metricsJson() const
     return registry_.toJson();
 }
 
+const CamsServer::TenantIds *
+CamsServer::tenantIds(const std::string &tenant)
+{
+    const std::string safe = sanitizeTenant(tenant);
+    std::lock_guard<std::mutex> lock(tenantIdsMutex_);
+    const auto it = tenantMetricIds_.find(safe);
+    if (it != tenantMetricIds_.end())
+        return &it->second;
+    const std::string prefix = "serve.tenant." + safe + ".";
+    TenantIds ids;
+    ids.submitted = registry_.counterId(prefix + "submitted");
+    ids.completed = registry_.counterId(prefix + "completed");
+    ids.shed = registry_.counterId(prefix + "shed");
+    ids.cacheHits = registry_.counterId(prefix + "cache_hits");
+    return &tenantMetricIds_.emplace(safe, ids).first->second;
+}
+
+StatsReplyMsg
+CamsServer::statsReply(uint64_t token) const
+{
+    // Fold the per-tenant cache tallies in first (their own lock),
+    // so cache.* counters appear alongside serve.*.
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        for (const auto &[tenant, cache] : tenantCaches_) {
+            (void)tenant;
+            if (cache && cache->enabled())
+                cache->publish(registry_);
+        }
+    }
+
+    StatsReplyMsg msg;
+    msg.token = token;
+    msg.uptimeSeconds =
+        static_cast<double>(nowMicros() - startMicros_) / 1e6;
+    msg.windowSeconds = registry_.windowSeconds();
+    msg.workers = static_cast<uint32_t>(config_.workers);
+    msg.queueCapacity = static_cast<uint32_t>(config_.queueCapacity);
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        msg.queueDepth = static_cast<uint32_t>(queue_.size());
+        msg.inFlight = static_cast<uint32_t>(inFlight_.size());
+        msg.draining = draining_;
+    }
+
+    // Tenant counters travel in the dedicated per-tenant section,
+    // not the flat list.
+    const auto isTenantCounter = [](const std::string &name) {
+        return name.rfind("serve.tenant.", 0) == 0;
+    };
+    for (const std::string &name : registry_.counterNames()) {
+        if (isTenantCounter(name))
+            continue;
+        StatsCounter counter;
+        counter.name = name;
+        counter.total = registry_.counter(name);
+        counter.last1m = registry_.counterWindow(name, 60.0);
+        counter.last5m = registry_.counterWindow(name, 300.0);
+        msg.counters.push_back(std::move(counter));
+    }
+    for (const std::string &name : registry_.histogramNames()) {
+        StatsHistogram histogram;
+        histogram.name = name;
+        histogram.total = registry_.histogram(name);
+        histogram.last1m = registry_.histogramWindow(name, 60.0);
+        histogram.last5m = registry_.histogramWindow(name, 300.0);
+        msg.histograms.push_back(std::move(histogram));
+    }
+    {
+        std::lock_guard<std::mutex> lock(tenantIdsMutex_);
+        for (const auto &[tenant, ids] : tenantMetricIds_) {
+            (void)ids;
+            const std::string prefix = "serve.tenant." + tenant + ".";
+            TenantStats stats;
+            stats.tenant = tenant;
+            stats.submitted =
+                registry_.counter(prefix + "submitted");
+            stats.completed =
+                registry_.counter(prefix + "completed");
+            stats.shed = registry_.counter(prefix + "shed");
+            stats.cacheHits =
+                registry_.counter(prefix + "cache_hits");
+            msg.tenants.push_back(std::move(stats));
+        }
+    }
+    return msg;
+}
+
+HealthReplyMsg
+CamsServer::healthReply(uint64_t token) const
+{
+    HealthReplyMsg msg;
+    msg.token = token;
+    msg.version = serveProtoVersion;
+    msg.uptimeSeconds =
+        static_cast<double>(nowMicros() - startMicros_) / 1e6;
+    msg.queueCapacity = static_cast<uint32_t>(config_.queueCapacity);
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    msg.queueDepth = static_cast<uint32_t>(queue_.size());
+    msg.inFlight = static_cast<uint32_t>(inFlight_.size());
+    msg.status = draining_ ? "draining" : "ok";
+    return msg;
+}
+
 void
 CamsServer::acceptLoop()
 {
@@ -246,10 +375,10 @@ CamsServer::connectionLoop(std::shared_ptr<Conn> conn)
         ClientMsg msg;
         if (!decodeClientMsg(payload, msg) ||
             msg.type != ServeMsgType::Hello) {
-            registry_.add("serve.protocol_errors");
+            registry_.add(ids_.protocolErrors);
             send(*conn, encodeError(0, "expected hello"));
         } else if (msg.hello.version != serveProtoVersion) {
-            registry_.add("serve.protocol_errors");
+            registry_.add(ids_.protocolErrors);
             send(*conn,
                  encodeError(0, detail::concat(
                                     "protocol version mismatch: "
@@ -258,7 +387,8 @@ CamsServer::connectionLoop(std::shared_ptr<Conn> conn)
                                     msg.hello.version)));
         } else {
             conn->tenant = msg.hello.tenant;
-            registry_.add("serve.connections");
+            conn->tenantIds = tenantIds(msg.hello.tenant);
+            registry_.add(ids_.connections);
             send(*conn,
                  encodeHelloAck(
                      static_cast<uint32_t>(config_.workers),
@@ -266,9 +396,9 @@ CamsServer::connectionLoop(std::shared_ptr<Conn> conn)
             handshakeOk = true;
         }
     } else if (timedOut) {
-        registry_.add("serve.read_timeouts");
+        registry_.add(ids_.readTimeouts);
     } else if (!cleanEof) {
-        registry_.add("serve.protocol_errors");
+        registry_.add(ids_.protocolErrors);
     }
 
     while (handshakeOk && conn->alive.load()) {
@@ -281,20 +411,20 @@ CamsServer::connectionLoop(std::shared_ptr<Conn> conn)
             // a slow-loris peer costs a read timeout; an oversized or
             // corrupted frame is the peer's protocol bug.
             if (timedOut) {
-                registry_.add("serve.read_timeouts");
+                registry_.add(ids_.readTimeouts);
                 send(*conn, encodeError(0, error));
             } else if (!cleanEof &&
                        (error.find("ceiling") != std::string::npos ||
                         error.find("checksum") !=
                             std::string::npos)) {
-                registry_.add("serve.protocol_errors");
+                registry_.add(ids_.protocolErrors);
                 send(*conn, encodeError(0, error));
             }
             break;
         }
         ClientMsg msg;
         if (!decodeClientMsg(payload, msg)) {
-            registry_.add("serve.protocol_errors");
+            registry_.add(ids_.protocolErrors);
             send(*conn, encodeError(0, "malformed message"));
             break;
         }
@@ -308,8 +438,16 @@ CamsServer::connectionLoop(std::shared_ptr<Conn> conn)
             case ServeMsgType::Ping:
                 send(*conn, encodePong(msg.token));
                 break;
+            case ServeMsgType::StatsRequest:
+                registry_.add(ids_.statsPolls);
+                send(*conn, encodeStatsReply(statsReply(msg.token)));
+                break;
+            case ServeMsgType::HealthRequest:
+                send(*conn,
+                     encodeHealthReply(healthReply(msg.token)));
+                break;
             default:
-                registry_.add("serve.protocol_errors");
+                registry_.add(ids_.protocolErrors);
                 send(*conn,
                      encodeError(0, detail::concat(
                                         "unexpected ",
@@ -342,6 +480,9 @@ CamsServer::handleSubmit(const std::shared_ptr<Conn> &conn,
     // also makes the dedup check-or-create atomic.
     std::lock_guard<std::mutex> lock(queueMutex_);
     const uint32_t depth = static_cast<uint32_t>(queue_.size());
+    if (conn->tenantIds)
+        registry_.add(conn->tenantIds->submitted);
+    registry_.record(ids_.queueDepth, static_cast<double>(depth));
 
     // Idempotent retries come first: a replay or join must work even
     // while draining or shedding, or a crash-retry loop could never
@@ -355,11 +496,13 @@ CamsServer::handleSubmit(const std::shared_ptr<Conn> &conn,
             if (entry.payloadHash != submitPayloadHash(msg)) {
                 // Key reuse with a different payload: new work, and
                 // the admission below repoints the key at it.
-                registry_.add("serve.dedup_mismatch");
+                registry_.add(ids_.dedupMismatch);
             } else if (entry.done) {
-                registry_.add("serve.dedup_replayed");
+                registry_.add(ids_.dedupReplayed);
                 send(*conn, encodeAccepted(msg.id, depth));
-                registry_.add("serve.completed");
+                registry_.add(ids_.completed);
+                if (conn->tenantIds)
+                    registry_.add(conn->tenantIds->completed);
                 send(*conn,
                      encodeResultBytes(msg.id, entry.fromCache,
                                        entry.hintUsed, entry.queueMs,
@@ -367,7 +510,7 @@ CamsServer::handleSubmit(const std::shared_ptr<Conn> &conn,
                                        entry.resultBytes));
                 return true;
             } else {
-                registry_.add("serve.dedup_joined");
+                registry_.add(ids_.dedupJoined);
                 entry.waiters.emplace_back(conn, msg.id);
                 send(*conn, encodeAccepted(msg.id, depth));
                 return true;
@@ -376,13 +519,17 @@ CamsServer::handleSubmit(const std::shared_ptr<Conn> &conn,
     }
 
     if (draining_ || stopping_) {
-        registry_.add("serve.shed_draining");
+        registry_.add(ids_.shedDraining);
+        if (conn->tenantIds)
+            registry_.add(conn->tenantIds->shed);
         send(*conn, encodeShed(msg.id, "draining", depth,
                                /*retryAfterMs=*/100.0));
         return false;
     }
     if (static_cast<int>(queue_.size()) >= config_.queueCapacity) {
-        registry_.add("serve.shed_full");
+        registry_.add(ids_.shedFull);
+        if (conn->tenantIds)
+            registry_.add(conn->tenantIds->shed);
         send(*conn, encodeShed(msg.id, "queue_full", depth,
                                /*retryAfterMs=*/25.0));
         return false;
@@ -391,7 +538,15 @@ CamsServer::handleSubmit(const std::shared_ptr<Conn> &conn,
     request->conn = conn;
     request->msg = msg;
     request->tenant = conn->tenant;
+    request->tenantIds = conn->tenantIds;
     request->arrivalMicros = nowMicros();
+    if (config_.traceSink && msg.traceSampled && msg.traceId != 0) {
+        config_.traceSink->instant(
+            detail::concat("req-", msg.traceId, "/admitted"), "serve",
+            {{"trace_id", detail::concat(msg.traceId)},
+             {"tenant", sanitizeTenant(conn->tenant)},
+             {"queue_depth", detail::concat(depth)}});
+    }
     if (msg.retryKey != 0) {
         auto entry = std::make_shared<DedupEntry>();
         entry->payloadHash = submitPayloadHash(msg);
@@ -400,7 +555,7 @@ CamsServer::handleSubmit(const std::shared_ptr<Conn> &conn,
         dedup_[DedupKey{conn->tenant, msg.retryKey}] = entry;
     }
     queue_.push_back(request);
-    registry_.add("serve.accepted");
+    registry_.add(ids_.accepted);
     send(*conn, encodeAccepted(
                     msg.id, static_cast<uint32_t>(queue_.size())));
     workAvailable_.notify_one();
@@ -474,7 +629,25 @@ CamsServer::process(const std::shared_ptr<Request> &request)
     const double queueMs =
         static_cast<double>(nowMicros() - request->arrivalMicros) /
         1000.0;
-    registry_.record("serve.queue_ms", queueMs);
+    registry_.record(ids_.queueMs, queueMs);
+
+    // Sampled requests thread their client-chosen trace id through
+    // every server-side phase: the queue wait is recorded as a scope
+    // that ends now (it just did), and the compile below runs under
+    // a "req-<id>" tag so the driver's own phase scopes join the
+    // same correlated lane.
+    TraceConfig trace;
+    if (config_.traceSink && msg.traceSampled && msg.traceId != 0) {
+        trace.sink = config_.traceSink;
+        trace.tag = detail::concat("req-", msg.traceId);
+        const int64_t queueUs =
+            static_cast<int64_t>(queueMs * 1000.0);
+        trace.sink->complete(
+            trace.tag + "/queue_wait", "serve",
+            trace.sink->now() - queueUs, queueUs,
+            {{"trace_id", detail::concat(msg.traceId)},
+             {"tenant", sanitizeTenant(request->tenant)}});
+    }
 
     // The client is gone: unkeyed work is pure waste, but keyed work
     // must still finish into the dedup table -- its owner is probably
@@ -494,7 +667,7 @@ CamsServer::process(const std::shared_ptr<Request> &request)
         expired.failureDetail = detail::concat(
             "deadline of ", msg.deadlineMs, " ms expired after ",
             queueMs, " ms in the admission queue");
-        registry_.add("serve.deadline_expired");
+        registry_.add(ids_.deadlineExpired);
         deliverResult(request, expired, queueMs, 0.0);
         return;
     }
@@ -520,7 +693,7 @@ CamsServer::process(const std::shared_ptr<Request> &request)
     if (!readDfg(msg.dfgBytes, graph) ||
         !readMachine(msg.machineBytes, machine) ||
         msg.scheduler > 1) {
-        registry_.add("serve.protocol_errors");
+        registry_.add(ids_.protocolErrors);
         deliverError(request, "malformed submit payload");
         return;
     }
@@ -528,7 +701,7 @@ CamsServer::process(const std::shared_ptr<Request> &request)
     // abort) inside the driver; a server must refuse the request,
     // never die on it.
     if (!msg.clustered && machine.numClusters() != 1) {
-        registry_.add("serve.protocol_errors");
+        registry_.add(ids_.protocolErrors);
         deliverError(request,
                      "unified compile requires a single-cluster "
                      "machine");
@@ -538,7 +711,7 @@ CamsServer::process(const std::shared_ptr<Request> &request)
     CompileOptions options = config_.baseOptions;
     options.scheduler = msg.scheduler == 1 ? SchedulerKind::Iterative
                                            : SchedulerKind::Swing;
-    options.trace = TraceConfig{};
+    options.trace = trace;
     options.faults = nullptr;
     options.cache = tenantCache(request->tenant);
     options.cacheSalt =
@@ -556,21 +729,31 @@ CamsServer::process(const std::shared_ptr<Request> &request)
 
     const Stopwatch watch;
     CompileResult result;
-    try {
-        result = msg.clustered
-                     ? compileClustered(graph, machine, options)
-                     : compileUnified(graph, machine, options);
-    } catch (const std::exception &err) {
-        result = CompileResult{};
-        result.failure = FailureKind::InternalInvariant;
-        result.failureDetail = detail::concat(
-            "uncaught exception escaped the compile: ", err.what());
+    {
+        TraceScope compileScope(trace, TraceLevel::Phase,
+                                "serve_compile", "serve");
+        try {
+            result = msg.clustered
+                         ? compileClustered(graph, machine, options)
+                         : compileUnified(graph, machine, options);
+        } catch (const std::exception &err) {
+            result = CompileResult{};
+            result.failure = FailureKind::InternalInvariant;
+            result.failureDetail = detail::concat(
+                "uncaught exception escaped the compile: ",
+                err.what());
+        }
+        compileScope.arg("from_cache",
+                         result.fromCache ? "1" : "0");
     }
     const double compileMs = watch.elapsedMs();
-    registry_.record("serve.compile_ms", compileMs);
-    registry_.add("serve.compiled");
-    if (result.fromCache)
-        registry_.add("serve.cache_hits");
+    registry_.record(ids_.compileMs, compileMs);
+    registry_.add(ids_.compiled);
+    if (result.fromCache) {
+        registry_.add(ids_.cacheHits);
+        if (request->tenantIds)
+            registry_.add(request->tenantIds->cacheHits);
+    }
 
     if (request->cancelled.load()) {
         deliverCancelled(request, /*wasQueued=*/false);
@@ -601,6 +784,8 @@ CamsServer::deliverEncoded(const std::shared_ptr<Request> &request,
     // the watchdog classified it) is dropped on the floor.
     if (request->answered.exchange(true))
         return;
+    if (request->tenantIds)
+        registry_.add(request->tenantIds->completed);
 
     std::vector<std::pair<std::shared_ptr<Conn>, uint64_t>> targets;
     if (request->conn && request->conn->alive.load())
@@ -628,7 +813,7 @@ CamsServer::deliverEncoded(const std::shared_ptr<Request> &request,
         }
     }
     for (const auto &[target, id] : targets) {
-        registry_.add("serve.completed");
+        registry_.add(ids_.completed);
         send(*target, encodeResultBytes(id, fromCache, hintUsed,
                                         queueMs, compileMs,
                                         resultBytes));
@@ -641,8 +826,8 @@ CamsServer::deliverCancelled(const std::shared_ptr<Request> &request,
 {
     if (request->answered.exchange(true))
         return;
-    registry_.add(wasQueued ? "serve.cancelled_queued"
-                            : "serve.cancelled_in_flight");
+    registry_.add(wasQueued ? ids_.cancelledQueued
+                            : ids_.cancelledInFlight);
     const auto waiters = abandonDedup(request);
     if (request->conn && request->conn->alive.load())
         send(*request->conn,
@@ -731,7 +916,7 @@ CamsServer::watchdogLoop()
             }
         }
         for (const std::shared_ptr<Request> &request : hung) {
-            registry_.add("serve.watchdog_fired");
+            registry_.add(ids_.watchdogFired);
             CompileResult timedOut;
             timedOut.failure = FailureKind::Timeout;
             timedOut.failureDetail = detail::concat(

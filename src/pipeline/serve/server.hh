@@ -59,6 +59,7 @@
 #include "pipeline/serve/stream.hh"
 #include "support/metrics.hh"
 #include "support/socket.hh"
+#include "support/trace.hh"
 
 namespace cams
 {
@@ -123,6 +124,16 @@ struct ServeConfig
 
     /** Server-side outbound chaos injection (tests/harness only). */
     ChaosConfig chaos;
+
+    /**
+     * Request-trace sink (null = tracing off). Submits that arrive
+     * with traceSampled set record their admission, queue wait and
+     * compile phases into it, tagged "req-<traceId>", so one
+     * request's server-side life is a correlated lane in the Chrome
+     * trace. camsd owns the sink (bounded ring) and writes it at
+     * shutdown.
+     */
+    TraceSink *traceSink = nullptr;
 
     /**
      * Base options of every served compile. scheduler/clustered come
@@ -194,9 +205,30 @@ class CamsServer
      */
     std::string metricsJson() const;
 
+    /**
+     * Full live-telemetry snapshot: uptime, queue depth, in-flight
+     * count, every counter and histogram (cumulative + last-1m/5m
+     * windows) and the per-tenant breakdown. The same snapshot a
+     * StatsRequest gets on the wire; camsd's --stats-interval-ms
+     * heartbeat renders it locally.
+     */
+    StatsReplyMsg statsReply(uint64_t token = 0) const;
+
+    /** The answer a HealthRequest gets. */
+    HealthReplyMsg healthReply(uint64_t token = 0) const;
+
     const ServeConfig &config() const { return config_; }
 
   private:
+    /** Interned per-tenant counter ids ("serve.tenant.<t>.*"). */
+    struct TenantIds
+    {
+        MetricsRegistry::MetricId submitted = 0;
+        MetricsRegistry::MetricId completed = 0;
+        MetricsRegistry::MetricId shed = 0;
+        MetricsRegistry::MetricId cacheHits = 0;
+    };
+
     struct Conn
     {
         SocketFd fd;
@@ -204,6 +236,8 @@ class CamsServer
         std::string tenant;
         ServeStream stream;
         std::atomic<bool> alive{true};
+        /** Set at handshake; points into tenantMetricIds_ (stable). */
+        const TenantIds *tenantIds = nullptr;
     };
 
     /**
@@ -232,6 +266,8 @@ class CamsServer
         std::shared_ptr<Conn> conn;
         SubmitMsg msg;
         std::string tenant;
+        /** Copied from the admitting Conn (stable storage). */
+        const TenantIds *tenantIds = nullptr;
         int64_t arrivalMicros = 0;
         /** Dequeue time; set/read under queueMutex_ (watchdog). */
         int64_t startedMicros = 0;
@@ -285,6 +321,9 @@ class CamsServer
     /** Lazily opened per-tenant cache; null when caching is off. */
     CompileCache *tenantCache(const std::string &tenant);
 
+    /** Interns (once) and returns a tenant's counter ids. */
+    const TenantIds *tenantIds(const std::string &tenant);
+
     void notifyIfDrained();
 
     ServeConfig config_;
@@ -321,6 +360,41 @@ class CamsServer
 
     mutable MetricsRegistry registry_;
     std::atomic<bool> started_{false};
+    int64_t startMicros_ = 0;
+
+    /**
+     * Hot-path metric ids, interned once at construction so every
+     * per-request recording site is a lock-free id operation -- no
+     * name lookup, no registry mutex.
+     */
+    struct MetricIds
+    {
+        MetricsRegistry::MetricId connections = 0;
+        MetricsRegistry::MetricId accepted = 0;
+        MetricsRegistry::MetricId shedFull = 0;
+        MetricsRegistry::MetricId shedDraining = 0;
+        MetricsRegistry::MetricId completed = 0;
+        MetricsRegistry::MetricId compiled = 0;
+        MetricsRegistry::MetricId cacheHits = 0;
+        MetricsRegistry::MetricId deadlineExpired = 0;
+        MetricsRegistry::MetricId cancelledQueued = 0;
+        MetricsRegistry::MetricId cancelledInFlight = 0;
+        MetricsRegistry::MetricId protocolErrors = 0;
+        MetricsRegistry::MetricId readTimeouts = 0;
+        MetricsRegistry::MetricId watchdogFired = 0;
+        MetricsRegistry::MetricId dedupReplayed = 0;
+        MetricsRegistry::MetricId dedupJoined = 0;
+        MetricsRegistry::MetricId dedupMismatch = 0;
+        MetricsRegistry::MetricId statsPolls = 0;
+        MetricsRegistry::MetricId queueMs = 0;    ///< histogram
+        MetricsRegistry::MetricId compileMs = 0;  ///< histogram
+        MetricsRegistry::MetricId queueDepth = 0; ///< histogram
+    };
+    MetricIds ids_;
+
+    mutable std::mutex tenantIdsMutex_;
+    /** node-stable map: Conn/Request keep pointers into it. */
+    std::map<std::string, TenantIds> tenantMetricIds_;
 };
 
 /** Filesystem-safe tenant directory name ([A-Za-z0-9_-], else '_';

@@ -1,0 +1,215 @@
+#include "pipeline/serve/stats_text.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/str.hh"
+
+namespace cams
+{
+
+namespace
+{
+
+void
+appendSummaryJson(std::ostringstream &os,
+                  const HistogramSummary &summary)
+{
+    os << "{\"count\":" << summary.count << ",\"min\":" << summary.min
+       << ",\"mean\":" << summary.mean << ",\"max\":" << summary.max
+       << ",\"p50\":" << summary.p50 << ",\"p90\":" << summary.p90
+       << ",\"p99\":" << summary.p99 << "}";
+}
+
+/** "serve.compile_ms" -> "cams_serve_compile_ms". */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "cams_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+const StatsCounter *
+findCounter(const StatsReplyMsg &msg, const std::string &name)
+{
+    for (const StatsCounter &counter : msg.counters)
+        if (counter.name == name)
+            return &counter;
+    return nullptr;
+}
+
+const StatsHistogram *
+findHistogram(const StatsReplyMsg &msg, const std::string &name)
+{
+    for (const StatsHistogram &histogram : msg.histograms)
+        if (histogram.name == name)
+            return &histogram;
+    return nullptr;
+}
+
+} // namespace
+
+std::string
+renderStatsJson(const StatsReplyMsg &msg)
+{
+    std::ostringstream os;
+    os << "{\"uptime_seconds\":" << msg.uptimeSeconds
+       << ",\"window_seconds\":" << msg.windowSeconds
+       << ",\"queue_depth\":" << msg.queueDepth
+       << ",\"in_flight\":" << msg.inFlight
+       << ",\"workers\":" << msg.workers
+       << ",\"queue_capacity\":" << msg.queueCapacity
+       << ",\"draining\":" << (msg.draining ? "true" : "false");
+    os << ",\"counters\":{";
+    bool first = true;
+    for (const StatsCounter &counter : msg.counters) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << counter.name
+           << "\":{\"total\":" << counter.total
+           << ",\"last1m\":" << counter.last1m
+           << ",\"last5m\":" << counter.last5m << "}";
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const StatsHistogram &histogram : msg.histograms) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << histogram.name << "\":{\"total\":";
+        appendSummaryJson(os, histogram.total);
+        os << ",\"last1m\":";
+        appendSummaryJson(os, histogram.last1m);
+        os << ",\"last5m\":";
+        appendSummaryJson(os, histogram.last5m);
+        os << "}";
+    }
+    os << "},\"tenants\":{";
+    first = true;
+    for (const TenantStats &tenant : msg.tenants) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << tenant.tenant
+           << "\":{\"submitted\":" << tenant.submitted
+           << ",\"completed\":" << tenant.completed
+           << ",\"shed\":" << tenant.shed
+           << ",\"cache_hits\":" << tenant.cacheHits << "}";
+    }
+    os << "}}";
+    return os.str();
+}
+
+std::string
+renderPrometheus(const StatsReplyMsg &msg)
+{
+    std::ostringstream os;
+    os << "# HELP cams_uptime_seconds Daemon uptime.\n"
+       << "# TYPE cams_uptime_seconds gauge\n"
+       << "cams_uptime_seconds " << msg.uptimeSeconds << "\n";
+    os << "# TYPE cams_queue_depth gauge\n"
+       << "cams_queue_depth " << msg.queueDepth << "\n";
+    os << "# TYPE cams_in_flight gauge\n"
+       << "cams_in_flight " << msg.inFlight << "\n";
+    os << "# TYPE cams_draining gauge\n"
+       << "cams_draining " << (msg.draining ? 1 : 0) << "\n";
+    for (const StatsCounter &counter : msg.counters) {
+        const std::string name = promName(counter.name) + "_total";
+        os << "# TYPE " << name << " counter\n"
+           << name << " " << counter.total << "\n";
+    }
+    for (const StatsHistogram &histogram : msg.histograms) {
+        const std::string base = promName(histogram.name);
+        os << "# TYPE " << base << " summary\n";
+        os << base << "{quantile=\"0.5\"} " << histogram.total.p50
+           << "\n";
+        os << base << "{quantile=\"0.9\"} " << histogram.total.p90
+           << "\n";
+        os << base << "{quantile=\"0.99\"} " << histogram.total.p99
+           << "\n";
+        os << base << "_count " << histogram.total.count << "\n";
+        os << base << "_sum "
+           << histogram.total.mean *
+                  static_cast<double>(histogram.total.count)
+           << "\n";
+        // Windowed percentiles as gauges: scrapers usually derive
+        // rates themselves, but the 1m window is what cams_top and
+        // alert rules watch, so it is exported ready-made.
+        os << "# TYPE " << base << "_1m gauge\n";
+        os << base << "_1m{quantile=\"0.5\"} " << histogram.last1m.p50
+           << "\n";
+        os << base << "_1m{quantile=\"0.99\"} "
+           << histogram.last1m.p99 << "\n";
+    }
+    for (const TenantStats &tenant : msg.tenants) {
+        const std::string label =
+            "{tenant=\"" + tenant.tenant + "\"} ";
+        os << "cams_tenant_submitted_total" << label
+           << tenant.submitted << "\n";
+        os << "cams_tenant_completed_total" << label
+           << tenant.completed << "\n";
+        os << "cams_tenant_shed_total" << label << tenant.shed
+           << "\n";
+        os << "cams_tenant_cache_hits_total" << label
+           << tenant.cacheHits << "\n";
+    }
+    return os.str();
+}
+
+std::string
+renderStatsLine(const StatsReplyMsg &msg)
+{
+    const StatsCounter *completed =
+        findCounter(msg, "serve.completed");
+    const StatsCounter *shedFull = findCounter(msg, "serve.shed_full");
+    const StatsCounter *shedDraining =
+        findCounter(msg, "serve.shed_draining");
+    const StatsCounter *compiled = findCounter(msg, "serve.compiled");
+    const StatsCounter *cacheHits =
+        findCounter(msg, "serve.cache_hits");
+    const StatsHistogram *compileMs =
+        findHistogram(msg, "serve.compile_ms");
+
+    const int64_t done = completed ? completed->total : 0;
+    const int64_t done1m = completed ? completed->last1m : 0;
+    const int64_t shed = (shedFull ? shedFull->total : 0) +
+                         (shedDraining ? shedDraining->total : 0);
+    const int64_t compiles = compiled ? compiled->total : 0;
+    const int64_t hits = cacheHits ? cacheHits->total : 0;
+    const long hitPct =
+        compiles > 0
+            ? static_cast<long>(100.0 * static_cast<double>(hits) /
+                                static_cast<double>(compiles))
+            : 0;
+
+    std::ostringstream os;
+    os << "up " << static_cast<long>(msg.uptimeSeconds) << "s q "
+       << msg.queueDepth << "/" << msg.queueCapacity << " infl "
+       << msg.inFlight << " done " << done << " (+" << done1m
+       << "/1m) shed " << shed << " cache " << hitPct << "%";
+    if (compileMs && compileMs->total.count > 0) {
+        os << " compile p50 "
+           << formatFixed(compileMs->last1m.count > 0
+                              ? compileMs->last1m.p50
+                              : compileMs->total.p50,
+                          1)
+           << "ms p99 "
+           << formatFixed(compileMs->last1m.count > 0
+                              ? compileMs->last1m.p99
+                              : compileMs->total.p99,
+                          1)
+           << "ms";
+    }
+    if (msg.draining)
+        os << " DRAINING";
+    return os.str();
+}
+
+} // namespace cams

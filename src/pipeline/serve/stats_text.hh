@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Renderers that turn one StatsReplyMsg snapshot into the three
+ * textual shapes the telemetry plane serves:
+ *
+ *  - JSON: the machine-readable form cams_top --json emits and
+ *    check_stats.py validates; one flat object per poll.
+ *  - Prometheus text exposition (version 0.0.4): every counter as a
+ *    `counter`, every histogram summary as per-quantile gauges plus
+ *    _count/_sum-style series, ready for a standard scraper to
+ *    ingest without an adapter.
+ *  - A one-line operator heartbeat: the handful of numbers a human
+ *    watches (uptime, throughput, p50/p99, queue, shed, cache-hit
+ *    rate), emitted by camsd --stats-interval-ms.
+ *
+ * Rendering is pure (snapshot in, string out): the renderers run
+ * client-side in cams_top and server-side in camsd's heartbeat from
+ * the same wire struct, so the two views can never drift.
+ *
+ * Metric name mangling for Prometheus: dots become underscores and a
+ * "cams_" prefix is added ("serve.compile_ms" ->
+ * "cams_serve_compile_ms"); names are already [a-z0-9_.] by the
+ * registry's naming convention.
+ */
+
+#ifndef CAMS_PIPELINE_SERVE_STATS_TEXT_HH
+#define CAMS_PIPELINE_SERVE_STATS_TEXT_HH
+
+#include <string>
+
+#include "pipeline/serve/proto.hh"
+
+namespace cams
+{
+
+/**
+ * Full JSON rendering of a stats snapshot:
+ * {"uptime_seconds":..,"window_seconds":..,"queue_depth":..,
+ *  "in_flight":..,"workers":..,"queue_capacity":..,"draining":..,
+ *  "counters":{name:{"total":..,"last1m":..,"last5m":..}},
+ *  "histograms":{name:{"total":{summary},"last1m":{..},"last5m":{..}}},
+ *  "tenants":{name:{"submitted":..,"completed":..,"shed":..,
+ *                   "cache_hits":..}}}
+ * where {summary} is the registry's count/min/mean/max/p50/p90/p99.
+ */
+std::string renderStatsJson(const StatsReplyMsg &msg);
+
+/** Prometheus text exposition (0.0.4) of the same snapshot. */
+std::string renderPrometheus(const StatsReplyMsg &msg);
+
+/**
+ * One-line human heartbeat, e.g.
+ * "up 42s q 3/64 infl 2 done 1234 (+56/1m) shed 7 cache 78%
+ *  compile p50 12.3ms p99 87.6ms".
+ */
+std::string renderStatsLine(const StatsReplyMsg &msg);
+
+} // namespace cams
+
+#endif // CAMS_PIPELINE_SERVE_STATS_TEXT_HH

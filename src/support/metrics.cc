@@ -1,114 +1,507 @@
 #include "support/metrics.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
 #include <sstream>
+#include <thread>
+
+#include "support/logging.hh"
+#include "support/time.hh"
 
 namespace cams
 {
 
+namespace
+{
+
+/**
+ * Order-preserving encoding of a double into a uint64_t, so min/max
+ * can be maintained with plain integer compare-and-swap loops even
+ * for negative samples.
+ */
+uint64_t
+orderedBits(double value)
+{
+    const uint64_t bits = std::bit_cast<uint64_t>(value);
+    return (bits & (1ull << 63)) ? ~bits : bits | (1ull << 63);
+}
+
+double
+fromOrderedBits(uint64_t ordered)
+{
+    const uint64_t bits = (ordered & (1ull << 63))
+                              ? ordered & ~(1ull << 63)
+                              : ~ordered;
+    return std::bit_cast<double>(bits);
+}
+
+void
+atomicAddDouble(std::atomic<double> &target, double delta)
+{
+    double expected = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(expected, expected + delta,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMinOrdered(std::atomic<uint64_t> &target, uint64_t ordered)
+{
+    uint64_t expected = target.load(std::memory_order_relaxed);
+    while (ordered < expected &&
+           !target.compare_exchange_weak(expected, ordered,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMaxOrdered(std::atomic<uint64_t> &target, uint64_t ordered)
+{
+    uint64_t expected = target.load(std::memory_order_relaxed);
+    while (ordered > expected &&
+           !target.compare_exchange_weak(expected, ordered,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+/** Stripe of the calling thread (spreads counter contention). */
+size_t
+threadStripe(size_t stripes)
+{
+    static thread_local const size_t stripe =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return stripe % stripes;
+}
+
+} // namespace
+
+void
+MetricsRegistry::HistSlab::reset()
+{
+    count.store(0, std::memory_order_relaxed);
+    sum.store(0.0, std::memory_order_relaxed);
+    minBits.store(orderedBits(std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+    maxBits.store(
+        orderedBits(-std::numeric_limits<double>::infinity()),
+        std::memory_order_relaxed);
+    for (std::atomic<uint64_t> &bucket : buckets)
+        bucket.store(0, std::memory_order_relaxed);
+}
+
+int
+MetricsRegistry::bucketIndex(double value)
+{
+    // Underflow bucket: zero, negatives, NaN and sub-2^minExponent
+    // values. min/max are exact, so clamping repairs the percentile
+    // estimate for these degenerate samples.
+    if (!(value >= std::ldexp(1.0, minExponent)))
+        return 0;
+    if (value >= std::ldexp(1.0, maxExponent))
+        return bucketCount - 1;
+    const uint64_t bits = std::bit_cast<uint64_t>(value);
+    const int offset = (1023 + minExponent) << subBucketBits;
+    return static_cast<int>(bits >> (52 - subBucketBits)) - offset + 1;
+}
+
+double
+MetricsRegistry::bucketLowerBound(int index)
+{
+    if (index <= 0)
+        return 0.0;
+    if (index >= bucketCount - 1)
+        return std::ldexp(1.0, maxExponent);
+    const int offset = (1023 + minExponent) << subBucketBits;
+    const uint64_t bits = static_cast<uint64_t>(index - 1 + offset)
+                          << (52 - subBucketBits);
+    return std::bit_cast<double>(bits);
+}
+
+HistogramSummary
+MetricsRegistry::summarizeSlabs(
+    const std::vector<const HistSlab *> &slabs)
+{
+    HistogramSummary summary;
+    double sum = 0.0;
+    uint64_t minOrdered =
+        orderedBits(std::numeric_limits<double>::infinity());
+    uint64_t maxOrdered =
+        orderedBits(-std::numeric_limits<double>::infinity());
+    std::vector<uint64_t> merged(bucketCount, 0);
+    for (const HistSlab *slab : slabs) {
+        summary.count += slab->count.load(std::memory_order_relaxed);
+        sum += slab->sum.load(std::memory_order_relaxed);
+        minOrdered = std::min(
+            minOrdered, slab->minBits.load(std::memory_order_relaxed));
+        maxOrdered = std::max(
+            maxOrdered, slab->maxBits.load(std::memory_order_relaxed));
+        for (int i = 0; i < bucketCount; ++i)
+            merged[i] +=
+                slab->buckets[i].load(std::memory_order_relaxed);
+    }
+    if (summary.count == 0)
+        return summary;
+    summary.min = fromOrderedBits(minOrdered);
+    summary.max = fromOrderedBits(maxOrdered);
+    summary.mean = std::clamp(
+        sum / static_cast<double>(summary.count), summary.min,
+        summary.max);
+
+    // The bucket array can momentarily disagree with the count (a
+    // racing record lands between the two loads); walk against the
+    // buckets' own total so the rank always resolves.
+    uint64_t bucketTotal = 0;
+    for (const uint64_t n : merged)
+        bucketTotal += n;
+    const auto percentile = [&](double fraction) {
+        if (bucketTotal == 0)
+            return summary.min;
+        // Same nearest-rank formula the sample-vector registry used,
+        // so exactly-representable data (integers, boundary values)
+        // reproduces the old percentiles bit for bit.
+        const uint64_t rank = static_cast<uint64_t>(
+            fraction * static_cast<double>(bucketTotal - 1) + 0.5);
+        uint64_t cumulative = 0;
+        for (int i = 0; i < bucketCount; ++i) {
+            cumulative += merged[i];
+            if (cumulative > rank)
+                return std::clamp(bucketLowerBound(i), summary.min,
+                                  summary.max);
+        }
+        return summary.max;
+    };
+    summary.p50 = percentile(0.50);
+    summary.p90 = percentile(0.90);
+    summary.p99 = percentile(0.99);
+    return summary;
+}
+
+MetricsRegistry::MetricsRegistry(double windowSeconds, int windowCount)
+    : windowSeconds_(windowSeconds > 0.0 ? windowSeconds : 10.0),
+      windowCount_(windowCount > 0 ? windowCount : 1),
+      liveStartMicros_(nowMicros())
+{
+}
+
+MetricsRegistry::MetricId
+MetricsRegistry::counterId(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counterIds_.find(name);
+    if (it != counterIds_.end())
+        return it->second;
+    const MetricId id = static_cast<MetricId>(counterStore_.size());
+    if (id >= maxMetrics)
+        cams_panic("metric cardinality bomb: more than ", maxMetrics,
+                   " distinct counter names (latest: ", name, ")");
+    counterStore_.push_back(std::make_unique<Counter>());
+    counterSlots_[id].store(counterStore_.back().get(),
+                            std::memory_order_release);
+    counterIds_.emplace(name, id);
+    return id;
+}
+
+MetricsRegistry::MetricId
+MetricsRegistry::histogramId(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histogramIds_.find(name);
+    if (it != histogramIds_.end())
+        return it->second;
+    const MetricId id = static_cast<MetricId>(histogramStore_.size());
+    if (id >= maxMetrics)
+        cams_panic("metric cardinality bomb: more than ", maxMetrics,
+                   " distinct histogram names (latest: ", name, ")");
+    auto histogram = std::make_unique<Histogram>();
+    histogram->liveSlab = std::make_unique<HistSlab>();
+    histogram->live.store(histogram->liveSlab.get(),
+                          std::memory_order_relaxed);
+    histogramStore_.push_back(std::move(histogram));
+    histogramSlots_[id].store(histogramStore_.back().get(),
+                              std::memory_order_release);
+    histogramIds_.emplace(name, id);
+    return id;
+}
+
+void
+MetricsRegistry::add(MetricId id, int64_t delta)
+{
+    Counter *counter =
+        counterSlots_[id % maxMetrics].load(std::memory_order_acquire);
+    if (counter == nullptr)
+        return; // never interned: a stale or foreign id
+    counter->stripes[threadStripe(counterStripes)].value.fetch_add(
+        delta, std::memory_order_relaxed);
+    counter->window.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::record(MetricId id, double value)
+{
+    Histogram *histogram = histogramSlots_[id % maxMetrics].load(
+        std::memory_order_acquire);
+    if (histogram == nullptr)
+        return;
+    const int bucket = bucketIndex(value);
+    const uint64_t ordered = orderedBits(value);
+    for (HistSlab *slab :
+         {&histogram->total,
+          histogram->live.load(std::memory_order_acquire)}) {
+        slab->count.fetch_add(1, std::memory_order_relaxed);
+        atomicAddDouble(slab->sum, value);
+        atomicMinOrdered(slab->minBits, ordered);
+        atomicMaxOrdered(slab->maxBits, ordered);
+        slab->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
 void
 MetricsRegistry::add(const std::string &name, int64_t delta)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    counters_[name] += delta;
-}
-
-int64_t
-MetricsRegistry::counter(const std::string &name) const
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    add(counterId(name), delta);
 }
 
 void
 MetricsRegistry::record(const std::string &name, double value)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    samples_[name].push_back(value);
+    record(histogramId(name), value);
+}
+
+const MetricsRegistry::Counter *
+MetricsRegistry::findCounter(const std::string &name) const
+{
+    const auto it = counterIds_.find(name);
+    if (it == counterIds_.end())
+        return nullptr;
+    return counterSlots_[it->second].load(std::memory_order_acquire);
+}
+
+const MetricsRegistry::Histogram *
+MetricsRegistry::findHistogram(const std::string &name) const
+{
+    const auto it = histogramIds_.find(name);
+    if (it == histogramIds_.end())
+        return nullptr;
+    return histogramSlots_[it->second].load(std::memory_order_acquire);
 }
 
 namespace
 {
 
-/** Nearest-rank percentile over a sorted sample vector. */
-double
-percentileOf(const std::vector<double> &sorted, double fraction)
+int64_t
+stripeSum(const auto &stripes)
 {
-    if (sorted.empty())
-        return 0.0;
-    const size_t rank = static_cast<size_t>(
-        fraction * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(rank, sorted.size() - 1)];
-}
-
-HistogramSummary
-summarize(std::vector<double> samples)
-{
-    HistogramSummary summary;
-    if (samples.empty())
-        return summary;
-    std::sort(samples.begin(), samples.end());
-    summary.count = samples.size();
-    summary.min = samples.front();
-    summary.max = samples.back();
-    double sum = 0.0;
-    for (const double sample : samples)
-        sum += sample;
-    summary.mean = sum / static_cast<double>(samples.size());
-    summary.p50 = percentileOf(samples, 0.5);
-    summary.p90 = percentileOf(samples, 0.9);
-    summary.p99 = percentileOf(samples, 0.99);
-    return summary;
+    int64_t total = 0;
+    for (const auto &stripe : stripes)
+        total += stripe.value.load(std::memory_order_relaxed);
+    return total;
 }
 
 } // namespace
 
+int64_t
+MetricsRegistry::counter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Counter *counter = findCounter(name);
+    return counter == nullptr ? 0 : stripeSum(counter->stripes);
+}
+
 HistogramSummary
 MetricsRegistry::histogram(const std::string &name) const
 {
-    std::vector<double> samples;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = samples_.find(name);
-        if (it == samples_.end())
-            return HistogramSummary{};
-        samples = it->second;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Histogram *histogram = findHistogram(name);
+    if (histogram == nullptr)
+        return HistogramSummary{};
+    return summarizeSlabs({&histogram->total});
+}
+
+int
+MetricsRegistry::closedWindowsFor(double seconds) const
+{
+    const int windows = static_cast<int>(
+        std::ceil(seconds / windowSeconds_));
+    return std::clamp(windows, 0, windowCount_);
+}
+
+HistogramSummary
+MetricsRegistry::histogramWindow(const std::string &name,
+                                 double seconds) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const_cast<MetricsRegistry *>(this)->maybeRotateLocked(
+        nowMicros());
+    const Histogram *histogram = findHistogram(name);
+    if (histogram == nullptr)
+        return HistogramSummary{};
+    std::vector<const HistSlab *> slabs;
+    slabs.push_back(histogram->liveSlab.get());
+    const int closed = closedWindowsFor(seconds);
+    const int available = static_cast<int>(histogram->closed.size());
+    for (int i = 0; i < std::min(closed, available); ++i)
+        slabs.push_back(
+            histogram->closed[available - 1 - i].slab.get());
+    return summarizeSlabs(slabs);
+}
+
+int64_t
+MetricsRegistry::counterWindow(const std::string &name,
+                               double seconds) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const_cast<MetricsRegistry *>(this)->maybeRotateLocked(
+        nowMicros());
+    const Counter *counter = findCounter(name);
+    if (counter == nullptr)
+        return 0;
+    int64_t total = counter->window.load(std::memory_order_relaxed);
+    const int closed = closedWindowsFor(seconds);
+    const int available = static_cast<int>(counter->closed.size());
+    for (int i = 0; i < std::min(closed, available); ++i)
+        total += counter->closed[available - 1 - i].delta;
+    return total;
+}
+
+std::vector<std::string>
+MetricsRegistry::counterNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(counterIds_.size());
+    for (const auto &[name, id] : counterIds_) {
+        (void)id;
+        names.push_back(name);
     }
-    return summarize(std::move(samples));
+    return names;
+}
+
+std::vector<std::string>
+MetricsRegistry::histogramNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(histogramIds_.size());
+    for (const auto &[name, id] : histogramIds_) {
+        (void)id;
+        names.push_back(name);
+    }
+    return names;
 }
 
 bool
 MetricsRegistry::empty() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return counters_.empty() && samples_.empty();
+    return counterIds_.empty() && histogramIds_.empty();
+}
+
+void
+MetricsRegistry::maybeRotateLocked(int64_t nowUs)
+{
+    if (static_cast<double>(nowUs - liveStartMicros_) >=
+        windowSeconds_ * 1e6)
+        rotateLocked(nowUs);
+}
+
+void
+MetricsRegistry::rotate()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rotateLocked(nowMicros());
+}
+
+void
+MetricsRegistry::rotateLocked(int64_t nowUs)
+{
+    for (const std::unique_ptr<Histogram> &histogram :
+         histogramStore_) {
+        // Reuse an evicted slab when one exists: the ring reaches a
+        // fixed slab population and never allocates again. Slabs are
+        // recycled rather than freed so a recording thread holding a
+        // just-rotated live pointer still writes into a live object
+        // (its sample lands in a stale window -- harmless).
+        std::unique_ptr<HistSlab> fresh;
+        if (!histogram->spare.empty()) {
+            fresh = std::move(histogram->spare.back());
+            histogram->spare.pop_back();
+            fresh->reset();
+        } else {
+            fresh = std::make_unique<HistSlab>();
+        }
+        ClosedHistWindow window;
+        window.slab = std::move(histogram->liveSlab);
+        window.startMicros = liveStartMicros_;
+        window.endMicros = nowUs;
+        histogram->liveSlab = std::move(fresh);
+        histogram->live.store(histogram->liveSlab.get(),
+                              std::memory_order_release);
+        histogram->closed.push_back(std::move(window));
+        while (static_cast<int>(histogram->closed.size()) >
+               windowCount_) {
+            histogram->spare.push_back(
+                std::move(histogram->closed.front().slab));
+            histogram->closed.pop_front();
+        }
+    }
+    for (const std::unique_ptr<Counter> &counter : counterStore_) {
+        ClosedCounterWindow window;
+        window.delta =
+            counter->window.exchange(0, std::memory_order_relaxed);
+        window.startMicros = liveStartMicros_;
+        window.endMicros = nowUs;
+        counter->closed.push_back(window);
+        while (static_cast<int>(counter->closed.size()) >
+               windowCount_)
+            counter->closed.pop_front();
+    }
+    liveStartMicros_ = nowUs;
+}
+
+size_t
+MetricsRegistry::footprintBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t bytes = 0;
+    for (const std::unique_ptr<Counter> &counter : counterStore_) {
+        bytes += sizeof(Counter);
+        bytes += counter->closed.size() *
+                 sizeof(ClosedCounterWindow);
+    }
+    for (const std::unique_ptr<Histogram> &histogram :
+         histogramStore_) {
+        bytes += sizeof(Histogram) + sizeof(HistSlab); // total + live
+        bytes += histogram->closed.size() *
+                 (sizeof(ClosedHistWindow) + sizeof(HistSlab));
+        bytes += histogram->spare.size() * sizeof(HistSlab);
+    }
+    return bytes;
 }
 
 std::string
 MetricsRegistry::toJson() const
 {
-    std::map<std::string, int64_t> counters;
-    std::map<std::string, std::vector<double>> samples;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        counters = counters_;
-        samples = samples_;
-    }
-
+    std::lock_guard<std::mutex> lock(mutex_);
     std::ostringstream os;
     os << "{\"counters\":{";
     bool first = true;
-    for (const auto &[name, value] : counters) {
+    for (const auto &[name, id] : counterIds_) {
+        const Counter *counter =
+            counterSlots_[id].load(std::memory_order_acquire);
         if (!first)
             os << ",";
         first = false;
-        os << "\"" << name << "\":" << value;
+        os << "\"" << name << "\":" << stripeSum(counter->stripes);
     }
     os << "},\"histograms\":{";
     first = true;
-    for (auto &[name, values] : samples) {
-        const HistogramSummary s = summarize(values);
+    for (const auto &[name, id] : histogramIds_) {
+        const Histogram *histogram =
+            histogramSlots_[id].load(std::memory_order_acquire);
+        const HistogramSummary s =
+            summarizeSlabs({&histogram->total});
         if (!first)
             os << ",";
         first = false;

@@ -7,18 +7,47 @@
  * trajectories carry distributions (ii_slack, per-phase times), not
  * just sums.
  *
- * Thread safety: all mutating and reading calls take the registry
- * mutex; concurrent batch workers record freely. Recording is an
- * O(log n) map lookup plus a push_back -- cheap enough for per-job
- * facts, not intended for per-node inner loops (that is what the
- * decision trace is for).
+ * Storage model. Every metric name is interned once into a small id;
+ * recording through an id touches only relaxed atomics -- no mutex,
+ * no allocation, no clock read -- so the serve hot path can record
+ * per-request facts at full load. Counters are striped across cache
+ * lines (concurrent workers do not bounce one line); distributions
+ * are HdrHistogram-style log-linear bucket arrays of fixed size, so
+ * per-histogram memory is capped no matter how many samples a
+ * long-running daemon records.
+ *
+ * Bucket scheme and accuracy. Buckets split each power of two into
+ * 2^subBucketBits linear sub-buckets ("log-linear"). A reported
+ * percentile is the *lower bound* of the bucket holding that rank,
+ * clamped into the exact [min, max] observed, so values that land on
+ * a bucket boundary (all integers up to 2^subBucketBits, and every
+ * sub-bucket multiple above) are reproduced exactly and any other
+ * value is under-reported by strictly less than one sub-bucket
+ * width: the maximum relative error is 2^-subBucketBits (3.125% for
+ * the 32 sub-buckets used here). count/min/mean/max are exact.
+ *
+ * Windows. Each metric also feeds a rotating time window (default
+ * 10 s): the live window closes on rotate() -- called by whoever
+ * polls the registry (the stats endpoint, camsd's heartbeat) -- and
+ * a bounded ring of closed windows supports "last 1 m" / "last 5 m"
+ * aggregates. Closed-window slabs are recycled, never freed, so the
+ * registry's footprint reaches a fixed ceiling and stays there.
+ *
+ * Thread safety: recording and reading may race freely from any
+ * thread. Rotation and reads serialize on an internal mutex; a
+ * sample racing a rotation may land in the window that just closed,
+ * which telemetry consumers must (and do) tolerate.
  */
 
 #ifndef CAMS_SUPPORT_METRICS_HH
 #define CAMS_SUPPORT_METRICS_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -42,20 +71,101 @@ struct HistogramSummary
 class MetricsRegistry
 {
   public:
+    /** Interned handle; recording through it is lock-free. */
+    using MetricId = uint32_t;
+
+    /** Linear sub-buckets per power of two (as a bit count). */
+    static constexpr int subBucketBits = 5;
+
+    /**
+     * Documented accuracy bound of the bucket scheme: a percentile
+     * is under-reported by at most this fraction of the true value
+     * (see the file comment; count/min/mean/max are exact).
+     */
+    static constexpr double maxRelativeError =
+        1.0 / (1 << subBucketBits);
+
+    /**
+     * @param windowSeconds  span of one live window before rotate()
+     *                       closes it
+     * @param windowCount    closed windows kept (the ring bound);
+     *                       windowSeconds * windowCount is the
+     *                       longest queryable "last N seconds"
+     */
+    explicit MetricsRegistry(double windowSeconds = 10.0,
+                             int windowCount = 30);
+
+    // -- Interning ----------------------------------------------------
+
+    /** Interns a counter name (idempotent). */
+    MetricId counterId(const std::string &name);
+
+    /** Interns a distribution name (idempotent). */
+    MetricId histogramId(const std::string &name);
+
+    // -- Recording (lock-free by id) ----------------------------------
+
+    /** Increments a counter through its interned id. */
+    void add(MetricId id, int64_t delta = 1);
+
+    /** Records one sample through its interned id. */
+    void record(MetricId id, double value);
+
+    // -- Recording (interning string convenience) ---------------------
+
     /** Increments a monotonic counter. */
     void add(const std::string &name, int64_t delta = 1);
-
-    /** Current value of a counter (0 when never touched). */
-    int64_t counter(const std::string &name) const;
 
     /** Records one sample into a distribution. */
     void record(const std::string &name, double value);
 
+    // -- Reading ------------------------------------------------------
+
+    /** Current value of a counter (0 when never touched). */
+    int64_t counter(const std::string &name) const;
+
     /** Summary of a distribution (zeros when never touched). */
     HistogramSummary histogram(const std::string &name) const;
 
-    /** True when nothing was recorded. */
+    /**
+     * Summary over roughly the last @p seconds: the live window plus
+     * the newest ceil(seconds / windowSeconds) closed windows. The
+     * span actually covered is reported by the caller-visible window
+     * metadata, never less than requested while the data exists.
+     */
+    HistogramSummary histogramWindow(const std::string &name,
+                                     double seconds) const;
+
+    /** Counter delta over roughly the last @p seconds (see above). */
+    int64_t counterWindow(const std::string &name,
+                          double seconds) const;
+
+    /** All interned counter names, sorted. */
+    std::vector<std::string> counterNames() const;
+
+    /** All interned distribution names, sorted. */
+    std::vector<std::string> histogramNames() const;
+
+    /** True when nothing was interned or recorded. */
     bool empty() const;
+
+    /**
+     * Closes the live window of every metric and opens a fresh one.
+     * Also runs implicitly when a read finds the live window older
+     * than windowSeconds, so idle registries stay roughly on cadence
+     * without a dedicated ticker.
+     */
+    void rotate();
+
+    /** Configured live-window span in seconds. */
+    double windowSeconds() const { return windowSeconds_; }
+
+    /**
+     * Bytes held by metric storage (slabs, stripes, rings). Reaches
+     * a fixed ceiling per metric: recording more samples never grows
+     * it (the memory-cap regression test pins exactly this).
+     */
+    size_t footprintBytes() const;
 
     /**
      * One-line JSON snapshot:
@@ -65,9 +175,93 @@ class MetricsRegistry
     std::string toJson() const;
 
   private:
+    // Bucket layout: [0] underflow (zero, negative, sub-tiny), then
+    // log-linear buckets from 2^minExponent to 2^maxExponent, then
+    // [last] overflow.
+    static constexpr int minExponent = -20; ///< ~1 ns when unit is ms
+    static constexpr int maxExponent = 30;  ///< ~12 days in ms
+    static constexpr int bucketCount =
+        2 + (maxExponent - minExponent) * (1 << subBucketBits);
+    static constexpr int counterStripes = 8;
+
+    /** One window's (or the cumulative) bucket state. */
+    struct HistSlab
+    {
+        std::atomic<uint64_t> count{0};
+        std::atomic<double> sum{0.0};
+        std::atomic<uint64_t> minBits; ///< ordered-double encoding
+        std::atomic<uint64_t> maxBits;
+        std::array<std::atomic<uint64_t>, bucketCount> buckets{};
+
+        HistSlab() { reset(); }
+        void reset();
+    };
+
+    struct ClosedHistWindow
+    {
+        std::unique_ptr<HistSlab> slab;
+        int64_t startMicros = 0;
+        int64_t endMicros = 0;
+    };
+
+    struct Histogram
+    {
+        HistSlab total;
+        std::atomic<HistSlab *> live{nullptr};
+        std::unique_ptr<HistSlab> liveSlab;
+        /** Newest last; bounded by windowCount_. */
+        std::deque<ClosedHistWindow> closed;
+        /** Evicted slabs recycled here (memory ceiling, no frees). */
+        std::vector<std::unique_ptr<HistSlab>> spare;
+    };
+
+    struct alignas(64) CounterStripe
+    {
+        std::atomic<int64_t> value{0};
+    };
+
+    struct ClosedCounterWindow
+    {
+        int64_t delta = 0;
+        int64_t startMicros = 0;
+        int64_t endMicros = 0;
+    };
+
+    struct Counter
+    {
+        std::array<CounterStripe, counterStripes> stripes{};
+        std::atomic<int64_t> window{0};
+        std::deque<ClosedCounterWindow> closed;
+    };
+
+    static int bucketIndex(double value);
+    static double bucketLowerBound(int index);
+    static HistogramSummary summarizeSlabs(
+        const std::vector<const HistSlab *> &slabs);
+
+    void rotateLocked(int64_t nowUs);
+    void maybeRotateLocked(int64_t nowUs);
+    int closedWindowsFor(double seconds) const;
+    const Histogram *findHistogram(const std::string &name) const;
+    const Counter *findCounter(const std::string &name) const;
+
+    /** Hard cap on distinct metric names of each kind. The id ->
+     *  storage maps are fixed arrays of atomic pointers so recording
+     *  by id never touches a container an interning thread mutates. */
+    static constexpr size_t maxMetrics = 1024;
+
+    double windowSeconds_;
+    int windowCount_;
+
     mutable std::mutex mutex_;
-    std::map<std::string, int64_t> counters_;
-    std::map<std::string, std::vector<double>> samples_;
+    std::map<std::string, MetricId> counterIds_;
+    std::map<std::string, MetricId> histogramIds_;
+    std::array<std::atomic<Counter *>, maxMetrics> counterSlots_{};
+    std::array<std::atomic<Histogram *>, maxMetrics> histogramSlots_{};
+    /** Owning stores (append-only, guarded by mutex_). */
+    std::vector<std::unique_ptr<Counter>> counterStore_;
+    std::vector<std::unique_ptr<Histogram>> histogramStore_;
+    int64_t liveStartMicros_ = 0;
 };
 
 } // namespace cams

@@ -38,9 +38,30 @@ parseTraceLevel(const std::string &text, TraceLevel &out)
     return true;
 }
 
-TraceSink::TraceSink(TraceLevel level)
-    : level_(level), epochMicros_(nowMicros())
+TraceSink::TraceSink(TraceLevel level, size_t capacity)
+    : level_(level), capacity_(capacity), epochMicros_(nowMicros())
 {
+    if (capacity_ > 0)
+        events_.reserve(capacity_);
+}
+
+void
+TraceSink::push(TraceEvent event)
+{
+    if (capacity_ > 0 && events_.size() >= capacity_) {
+        events_[head_] = std::move(event);
+        head_ = (head_ + 1) % capacity_;
+        ++dropped_;
+        return;
+    }
+    events_.push_back(std::move(event));
+}
+
+uint64_t
+TraceSink::droppedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
 }
 
 int
@@ -69,7 +90,7 @@ TraceSink::complete(std::string name, std::string cat, int64_t startUs,
     event.args = std::move(args);
     std::lock_guard<std::mutex> lock(mutex_);
     event.tid = laneOfCurrentThread();
-    events_.push_back(std::move(event));
+    push(std::move(event));
 }
 
 void
@@ -83,7 +104,7 @@ TraceSink::instant(std::string name, std::string cat, TraceArgs args)
     event.args = std::move(args);
     std::lock_guard<std::mutex> lock(mutex_);
     event.tid = laneOfCurrentThread();
-    events_.push_back(std::move(event));
+    push(std::move(event));
 }
 
 size_t
@@ -97,7 +118,16 @@ std::vector<TraceEvent>
 TraceSink::snapshot() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return events_;
+    if (head_ == 0)
+        return events_;
+    // The ring wrapped: unroll so callers see chronological order.
+    std::vector<TraceEvent> ordered;
+    ordered.reserve(events_.size());
+    ordered.insert(ordered.end(), events_.begin() + head_,
+                   events_.end());
+    ordered.insert(ordered.end(), events_.begin(),
+                   events_.begin() + head_);
+    return ordered;
 }
 
 int
@@ -151,11 +181,10 @@ appendJsonString(std::ostringstream &os, const std::string &text)
 std::string
 TraceSink::toJson() const
 {
-    std::vector<TraceEvent> events;
+    std::vector<TraceEvent> events = snapshot();
     std::map<std::thread::id, int> lanes;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        events = events_;
         lanes = lanes_;
     }
 

@@ -83,9 +83,24 @@ struct TraceEvent
 class TraceSink
 {
   public:
-    explicit TraceSink(TraceLevel level = TraceLevel::Phase);
+    /**
+     * @param level        what gets recorded (see TraceLevel)
+     * @param capacity     maximum events held; 0 = unbounded (batch
+     *                     runs that drain into one file). A bounded
+     *                     sink is a ring: when full, the oldest event
+     *                     is overwritten and droppedCount() grows, so
+     *                     a daemon can trace forever in fixed memory.
+     */
+    explicit TraceSink(TraceLevel level = TraceLevel::Phase,
+                       size_t capacity = 0);
 
     TraceLevel level() const { return level_; }
+
+    /** Configured ring bound (0 = unbounded). */
+    size_t capacity() const { return capacity_; }
+
+    /** Events overwritten because the ring was full. */
+    uint64_t droppedCount() const;
 
     /** True when events of this level are recorded. */
     bool enabled(TraceLevel need) const
@@ -126,10 +141,17 @@ class TraceSink
     /** Lane of the calling thread (assigned on first use). */
     int laneOfCurrentThread();
 
+    /** Appends one event, overwriting the oldest when the ring is
+     *  full. Callers hold mutex_. */
+    void push(TraceEvent event);
+
     TraceLevel level_;
+    size_t capacity_;
     int64_t epochMicros_;
     mutable std::mutex mutex_;
     std::vector<TraceEvent> events_;
+    size_t head_ = 0; ///< oldest slot once the ring wrapped
+    uint64_t dropped_ = 0;
     std::map<std::thread::id, int> lanes_;
 };
 

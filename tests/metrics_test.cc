@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests of the lock-free bucketed MetricsRegistry: histogram edge
+ * cases (0/1 samples, all-equal, bucket boundaries), percentile
+ * accuracy against exact percentiles on random data (the documented
+ * max relative error bound), windowed views, the fixed memory
+ * ceiling across a million records, and concurrent recording.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/metrics.hh"
+
+namespace
+{
+
+using cams::HistogramSummary;
+using cams::MetricsRegistry;
+
+/** Exact nearest-rank percentile on a sorted sample vector. */
+double
+exactPercentile(std::vector<double> sorted, double fraction)
+{
+    std::sort(sorted.begin(), sorted.end());
+    const size_t rank = static_cast<size_t>(
+        fraction * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[rank];
+}
+
+TEST(Metrics, EmptyRegistry)
+{
+    MetricsRegistry registry;
+    EXPECT_TRUE(registry.empty());
+    EXPECT_EQ(registry.counter("nothing"), 0);
+    const HistogramSummary s = registry.histogram("nothing");
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.min, 0.0);
+    EXPECT_EQ(s.max, 0.0);
+    EXPECT_EQ(s.p50, 0.0);
+    EXPECT_TRUE(registry.counterNames().empty());
+    EXPECT_TRUE(registry.histogramNames().empty());
+}
+
+TEST(Metrics, SingleSample)
+{
+    MetricsRegistry registry;
+    registry.record("lat", 42.5);
+    const HistogramSummary s = registry.histogram("lat");
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_EQ(s.min, 42.5);
+    EXPECT_EQ(s.max, 42.5);
+    EXPECT_EQ(s.mean, 42.5);
+    // One sample: every percentile is that sample (clamping into the
+    // exact [min, max] collapses the bucket bound).
+    EXPECT_EQ(s.p50, 42.5);
+    EXPECT_EQ(s.p90, 42.5);
+    EXPECT_EQ(s.p99, 42.5);
+}
+
+TEST(Metrics, AllEqualSamples)
+{
+    MetricsRegistry registry;
+    for (int i = 0; i < 1000; ++i)
+        registry.record("lat", 7.3);
+    const HistogramSummary s = registry.histogram("lat");
+    EXPECT_EQ(s.count, 1000u);
+    EXPECT_EQ(s.min, 7.3);
+    EXPECT_EQ(s.max, 7.3);
+    EXPECT_NEAR(s.mean, 7.3, 1e-9);
+    EXPECT_EQ(s.p50, 7.3);
+    EXPECT_EQ(s.p90, 7.3);
+    EXPECT_EQ(s.p99, 7.3);
+}
+
+TEST(Metrics, BucketBoundaryValuesAreExact)
+{
+    // Integers up to 2^subBucketBits (and every power of two) sit on
+    // bucket boundaries, so their percentiles reproduce exactly.
+    MetricsRegistry registry;
+    std::vector<double> values;
+    for (int i = 1; i <= 32; ++i)
+        values.push_back(static_cast<double>(i));
+    for (int e = 5; e <= 20; ++e)
+        values.push_back(std::ldexp(1.0, e));
+    for (const double v : values)
+        registry.record("b", v);
+    const HistogramSummary s = registry.histogram("b");
+    EXPECT_EQ(s.count, values.size());
+    EXPECT_EQ(s.p50, exactPercentile(values, 0.50));
+    EXPECT_EQ(s.p90, exactPercentile(values, 0.90));
+    EXPECT_EQ(s.p99, exactPercentile(values, 0.99));
+}
+
+TEST(Metrics, LegacySmallIntegerPercentiles)
+{
+    // The pre-bucketed registry's behavior on 1..10, preserved.
+    MetricsRegistry registry;
+    for (int i = 1; i <= 10; ++i)
+        registry.record("slack", static_cast<double>(i));
+    const HistogramSummary s = registry.histogram("slack");
+    EXPECT_EQ(s.count, 10u);
+    EXPECT_EQ(s.min, 1.0);
+    EXPECT_EQ(s.max, 10.0);
+    EXPECT_NEAR(s.mean, 5.5, 1e-9);
+    EXPECT_EQ(s.p50, 6.0);
+    EXPECT_EQ(s.p90, 9.0);
+}
+
+TEST(Metrics, ZeroAndNegativeSamplesLandInUnderflow)
+{
+    MetricsRegistry registry;
+    registry.record("d", 0.0);
+    registry.record("d", -5.0);
+    registry.record("d", 3.0);
+    const HistogramSummary s = registry.histogram("d");
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_EQ(s.min, -5.0);
+    EXPECT_EQ(s.max, 3.0);
+    // Percentiles stay inside the exact [min, max].
+    EXPECT_GE(s.p50, s.min);
+    EXPECT_LE(s.p99, s.max);
+}
+
+TEST(Metrics, PercentileAccuracyOnRandomData)
+{
+    // The documented bound: a percentile is under-reported by at
+    // most maxRelativeError (= 2^-subBucketBits) of the true value,
+    // and never over-reported past the next sub-bucket boundary.
+    std::mt19937_64 rng(20260809);
+    std::lognormal_distribution<double> dist(3.0, 1.5);
+    MetricsRegistry registry;
+    std::vector<double> values;
+    values.reserve(20000);
+    for (int i = 0; i < 20000; ++i) {
+        const double v = dist(rng);
+        values.push_back(v);
+        registry.record("lat", v);
+    }
+    const HistogramSummary s = registry.histogram("lat");
+    ASSERT_EQ(s.count, values.size());
+    const double bound = MetricsRegistry::maxRelativeError;
+    EXPECT_EQ(bound, 0.03125);
+    for (const auto &[got, frac] :
+         {std::pair{s.p50, 0.50}, {s.p90, 0.90}, {s.p99, 0.99}}) {
+        const double exact = exactPercentile(values, frac);
+        // Lower-bound representative: got <= exact always, and the
+        // true value is less than one sub-bucket width above.
+        EXPECT_LE(got, exact + 1e-9) << "fraction " << frac;
+        EXPECT_GE(got, exact * (1.0 - bound) - 1e-9)
+            << "fraction " << frac;
+    }
+}
+
+TEST(Metrics, CountersStripedAndWindowed)
+{
+    MetricsRegistry registry(/*windowSeconds=*/3600.0);
+    registry.add("reqs");
+    registry.add("reqs", 4);
+    EXPECT_EQ(registry.counter("reqs"), 5);
+    // No rotation happened, so the live window holds everything.
+    EXPECT_EQ(registry.counterWindow("reqs", 60.0), 5);
+    registry.rotate();
+    registry.add("reqs", 7);
+    // Live window only vs live + newest closed window.
+    EXPECT_EQ(registry.counterWindow("reqs", 0.0), 7);
+    EXPECT_EQ(registry.counterWindow("reqs", 3600.0), 12);
+    EXPECT_EQ(registry.counter("reqs"), 12);
+}
+
+TEST(Metrics, HistogramWindows)
+{
+    MetricsRegistry registry(/*windowSeconds=*/3600.0,
+                             /*windowCount=*/4);
+    for (int i = 1; i <= 4; ++i)
+        registry.record("lat", 100.0 * i);
+    registry.rotate();
+    for (int i = 1; i <= 4; ++i)
+        registry.record("lat", 1.0 * i);
+    // Live-only view sees just the small samples.
+    const HistogramSummary live = registry.histogramWindow("lat", 0.0);
+    EXPECT_EQ(live.count, 4u);
+    EXPECT_EQ(live.max, 4.0);
+    // One closed window back sees both batches.
+    const HistogramSummary both =
+        registry.histogramWindow("lat", 3600.0);
+    EXPECT_EQ(both.count, 8u);
+    EXPECT_EQ(both.min, 1.0);
+    EXPECT_EQ(both.max, 400.0);
+    // Cumulative view unaffected by rotation.
+    EXPECT_EQ(registry.histogram("lat").count, 8u);
+}
+
+TEST(Metrics, WindowRingIsBounded)
+{
+    MetricsRegistry registry(/*windowSeconds=*/3600.0,
+                             /*windowCount=*/3);
+    registry.record("lat", 1.0);
+    registry.add("c", 1);
+    const size_t baseline = [&] {
+        // Populate the ring fully first so the slab pool reaches its
+        // ceiling, then measure.
+        for (int i = 0; i < 10; ++i)
+            registry.rotate();
+        return registry.footprintBytes();
+    }();
+    for (int i = 0; i < 100; ++i) {
+        registry.record("lat", static_cast<double>(i));
+        registry.rotate();
+    }
+    EXPECT_EQ(registry.footprintBytes(), baseline);
+}
+
+TEST(Metrics, MemoryIsSteadyAcrossMillionRecords)
+{
+    // The satellite regression: the old registry kept every sample
+    // in a vector; the bucketed one must not grow at all.
+    MetricsRegistry registry;
+    for (int i = 0; i < 1000; ++i)
+        registry.record("lat", static_cast<double>(i % 97));
+    registry.add("reqs", 1000);
+    const size_t baseline = registry.footprintBytes();
+    ASSERT_GT(baseline, 0u);
+    for (int i = 0; i < 1000000; ++i)
+        registry.record("lat", static_cast<double>(i % 1009));
+    registry.add("reqs", 1000000);
+    EXPECT_EQ(registry.footprintBytes(), baseline);
+    EXPECT_EQ(registry.histogram("lat").count, 1001000u);
+    EXPECT_EQ(registry.counter("reqs"), 1001000);
+}
+
+TEST(Metrics, InternedIdsMatchStringPath)
+{
+    MetricsRegistry registry;
+    const MetricsRegistry::MetricId c = registry.counterId("hits");
+    const MetricsRegistry::MetricId h = registry.histogramId("ms");
+    EXPECT_EQ(registry.counterId("hits"), c); // idempotent
+    EXPECT_EQ(registry.histogramId("ms"), h);
+    registry.add(c, 3);
+    registry.add("hits", 2);
+    EXPECT_EQ(registry.counter("hits"), 5);
+    registry.record(h, 10.0);
+    registry.record("ms", 20.0);
+    EXPECT_EQ(registry.histogram("ms").count, 2u);
+}
+
+TEST(Metrics, ConcurrentRecording)
+{
+    MetricsRegistry registry;
+    const MetricsRegistry::MetricId counter =
+        registry.counterId("ops");
+    const MetricsRegistry::MetricId hist = registry.histogramId("ms");
+    constexpr int threads = 8;
+    constexpr int perThread = 20000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            for (int i = 0; i < perThread; ++i) {
+                registry.add(counter);
+                registry.record(
+                    hist, static_cast<double>((t * perThread + i) %
+                                              500) + 1.0);
+            }
+        });
+    }
+    for (std::thread &worker : pool)
+        worker.join();
+    EXPECT_EQ(registry.counter("ops"),
+              static_cast<int64_t>(threads) * perThread);
+    const HistogramSummary s = registry.histogram("ms");
+    EXPECT_EQ(s.count,
+              static_cast<uint64_t>(threads) * perThread);
+    EXPECT_EQ(s.min, 1.0);
+    EXPECT_EQ(s.max, 500.0);
+}
+
+TEST(Metrics, ToJsonShape)
+{
+    MetricsRegistry registry;
+    registry.add("b_counter", 2);
+    registry.add("a_counter", 1);
+    registry.record("lat", 5.0);
+    const std::string json = registry.toJson();
+    // Names sorted, both sections present, summary keys in order.
+    EXPECT_NE(json.find("\"counters\":{\"a_counter\":1,"
+                        "\"b_counter\":2}"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"lat\":{\"count\":1,\"min\":5,\"mean\":5,"
+                        "\"max\":5,\"p50\":5,\"p90\":5,\"p99\":5}"),
+              std::string::npos)
+        << json;
+}
+
+} // namespace

@@ -936,5 +936,169 @@ TEST_F(ServeTest, ChaosCompilesStayByteIdentical)
     server->stop();
 }
 
+TEST_F(ServeTest, StatsEndpointReportsWindowedLatency)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("stats");
+    startServer(config);
+
+    ServeClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, "t", error))
+        << error;
+    std::vector<uint64_t> ids;
+    for (uint64_t id = 1; id <= suite.size(); ++id) {
+        ASSERT_TRUE(client.submit(makeSubmit(id, int(id - 1)),
+                                  error))
+            << error;
+        ids.push_back(id);
+    }
+    auto outcomes = collect(client, ids);
+    for (const uint64_t id : ids)
+        ASSERT_EQ(outcomes[id].type, ServeMsgType::Result);
+
+    // Poll on a dedicated monitoring connection, like cams_top does.
+    ServeClient monitor;
+    ASSERT_TRUE(monitor.connect(config.socketPath, "mon", error))
+        << error;
+    StatsReplyMsg stats;
+    ASSERT_TRUE(monitor.stats(stats, error)) << error;
+
+    EXPECT_GT(stats.uptimeSeconds, 0.0);
+    EXPECT_EQ(stats.workers,
+              static_cast<uint32_t>(config.workers));
+    EXPECT_EQ(stats.queueCapacity,
+              static_cast<uint32_t>(config.queueCapacity));
+    EXPECT_FALSE(stats.draining);
+    EXPECT_EQ(stats.inFlight, 0u);
+
+    const auto counter = [&](const std::string &name)
+        -> const StatsCounter * {
+        for (const StatsCounter &c : stats.counters)
+            if (c.name == name)
+                return &c;
+        return nullptr;
+    };
+    const StatsCounter *completed = counter("serve.completed");
+    ASSERT_NE(completed, nullptr);
+    EXPECT_EQ(completed->total,
+              static_cast<int64_t>(suite.size()));
+    // The compiles just happened, so the whole story is inside the
+    // 1-minute window.
+    EXPECT_EQ(completed->last1m, completed->total);
+
+    const auto histogram = [&](const std::string &name)
+        -> const StatsHistogram * {
+        for (const StatsHistogram &h : stats.histograms)
+            if (h.name == name)
+                return &h;
+        return nullptr;
+    };
+    const StatsHistogram *compileMs =
+        histogram("serve.compile_ms");
+    ASSERT_NE(compileMs, nullptr);
+    EXPECT_EQ(compileMs->total.count, suite.size());
+    EXPECT_EQ(compileMs->last1m.count, suite.size());
+    EXPECT_LE(compileMs->last1m.p50, compileMs->last1m.p99);
+    const StatsHistogram *queueDepth =
+        histogram("serve.queue_depth");
+    ASSERT_NE(queueDepth, nullptr);
+    EXPECT_EQ(queueDepth->total.count, suite.size());
+
+    bool sawTenant = false;
+    for (const TenantStats &tenant : stats.tenants) {
+        if (tenant.tenant != "t")
+            continue;
+        sawTenant = true;
+        EXPECT_EQ(tenant.submitted,
+                  static_cast<int64_t>(suite.size()));
+        EXPECT_EQ(tenant.completed,
+                  static_cast<int64_t>(suite.size()));
+        EXPECT_EQ(tenant.shed, 0);
+    }
+    EXPECT_TRUE(sawTenant);
+    server->stop();
+}
+
+TEST_F(ServeTest, HealthReplyTracksDrainState)
+{
+    ServeConfig config;
+    config.socketPath = testSocket("health");
+    startServer(config);
+
+    ServeClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, "t", error))
+        << error;
+    HealthReplyMsg health;
+    ASSERT_TRUE(client.health(health, error)) << error;
+    EXPECT_EQ(health.status, "ok");
+    EXPECT_EQ(health.version, serveProtoVersion);
+    EXPECT_EQ(health.queueDepth, 0u);
+    EXPECT_EQ(health.queueCapacity,
+              static_cast<uint32_t>(config.queueCapacity));
+
+    server->requestDrain();
+    ASSERT_TRUE(client.health(health, error)) << error;
+    EXPECT_EQ(health.status, "draining");
+    server->waitDrained();
+    server->stop();
+}
+
+TEST_F(ServeTest, SampledTraceCorrelatesAcrossProcessBoundary)
+{
+    TraceSink sink(TraceLevel::Phase, 1024);
+    ServeConfig config;
+    config.socketPath = testSocket("reqtrace");
+    config.traceSink = &sink;
+    startServer(config);
+
+    ServeClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, "t", error))
+        << error;
+    SubmitMsg sampled = makeSubmit(1, 0);
+    sampled.traceId = 424243;
+    sampled.traceSampled = true;
+    SubmitMsg unsampled = makeSubmit(2, 1);
+    unsampled.traceId = 777777;
+    unsampled.traceSampled = false;
+    ASSERT_TRUE(client.submit(sampled, error)) << error;
+    ASSERT_TRUE(client.submit(unsampled, error)) << error;
+    auto outcomes = collect(client, {1, 2});
+    ASSERT_EQ(outcomes[1].type, ServeMsgType::Result);
+    ASSERT_EQ(outcomes[2].type, ServeMsgType::Result);
+    server->stop();
+
+    // The sampled request reads as one correlated story under its
+    // client-chosen id: admission instant, back-dated queue wait,
+    // and the compile scope (which prefixes the driver's own phase
+    // scopes). The unsampled request left no events at all.
+    bool sawAdmitted = false;
+    bool sawQueueWait = false;
+    bool sawCompile = false;
+    for (const TraceEvent &event : sink.snapshot()) {
+        EXPECT_EQ(event.name.find("req-777777"), std::string::npos)
+            << event.name;
+        if (event.name.rfind("req-424243/", 0) != 0)
+            continue;
+        const std::string step = event.name.substr(
+            std::string("req-424243/").size());
+        if (step == "admitted") {
+            sawAdmitted = true;
+            EXPECT_EQ(event.phase, 'i');
+        } else if (step == "queue_wait") {
+            sawQueueWait = true;
+            EXPECT_EQ(event.phase, 'X');
+        } else if (step == "serve_compile") {
+            sawCompile = true;
+            EXPECT_EQ(event.phase, 'X');
+        }
+    }
+    EXPECT_TRUE(sawAdmitted);
+    EXPECT_TRUE(sawQueueWait);
+    EXPECT_TRUE(sawCompile);
+}
+
 } // namespace
 } // namespace cams

@@ -126,6 +126,31 @@ TEST(TraceSink, TagPrefixesScopeNames)
     EXPECT_EQ(events[0].phase, 'X');
 }
 
+TEST(TraceSink, BoundedRingOverwritesOldestAndCountsDrops)
+{
+    TraceSink sink(TraceLevel::Phase, 4);
+    EXPECT_EQ(sink.capacity(), 4u);
+    for (int i = 0; i < 10; ++i)
+        sink.instant("event_" + std::to_string(i), "test");
+
+    EXPECT_EQ(sink.eventCount(), 4u);
+    EXPECT_EQ(sink.droppedCount(), 6u);
+
+    // The survivors are the newest four, still in recording order.
+    const std::vector<TraceEvent> events = sink.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(events[i].name, "event_" + std::to_string(6 + i));
+    EXPECT_TRUE(balancedJson(sink.toJson()));
+
+    // An unbounded sink (the batch-run shape) never drops.
+    TraceSink unbounded(TraceLevel::Phase, 0);
+    for (int i = 0; i < 10; ++i)
+        unbounded.instant("event", "test");
+    EXPECT_EQ(unbounded.eventCount(), 10u);
+    EXPECT_EQ(unbounded.droppedCount(), 0u);
+}
+
 TEST(TraceSink, JsonIsWellFormedWithHostileStrings)
 {
     TraceSink sink(TraceLevel::Decision);

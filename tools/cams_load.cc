@@ -31,6 +31,16 @@
  *             [--machine FILE] [--tenant NAME] [--deadline-ms D]
  *             [--check-direct] [--out FILE]
  *             [--chaos P] [--chaos-seed N] [--retry-shed]
+ *             [--trace-sample N] [--no-poll-stats]
+ *
+ * Telemetry. Every Submit carries a client-generated 64-bit trace id;
+ * --trace-sample=N marks every Nth request sampled, so a camsd armed
+ * with --trace records those requests end to end under one
+ * "req-<id>" tag. After the send phases the generator polls the
+ * server's StatsRequest endpoint on a dedicated connection and lands
+ * the windowed server view (queue depth, compile/queue latency,
+ * shed/cache tallies) in BENCH_serve.json as "server_stats", next to
+ * the client-observed numbers -- the two sides of the same run.
  */
 
 #include <algorithm>
@@ -51,7 +61,9 @@
 #include "machine/configs.hh"
 #include "machine/machinetext.hh"
 #include "pipeline/cache/serialize.hh"
+#include "pipeline/serve/client.hh"
 #include "pipeline/serve/retry_client.hh"
+#include "pipeline/serve/stats_text.hh"
 #include "support/metrics.hh"
 #include "support/str.hh"
 #include "support/time.hh"
@@ -100,7 +112,11 @@ usage()
            "  --retry-shed        resubmit shed requests after the "
            "server's retry-after hint (off: Shed is terminal,\n"
            "                      keeping the overload-phase "
-           "accounting honest)\n";
+           "accounting honest)\n"
+           "  --trace-sample N    mark every Nth request trace-"
+           "sampled (default 0 = none)\n"
+           "  --no-poll-stats     skip the post-run server stats "
+           "poll (server_stats in the JSON)\n";
     return 2;
 }
 
@@ -325,6 +341,8 @@ main(int argc, char **argv)
     double chaos_p = 0.0;
     uint64_t chaos_seed = 1;
     bool retry_shed = false;
+    long trace_sample = 0;
+    bool poll_stats = true;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -423,6 +441,13 @@ main(int argc, char **argv)
             chaos_seed = std::strtoull(value, nullptr, 10);
         } else if (arg == "--retry-shed") {
             retry_shed = true;
+        } else if (arg == "--trace-sample") {
+            const char *value = next();
+            if (!value || std::atol(value) < 0)
+                return usage();
+            trace_sample = std::atol(value);
+        } else if (arg == "--no-poll-stats") {
+            poll_stats = false;
         } else if (arg == "--out") {
             const char *value = next();
             if (!value)
@@ -546,6 +571,16 @@ main(int argc, char **argv)
             msg.debugSleepMs = debug_sleep_ms;
             msg.dfgBytes = dfgBytes[loopCursor];
             msg.machineBytes = machineBytes;
+            // splitmix64 of (seed, id): ids from concurrent
+            // generators against one daemon stay distinct, and the
+            // head-based sampling decision is made here, once.
+            uint64_t z = (seed ^ msg.id) + 0x9e3779b97f4a7c15ull;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            msg.traceId = z ^ (z >> 31);
+            msg.traceSampled =
+                trace_sample > 0 &&
+                static_cast<long>(msg.id) % trace_sample == 0;
             {
                 std::lock_guard<std::mutex> lock(collector.mutex);
                 Pending entry;
@@ -582,6 +617,25 @@ main(int argc, char **argv)
     }
     for (auto &client : clients)
         client->close();
+
+    // Server-side view of the same run: one StatsRequest poll on a
+    // dedicated monitoring connection, landed verbatim in the report
+    // next to the client-observed numbers. Best-effort -- a daemon
+    // the chaos harness already killed just leaves the section out.
+    std::string serverStatsJson;
+    if (poll_stats) {
+        ServeClient monitor;
+        monitor.setReadTimeoutMs(2000.0);
+        std::string error;
+        StatsReplyMsg serverStats;
+        if (monitor.connect(socket_path, "monitor", error) &&
+            monitor.stats(serverStats, error)) {
+            serverStatsJson = renderStatsJson(serverStats);
+        } else {
+            std::cerr << "cams_load: server stats poll skipped: "
+                      << error << "\n";
+        }
+    }
 
     // Tally.
     PhaseTally tallies[2];
@@ -680,6 +734,8 @@ main(int argc, char **argv)
              << ",\"identical\":"
              << (directMismatches == 0 ? "true" : "false") << "}";
     }
+    if (!serverStatsJson.empty())
+        json << ",\"server_stats\":" << serverStatsJson;
     json << ",\"metrics\":" << collector.registry.toJson() << "}";
 
     std::ofstream out(out_path);

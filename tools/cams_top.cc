@@ -1,0 +1,291 @@
+/**
+ * @file
+ * cams_top -- top(1) for a running camsd.
+ *
+ * Connects to a daemon's socket on a dedicated monitoring
+ * connection, polls StatsRequest on an interval, and renders a
+ * refreshing table: per-window throughput, compile/queue latency
+ * p50/p99, queue depth, shed and cache-hit rates, and the per-tenant
+ * breakdown. Throughput is derived from cumulative counter deltas
+ * between consecutive polls, so it is exact over the poll interval
+ * rather than smeared by the server's 10 s windows.
+ *
+ * One-shot modes for scripts and scrapers:
+ *   --json    print one stats snapshot as JSON and exit
+ *   --prom    print one snapshot as Prometheus text exposition
+ *   --health  print the Health probe as one line; exit 0 iff "ok"
+ *
+ * Usage:
+ *   cams_top --socket PATH [--tenant T] [--interval-ms N]
+ *            [--count N] [--json | --prom | --health]
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "pipeline/serve/client.hh"
+#include "pipeline/serve/stats_text.hh"
+#include "support/str.hh"
+#include "support/time.hh"
+
+namespace
+{
+
+using namespace cams;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: cams_top --socket PATH [options]\n"
+           "  --socket PATH     camsd Unix-domain socket (required)\n"
+           "  --tenant T        tenant id for the monitoring "
+           "connection (default 'top')\n"
+           "  --interval-ms N   poll interval (default 1000)\n"
+           "  --count N         exit after N refreshes (default: "
+           "until killed)\n"
+           "  --json            print one JSON snapshot and exit\n"
+           "  --prom            print one Prometheus exposition "
+           "snapshot and exit\n"
+           "  --health          print the health probe; exit 0 iff "
+           "status is ok\n";
+    return 2;
+}
+
+const StatsCounter *
+counterOf(const StatsReplyMsg &msg, const std::string &name)
+{
+    for (const StatsCounter &counter : msg.counters)
+        if (counter.name == name)
+            return &counter;
+    return nullptr;
+}
+
+int64_t
+totalOf(const StatsReplyMsg &msg, const std::string &name)
+{
+    const StatsCounter *counter = counterOf(msg, name);
+    return counter ? counter->total : 0;
+}
+
+const StatsHistogram *
+histogramOf(const StatsReplyMsg &msg, const std::string &name)
+{
+    for (const StatsHistogram &histogram : msg.histograms)
+        if (histogram.name == name)
+            return &histogram;
+    return nullptr;
+}
+
+void
+renderTable(const StatsReplyMsg &now, const StatsReplyMsg *prev,
+            double intervalSeconds)
+{
+    // Home the cursor and clear below instead of a full clear: no
+    // flicker, and scrollback stays usable.
+    std::cout << "\x1b[H\x1b[J";
+    std::cout << "camsd " << (now.draining ? "DRAINING" : "up") << " "
+              << static_cast<long>(now.uptimeSeconds) << "s  queue "
+              << now.queueDepth << "/" << now.queueCapacity
+              << "  in-flight " << now.inFlight << "/" << now.workers
+              << " workers\n\n";
+
+    const auto rate = [&](const std::string &name) -> double {
+        if (!prev || intervalSeconds <= 0.0)
+            return 0.0;
+        return static_cast<double>(totalOf(now, name) -
+                                   totalOf(*prev, name)) /
+               intervalSeconds;
+    };
+    const int64_t compiled = totalOf(now, "serve.compiled");
+    const int64_t hits = totalOf(now, "serve.cache_hits");
+    const int64_t shed = totalOf(now, "serve.shed_full") +
+                         totalOf(now, "serve.shed_draining");
+    std::cout << "throughput " << formatFixed(rate("serve.completed"), 1)
+              << "/s  shed " << formatFixed(rate("serve.shed_full"), 1)
+              << "/s (total " << shed << ")  cache "
+              << (compiled > 0 ? static_cast<long>(
+                                     100.0 *
+                                     static_cast<double>(hits) /
+                                     static_cast<double>(compiled))
+                               : 0)
+              << "%\n\n";
+
+    std::cout << "histogram              window    count      p50      "
+                 "p90      p99      max\n";
+    for (const char *name :
+         {"serve.queue_ms", "serve.compile_ms", "serve.queue_depth"}) {
+        const StatsHistogram *histogram = histogramOf(now, name);
+        if (!histogram)
+            continue;
+        const auto row = [&](const char *window,
+                             const HistogramSummary &s) {
+            std::cout << "  " << name;
+            for (size_t pad = std::string(name).size(); pad < 19;
+                 ++pad)
+                std::cout << ' ';
+            std::cout << "  " << window << "  ";
+            std::string count = std::to_string(s.count);
+            for (size_t pad = count.size(); pad < 7; ++pad)
+                std::cout << ' ';
+            std::cout << count;
+            for (const double v : {s.p50, s.p90, s.p99, s.max}) {
+                std::string cell = formatFixed(v, 1);
+                for (size_t pad = cell.size(); pad < 9; ++pad)
+                    std::cout << ' ';
+                std::cout << cell;
+            }
+            std::cout << "\n";
+        };
+        row("   1m ", histogram->last1m);
+        row("total ", histogram->total);
+    }
+
+    if (!now.tenants.empty()) {
+        std::cout << "\ntenant            submitted  completed     "
+                     "shed  cache-hits\n";
+        for (const TenantStats &tenant : now.tenants) {
+            std::cout << "  " << tenant.tenant;
+            for (size_t pad = tenant.tenant.size(); pad < 16; ++pad)
+                std::cout << ' ';
+            for (const int64_t v :
+                 {tenant.submitted, tenant.completed, tenant.shed,
+                  tenant.cacheHits}) {
+                std::string cell = std::to_string(v);
+                for (size_t pad = cell.size(); pad < 11; ++pad)
+                    std::cout << ' ';
+                std::cout << cell;
+            }
+            std::cout << "\n";
+        }
+    }
+    std::cout.flush();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string tenant = "top";
+    int interval_ms = 1000;
+    long count = -1;
+    bool json_once = false;
+    bool prom_once = false;
+    bool health_once = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string inline_value;
+        const size_t eq = arg.find('=');
+        if (eq != std::string::npos && arg.rfind("--", 0) == 0) {
+            inline_value = arg.substr(eq + 1);
+            arg.resize(eq);
+        }
+        auto next = [&]() -> const char * {
+            if (!inline_value.empty())
+                return inline_value.c_str();
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--socket") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            socket_path = value;
+        } else if (arg == "--tenant") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            tenant = value;
+        } else if (arg == "--interval-ms") {
+            const char *value = next();
+            if (!value || std::atoi(value) <= 0)
+                return usage();
+            interval_ms = std::atoi(value);
+        } else if (arg == "--count") {
+            const char *value = next();
+            if (!value || std::atol(value) <= 0)
+                return usage();
+            count = std::atol(value);
+        } else if (arg == "--json") {
+            json_once = true;
+        } else if (arg == "--prom") {
+            prom_once = true;
+        } else if (arg == "--health") {
+            health_once = true;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            return usage();
+        }
+    }
+    if (socket_path.empty() ||
+        (json_once + prom_once + health_once) > 1)
+        return usage();
+
+    ServeClient client;
+    std::string error;
+    client.setReadTimeoutMs(5000.0);
+    if (!client.connect(socket_path, tenant, error)) {
+        std::cerr << "cams_top: cannot connect to " << socket_path
+                  << ": " << error << "\n";
+        return 1;
+    }
+
+    if (health_once) {
+        HealthReplyMsg health;
+        if (!client.health(health, error)) {
+            std::cerr << "cams_top: health poll failed: " << error
+                      << "\n";
+            return 1;
+        }
+        std::cout << "status " << health.status << " uptime "
+                  << formatFixed(health.uptimeSeconds, 1)
+                  << "s queue " << health.queueDepth << "/"
+                  << health.queueCapacity << " in-flight "
+                  << health.inFlight << " proto v" << health.version
+                  << "\n";
+        return health.status == "ok" ? 0 : 1;
+    }
+
+    if (json_once || prom_once) {
+        StatsReplyMsg stats;
+        if (!client.stats(stats, error)) {
+            std::cerr << "cams_top: stats poll failed: " << error
+                      << "\n";
+            return 1;
+        }
+        std::cout << (json_once ? renderStatsJson(stats)
+                                : renderPrometheus(stats))
+                  << "\n";
+        return 0;
+    }
+
+    StatsReplyMsg prev;
+    bool havePrev = false;
+    int64_t prevMicros = 0;
+    for (long i = 0; count < 0 || i < count; ++i) {
+        StatsReplyMsg stats;
+        if (!client.stats(stats, error)) {
+            std::cerr << "cams_top: stats poll failed: " << error
+                      << "\n";
+            return 1;
+        }
+        const int64_t now = nowMicros();
+        const double interval =
+            havePrev
+                ? static_cast<double>(now - prevMicros) / 1e6
+                : 0.0;
+        renderTable(stats, havePrev ? &prev : nullptr, interval);
+        prev = std::move(stats);
+        prevMicros = now;
+        havePrev = true;
+        if (count < 0 || i + 1 < count)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval_ms));
+    }
+    return 0;
+}

@@ -15,6 +15,14 @@
  *         [--compile-budget-ms D] [--metrics FILE] [--allow-debug]
  *         [--read-timeout-ms D] [--watchdog-ms D|auto] [--no-scrub]
  *         [--chaos P] [--chaos-seed N]
+ *         [--stats-interval-ms N] [--trace FILE] [--trace-ring N]
+ *
+ * Telemetry. --stats-interval-ms=N prints a one-line stats heartbeat
+ * to stderr every N ms (off by default) -- the same numbers a
+ * StatsRequest poll returns, for operators without a polling client.
+ * --trace FILE arms server-side request tracing into a bounded ring
+ * (--trace-ring events, default 65536) and writes the Chrome trace
+ * at exit; clients choose which requests are sampled.
  */
 
 #include <atomic>
@@ -23,11 +31,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "pipeline/serve/server.hh"
+#include "pipeline/serve/stats_text.hh"
 #include "support/threadpool.hh"
 
 namespace
@@ -65,7 +76,13 @@ usage()
            "  --chaos P              arm outbound fault injection "
            "with probability P at every site (tests only)\n"
            "  --chaos-seed N         chaos coin-flip seed "
-           "(default 1)\n";
+           "(default 1)\n"
+           "  --stats-interval-ms N  one-line stats heartbeat to "
+           "stderr every N ms (default off)\n"
+           "  --trace FILE           record sampled request traces; "
+           "write Chrome trace JSON to FILE at exit\n"
+           "  --trace-ring N         trace ring-buffer capacity in "
+           "events (default 65536)\n";
     return 2;
 }
 
@@ -96,6 +113,9 @@ main(int argc, char **argv)
     bool watchdog_auto = false;
     double chaos_p = 0.0;
     uint64_t chaos_seed = 1;
+    int stats_interval_ms = 0;
+    std::string trace_path;
+    size_t trace_ring = 65536;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -171,6 +191,21 @@ main(int argc, char **argv)
             if (!value)
                 return usage();
             chaos_seed = std::strtoull(value, nullptr, 10);
+        } else if (arg == "--stats-interval-ms") {
+            const char *value = next();
+            if (!value || std::atoi(value) < 0)
+                return usage();
+            stats_interval_ms = std::atoi(value);
+        } else if (arg == "--trace") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            trace_path = value;
+        } else if (arg == "--trace-ring") {
+            const char *value = next();
+            if (!value || std::atoi(value) <= 0)
+                return usage();
+            trace_ring = static_cast<size_t>(std::atoi(value));
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             return usage();
@@ -189,6 +224,13 @@ main(int argc, char **argv)
     }
     if (chaos_p > 0.0)
         config.chaos = ChaosConfig::uniform(chaos_p, chaos_seed);
+
+    std::unique_ptr<TraceSink> traceSink;
+    if (!trace_path.empty()) {
+        traceSink = std::make_unique<TraceSink>(TraceLevel::Phase,
+                                                trace_ring);
+        config.traceSink = traceSink.get();
+    }
 
     if (::pipe(signalPipe) != 0) {
         std::cerr << "camsd: cannot create signal pipe: "
@@ -216,9 +258,31 @@ main(int argc, char **argv)
                             cacheModeName(config.cacheMode) + "]")
               << ")" << std::endl;
 
-    // Sleep until SIGTERM/SIGINT pokes the self-pipe.
-    char byte = 0;
-    while (::read(signalPipe[0], &byte, 1) < 0 && errno == EINTR) {
+    // Sleep until SIGTERM/SIGINT pokes the self-pipe; with a stats
+    // interval configured, wake on that cadence for the heartbeat.
+    for (;;) {
+        struct pollfd pfd{};
+        pfd.fd = signalPipe[0];
+        pfd.events = POLLIN;
+        const int timeout =
+            stats_interval_ms > 0 ? stats_interval_ms : -1;
+        const int ready = ::poll(&pfd, 1, timeout);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (ready == 0) {
+            // Heartbeat tick: stderr so stdout stays clean for the
+            // startup/shutdown lines scripts parse.
+            std::cerr << "camsd: "
+                      << renderStatsLine(server.statsReply())
+                      << std::endl;
+            continue;
+        }
+        char byte = 0;
+        if (::read(signalPipe[0], &byte, 1) >= 0)
+            break; // signal arrived: fall through to drain
     }
 
     std::cout << "camsd: draining..." << std::endl;
@@ -228,6 +292,17 @@ main(int argc, char **argv)
     const ServeStats stats = server.stats();
     const std::string metrics = server.metricsJson();
     server.stop();
+
+    if (traceSink) {
+        if (!traceSink->writeFile(trace_path)) {
+            std::cerr << "camsd: cannot write " << trace_path << "\n";
+        } else if (traceSink->droppedCount() > 0) {
+            std::cerr << "camsd: trace ring dropped "
+                      << traceSink->droppedCount()
+                      << " oldest events (ring capacity "
+                      << traceSink->capacity() << ")\n";
+        }
+    }
 
     if (!metrics_path.empty()) {
         std::ofstream out(metrics_path);

@@ -80,6 +80,14 @@ SCRUB_KEYS = (
     "entries_scanned", "entries_ok", "quarantined", "tmp_removed",
 )
 
+# Required keys of the live-telemetry snapshot cams_load polls from
+# the daemon after a run (the renderStatsJson shape).
+SERVER_STATS_KEYS = (
+    "uptime_seconds", "window_seconds", "queue_depth", "in_flight",
+    "workers", "queue_capacity", "draining", "counters",
+    "histograms", "tenants",
+)
+
 
 def is_number(value):
     return isinstance(value, (int, float)) and not isinstance(value, bool)
@@ -116,6 +124,42 @@ def check_histogram(where, hist, problems):
             f"{where}: mean {hist['mean']} outside "
             f"[{hist['min']}, {hist['max']}]"
         )
+
+
+def check_server_stats(where, stats, problems):
+    """A server_stats snapshot: required gauges plus windowed
+    counters where 0 <= last1m <= last5m <= total. Histogram
+    summaries inside it are covered by the generic walk()."""
+    if not require_keys(where, stats, SERVER_STATS_KEYS, problems):
+        return
+    counters = stats["counters"]
+    if not isinstance(counters, dict):
+        problems.append(f"{where}.counters: expected an object")
+        return
+    for name, counter in counters.items():
+        child = f"{where}.counters.{name}"
+        if not isinstance(counter, dict):
+            problems.append(f"{child}: expected an object")
+            continue
+        values = {}
+        for key in ("total", "last1m", "last5m"):
+            value = counter.get(key)
+            if not isinstance(value, int) or isinstance(
+                    value, bool) or value < 0:
+                problems.append(
+                    f"{child}.{key}: must be a non-negative "
+                    f"integer, got {value!r}"
+                )
+            else:
+                values[key] = value
+        if len(values) == 3 and not (
+                values["last1m"] <= values["last5m"]
+                <= values["total"]):
+            problems.append(
+                f"{child}: windows not nested: last1m="
+                f"{values['last1m']} last5m={values['last5m']} "
+                f"total={values['total']}"
+            )
 
 
 def walk(where, node, problems):
@@ -199,6 +243,9 @@ def check_file(path):
         for phase in ("steady", "burst"):
             if phase in data:
                 require_keys(phase, data[phase], PHASE_KEYS, problems)
+        if "server_stats" in data:
+            check_server_stats("server_stats", data["server_stats"],
+                               problems)
     elif kind == "cams_chaos":
         if "scrub" in data:
             require_keys("scrub", data["scrub"], SCRUB_KEYS, problems)

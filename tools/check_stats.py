@@ -1,0 +1,372 @@
+#!/usr/bin/env python3
+"""Validates live telemetry snapshots scraped from a running camsd.
+
+Two input formats, both produced by cams_top one-shot modes:
+
+  * --json files (renderStatsJson): checked for the full stats schema
+    -- required top-level gauges, counter objects with total/last1m/
+    last5m where 0 <= last1m <= last5m <= total, histogram summaries
+    with monotone percentiles (min <= p50 <= p90 <= p99 <= max, mean
+    in range) for the total and both windows, and tenant objects with
+    non-negative tallies where completed + shed <= submitted.
+  * --prom files (renderPrometheus): checked as Prometheus 0.0.4 text
+    exposition -- every non-comment line is "name[{labels}] value",
+    names are legal metric names, every TYPE declaration precedes its
+    samples, and the required cams_* families are present.
+
+With two JSON files (two polls of the same daemon, oldest first),
+additionally checks cross-poll monotonicity: uptime advances and no
+cumulative counter or histogram count ever decreases -- the invariant
+every rate computation downstream depends on.
+
+Exits 0 with one OK line per check on success; prints every problem
+and exits 1 otherwise. Malformed input (not JSON, not exposition
+format) is a clean failure, never a traceback.
+
+Usage:
+  check_stats.py --json SNAP.json [SNAP2.json]
+  check_stats.py --prom SCRAPE.txt
+"""
+
+import json
+import re
+import sys
+
+# Gauges every stats snapshot must carry at top level.
+REQUIRED_GAUGES = (
+    "uptime_seconds", "window_seconds", "queue_depth", "in_flight",
+    "workers", "queue_capacity", "draining",
+)
+
+# Counter and histogram families a freshly started daemon registers
+# up front; their absence means the scrape hit something else.
+REQUIRED_COUNTERS = ("serve.connections", "serve.completed")
+REQUIRED_HISTOGRAMS = ("serve.queue_ms", "serve.compile_ms")
+
+SUMMARY_KEYS = ("count", "min", "mean", "max", "p50", "p90", "p99")
+WINDOW_KEYS = ("total", "last1m", "last5m")
+
+# Prometheus text-exposition sample line: name{labels} value.
+PROM_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(\{[^{}]*\})?"
+    r" (-?[0-9.eE+-]+|[+-]?Inf|NaN)$"
+)
+PROM_FAMILIES = (
+    "cams_uptime_seconds", "cams_queue_depth", "cams_in_flight",
+    "cams_draining", "cams_serve_connections_total",
+    "cams_serve_completed_total", "cams_serve_compile_ms",
+)
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_summary(where, summary, problems):
+    """One HistogramSummary object: types, then percentile order."""
+    if not isinstance(summary, dict):
+        problems.append(f"{where}: expected a summary object")
+        return
+    for key in SUMMARY_KEYS:
+        if not is_number(summary.get(key)):
+            problems.append(
+                f"{where}.{key}: missing or non-numeric "
+                f"({summary.get(key)!r})"
+            )
+            return
+    count = summary["count"]
+    if not isinstance(count, int) or count < 0:
+        problems.append(f"{where}.count: invalid count {count!r}")
+        return
+    if count == 0:
+        return
+    order = [(key, summary[key])
+             for key in ("min", "p50", "p90", "p99", "max")]
+    for (lo_name, lo), (hi_name, hi) in zip(order, order[1:]):
+        if lo > hi:
+            problems.append(
+                f"{where}: percentiles not monotone: "
+                f"{lo_name}={lo} > {hi_name}={hi}"
+            )
+    if not summary["min"] <= summary["mean"] <= summary["max"]:
+        problems.append(
+            f"{where}: mean {summary['mean']} outside "
+            f"[{summary['min']}, {summary['max']}]"
+        )
+
+
+def check_snapshot(path, data, problems):
+    """Full schema check of one renderStatsJson snapshot."""
+    for key in REQUIRED_GAUGES:
+        if key not in data:
+            problems.append(f"missing top-level key '{key}'")
+    for key in ("uptime_seconds", "window_seconds"):
+        if key in data and (not is_number(data[key]) or data[key] < 0):
+            problems.append(f"{key}: must be non-negative, got "
+                            f"{data[key]!r}")
+    for key in ("queue_depth", "in_flight", "workers",
+                "queue_capacity"):
+        value = data.get(key)
+        if key in data and (not isinstance(value, int) or value < 0):
+            problems.append(
+                f"{key}: must be a non-negative integer, got "
+                f"{value!r}"
+            )
+    if "draining" in data and not isinstance(data["draining"], bool):
+        problems.append(
+            f"draining: must be a boolean, got {data['draining']!r}"
+        )
+    if is_number(data.get("queue_depth")) and is_number(
+            data.get("queue_capacity")):
+        if data["queue_depth"] > data["queue_capacity"]:
+            problems.append(
+                f"queue_depth {data['queue_depth']} exceeds "
+                f"queue_capacity {data['queue_capacity']}"
+            )
+
+    counters = data.get("counters")
+    if not isinstance(counters, dict):
+        problems.append("counters: missing or not an object")
+        counters = {}
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            problems.append(f"counters: required counter '{name}' "
+                            f"absent")
+    for name, counter in counters.items():
+        where = f"counters.{name}"
+        if not isinstance(counter, dict):
+            problems.append(f"{where}: expected an object")
+            continue
+        values = {}
+        for key in WINDOW_KEYS:
+            value = counter.get(key)
+            if not isinstance(value, int) or value < 0:
+                problems.append(
+                    f"{where}.{key}: must be a non-negative "
+                    f"integer, got {value!r}"
+                )
+            else:
+                values[key] = value
+        # A window is a subset of history: 1m <= 5m <= total.
+        if len(values) == 3 and not (
+                values["last1m"] <= values["last5m"]
+                <= values["total"]):
+            problems.append(
+                f"{where}: windows not nested: last1m="
+                f"{values['last1m']} last5m={values['last5m']} "
+                f"total={values['total']}"
+            )
+
+    histograms = data.get("histograms")
+    if not isinstance(histograms, dict):
+        problems.append("histograms: missing or not an object")
+        histograms = {}
+    for name in REQUIRED_HISTOGRAMS:
+        if name not in histograms:
+            problems.append(
+                f"histograms: required histogram '{name}' absent"
+            )
+    for name, histogram in histograms.items():
+        where = f"histograms.{name}"
+        if not isinstance(histogram, dict):
+            problems.append(f"{where}: expected an object")
+            continue
+        counts = {}
+        for key in WINDOW_KEYS:
+            check_summary(f"{where}.{key}", histogram.get(key),
+                          problems)
+            window = histogram.get(key)
+            if isinstance(window, dict) and isinstance(
+                    window.get("count"), int):
+                counts[key] = window["count"]
+        if len(counts) == 3 and not (
+                counts["last1m"] <= counts["last5m"]
+                <= counts["total"]):
+            problems.append(
+                f"{where}: window counts not nested: last1m="
+                f"{counts['last1m']} last5m={counts['last5m']} "
+                f"total={counts['total']}"
+            )
+
+    tenants = data.get("tenants")
+    if not isinstance(tenants, dict):
+        problems.append("tenants: missing or not an object")
+        tenants = {}
+    for name, tenant in tenants.items():
+        where = f"tenants.{name}"
+        if not isinstance(tenant, dict):
+            problems.append(f"{where}: expected an object")
+            continue
+        values = {}
+        for key in ("submitted", "completed", "shed", "cache_hits"):
+            value = tenant.get(key)
+            if not isinstance(value, int) or value < 0:
+                problems.append(
+                    f"{where}.{key}: must be a non-negative "
+                    f"integer, got {value!r}"
+                )
+            else:
+                values[key] = value
+        if ("submitted" in values and "completed" in values
+                and "shed" in values):
+            if values["completed"] + values["shed"] > values[
+                    "submitted"]:
+                problems.append(
+                    f"{where}: completed {values['completed']} + "
+                    f"shed {values['shed']} exceeds submitted "
+                    f"{values['submitted']}"
+                )
+
+
+def check_monotone(old, new, problems):
+    """Two polls of the same daemon, oldest first: nothing cumulative
+    may go backwards."""
+    if is_number(old.get("uptime_seconds")) and is_number(
+            new.get("uptime_seconds")):
+        if new["uptime_seconds"] < old["uptime_seconds"]:
+            problems.append(
+                f"uptime went backwards: {old['uptime_seconds']} -> "
+                f"{new['uptime_seconds']} (daemon restarted between "
+                f"polls?)"
+            )
+    old_counters = old.get("counters") or {}
+    new_counters = new.get("counters") or {}
+    for name, counter in old_counters.items():
+        if not isinstance(counter, dict):
+            continue
+        before = counter.get("total")
+        after = (new_counters.get(name) or {}).get("total")
+        if name not in new_counters:
+            problems.append(
+                f"counters.{name}: present in first poll, absent in "
+                f"second (counters never unregister)"
+            )
+        elif is_number(before) and is_number(after) and after < before:
+            problems.append(
+                f"counters.{name}: cumulative total decreased "
+                f"{before} -> {after}"
+            )
+    old_hists = old.get("histograms") or {}
+    new_hists = new.get("histograms") or {}
+    for name, histogram in old_hists.items():
+        if not isinstance(histogram, dict):
+            continue
+        before = (histogram.get("total") or {}).get("count")
+        after = ((new_hists.get(name) or {}).get("total")
+                 or {}).get("count")
+        if is_number(before) and is_number(after) and after < before:
+            problems.append(
+                f"histograms.{name}: cumulative count decreased "
+                f"{before} -> {after}"
+            )
+
+
+def load_json(path):
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as err:
+        sys.exit(f"error: cannot read '{path}': {err.strerror}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"error: '{path}' is not valid JSON: {err}")
+    if not isinstance(data, dict):
+        sys.exit(
+            f"error: '{path}' must be a JSON object, got "
+            f"{type(data).__name__}"
+        )
+    return data
+
+
+def check_prom(path):
+    """Returns a list of problems with one exposition file."""
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as err:
+        sys.exit(f"error: cannot read '{path}': {err.strerror}")
+
+    problems = []
+    declared = set()
+    seen = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "summary", "histogram",
+                    "untyped"):
+                problems.append(f"line {lineno}: malformed TYPE "
+                                f"declaration: {line!r}")
+            else:
+                declared.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        match = PROM_SAMPLE.match(line)
+        if not match:
+            problems.append(
+                f"line {lineno}: not a valid sample line: {line!r}"
+            )
+            continue
+        name = match.group(1)
+        seen.add(name)
+        # Summary samples belong to the family without the suffix.
+        family = re.sub(r"_(count|sum)$", "", name)
+        if (name.startswith("cams_") and name not in declared
+                and family not in declared
+                and not name.startswith("cams_tenant_")):
+            problems.append(
+                f"line {lineno}: sample '{name}' has no preceding "
+                f"TYPE declaration"
+            )
+    if not seen:
+        problems.append("no sample lines found (empty exposition)")
+    for family in PROM_FAMILIES:
+        if family not in seen and not any(
+                name.startswith(family) for name in seen):
+            problems.append(f"required family '{family}' absent")
+    return problems
+
+
+def main():
+    argv = sys.argv[1:]
+    if not argv or argv[0] not in ("--json", "--prom"):
+        sys.exit("usage: check_stats.py --json SNAP.json [SNAP2.json]"
+                 " | --prom SCRAPE.txt")
+    mode, paths = argv[0], argv[1:]
+    if not paths or (mode == "--prom" and len(paths) != 1) or (
+            mode == "--json" and len(paths) > 2):
+        sys.exit("usage: check_stats.py --json SNAP.json [SNAP2.json]"
+                 " | --prom SCRAPE.txt")
+
+    problems = []
+    if mode == "--prom":
+        problems = [f"{paths[0]}: {p}" for p in check_prom(paths[0])]
+    else:
+        snapshots = []
+        for path in paths:
+            data = load_json(path)
+            local = []
+            check_snapshot(path, data, local)
+            problems.extend(f"{path}: {p}" for p in local)
+            snapshots.append(data)
+        if len(snapshots) == 2:
+            local = []
+            check_monotone(snapshots[0], snapshots[1], local)
+            problems.extend(
+                f"{paths[0]} -> {paths[1]}: {p}" for p in local
+            )
+
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        for path in paths:
+            print(f"check_stats: OK: {path}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
