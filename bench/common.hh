@@ -111,6 +111,14 @@ sharedRegistry()
     return registry;
 }
 
+/** Backend every batch compiles with (--backend). */
+inline CompileBackend &
+backendChoice()
+{
+    static CompileBackend backend = CompileBackend::Heuristic;
+    return backend;
+}
+
 /** Compile cache directory; empty = caching off. */
 inline std::string &
 cacheDir()
@@ -178,6 +186,12 @@ parseBatchArgs(int argc, char **argv)
         } else if (arg == "--metrics" && value) {
             metricsPath() = value;
             ++i;
+        } else if (arg == "--backend" && value) {
+            if (!parseCompileBackend(value, backendChoice())) {
+                std::cerr << "unknown backend: " << value << "\n";
+                std::exit(2);
+            }
+            ++i;
         } else if (arg == "--cache-dir" && value) {
             cacheDir() = value;
             ++i;
@@ -191,6 +205,7 @@ parseBatchArgs(int argc, char **argv)
             std::cerr << "usage: " << argv[0]
                       << " [--jobs N] [--seed S] [--trace FILE]"
                          " [--trace-level L] [--metrics FILE]"
+                         " [--backend heuristic|exact|race]"
                          " [--cache-dir DIR] [--cache off|ro|rw]\n";
             std::exit(2);
         }
@@ -203,6 +218,7 @@ withTrace(CompileOptions options)
 {
     options.trace.sink = traceSink();
     options.cache = compileCache();
+    options.backend = backendChoice();
     return options;
 }
 

@@ -1,0 +1,544 @@
+#include "exact/encode.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "graph/opcode.hh"
+#include "support/logging.hh"
+
+namespace cams
+{
+
+ExactEncoder::ExactEncoder(const Dfg &graph, const ResourceModel &model)
+    : graph_(graph), model_(model),
+      numClusters_(model.machine().numClusters())
+{
+    const int n = graph_.numNodes();
+    eligible_.resize(n);
+    asap_.assign(n, 0);
+    copyCapable_.assign(n, 0);
+
+    for (NodeId v = 0; v < n; ++v) {
+        const FuClass cls = opcodeFuClass(graph_.node(v).op);
+        for (ClusterId c = 0; c < numClusters_; ++c) {
+            if (model_.fuPool(c, cls) != invalidPool)
+                eligible_[v].push_back(c);
+        }
+        maxLatency_ = std::max(maxLatency_, graph_.node(v).latency);
+        for (const NodeId succ : graph_.successors(v)) {
+            if (succ != v)
+                copyCapable_[v] = 1;
+        }
+    }
+
+    // ASAP lower bounds over intra-iteration edges. A cross-cluster
+    // route can beat the edge latency (copy latency 1 right after the
+    // producer), so the sound per-edge weight is the cheaper of the
+    // two paths. Bellman-style relaxation; a positive-weight
+    // zero-distance cycle makes the loop unschedulable at any II.
+    for (int pass = 0; pass <= n; ++pass) {
+        bool changed = false;
+        for (const DfgEdge &e : graph_.edges()) {
+            if (e.distance != 0 || e.src == e.dst)
+                continue;
+            const int weight = std::min(
+                e.latency, graph_.node(e.src).latency + 1);
+            if (asap_[e.src] + weight > asap_[e.dst]) {
+                asap_[e.dst] = asap_[e.src] + weight;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+        if (pass == n)
+            positiveZeroCycle_ = true;
+    }
+
+    // Fully interchangeable clusters admit value-precedence symmetry
+    // breaking (cluster k is used only after k-1).
+    const MachineDesc &machine = model_.machine();
+    identicalClusters_ = machine.broadcast();
+    for (int c = 1; c < numClusters_ && identicalClusters_; ++c) {
+        const ClusterDesc &a = machine.clusters[0];
+        const ClusterDesc &b = machine.clusters[c];
+        identicalClusters_ = a.gpUnits == b.gpUnits &&
+                             a.fsUnits == b.fsUnits &&
+                             a.readPorts == b.readPorts &&
+                             a.writePorts == b.writePorts;
+    }
+}
+
+bool
+ExactEncoder::supported(std::string *why) const
+{
+    if (!model_.machine().broadcast()) {
+        if (why)
+            *why = "point_to_point_machine";
+        return false;
+    }
+    for (const DfgNode &node : graph_.nodes()) {
+        if (opcodeFuClass(node.op) == FuClass::None) {
+            if (why)
+                *why = "copy_opcode_in_input";
+            return false;
+        }
+        if (eligible_[node.id].empty()) {
+            if (why)
+                *why = "node_unexecutable";
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+ExactEncoder::soundHorizon(int ii) const
+{
+    // Stage-compression bound: fix the rows of any feasible schedule
+    // and solve the stage difference-constraint system to its least
+    // solution; every arc contributes at most 1 + ceil((lat-1)/II)
+    // stages along a simple path, so starts compress below
+    // (annotated nodes + slack) * II + total annotated latency.
+    int copies = 0;
+    int totalLat = 0;
+    for (const DfgNode &node : graph_.nodes()) {
+        totalLat += std::max(node.latency, 1);
+        if (copyCapable_[node.id])
+            ++copies;
+    }
+    const int annotatedNodes = graph_.numNodes() + copies;
+    return totalLat + copies + (annotatedNodes + 3) * ii;
+}
+
+int
+ExactEncoder::fastHorizon(int ii) const
+{
+    int maxEnd = 1;
+    for (const DfgNode &node : graph_.nodes())
+        maxEnd = std::max(maxEnd, asap_[node.id] + node.latency);
+    const int fast = maxEnd + 2 * ii + maxLatency_ + 2;
+    return std::min(fast, soundHorizon(ii));
+}
+
+SatLit
+ExactEncoder::clusterLit(NodeId v, ClusterId c) const
+{
+    cams_assert(cluster_[v][c] >= 0, "no cluster var");
+    return mkLit(cluster_[v][c]);
+}
+
+SatLit
+ExactEncoder::orderLit(NodeId v, int t) const
+{
+    return mkLit(order_[v][t]);
+}
+
+SatLit
+ExactEncoder::copyOrderLit(NodeId v, int t) const
+{
+    return mkLit(copyOrder_[v][t]);
+}
+
+void
+ExactEncoder::addPrecedence(SatSolver &solver,
+                            const std::vector<SatVar> &fromOrder,
+                            const std::vector<SatVar> &toOrder, int lag,
+                            const std::vector<SatLit> &cond)
+{
+    const int T = horizon_;
+    std::vector<SatLit> base;
+    base.reserve(cond.size() + 2);
+    for (const SatLit l : cond)
+        base.push_back(~l);
+
+    // "from >= t  ->  to >= t + lag" for every t; the order chains
+    // make one clause per t sufficient. t with t+lag <= 0 is vacuous;
+    // t+lag >= horizon caps `from` below t instead (and the chain
+    // covers everything above).
+    for (int t = 0; t < T; ++t) {
+        const int target = t + lag;
+        if (target <= 0)
+            continue;
+        std::vector<SatLit> clause = base;
+        if (t > 0)
+            clause.push_back(~mkLit(fromOrder[t]));
+        if (target >= T) {
+            solver.addClause(clause);
+            break;
+        }
+        clause.push_back(mkLit(toOrder[target]));
+        solver.addClause(clause);
+    }
+}
+
+void
+ExactEncoder::atMostK(SatSolver &solver,
+                      const std::vector<SatLit> &lits, int k)
+{
+    const int n = static_cast<int>(lits.size());
+    if (n <= k)
+        return;
+    if (k <= 0) {
+        for (const SatLit l : lits)
+            solver.addClause(~l);
+        return;
+    }
+    // Sinz sequential counter: reg[i][j] = "at least j+1 of the
+    // first i+1 literals are true", rows for all but the last lit.
+    std::vector<std::vector<SatVar>> reg(
+        n - 1, std::vector<SatVar>(k, -1));
+    for (auto &row : reg)
+        for (SatVar &var : row)
+            var = solver.newVar();
+
+    solver.addClause(~lits[0], mkLit(reg[0][0]));
+    for (int j = 1; j < k; ++j)
+        solver.addClause(~mkLit(reg[0][j]));
+    for (int i = 1; i < n - 1; ++i) {
+        solver.addClause(~lits[i], mkLit(reg[i][0]));
+        solver.addClause(~mkLit(reg[i - 1][0]), mkLit(reg[i][0]));
+        for (int j = 1; j < k; ++j) {
+            solver.addClause(~lits[i], ~mkLit(reg[i - 1][j - 1]),
+                             mkLit(reg[i][j]));
+            solver.addClause(~mkLit(reg[i - 1][j]), mkLit(reg[i][j]));
+        }
+        solver.addClause(~lits[i], ~mkLit(reg[i - 1][k - 1]));
+    }
+    solver.addClause(~lits[n - 1], ~mkLit(reg[n - 2][k - 1]));
+}
+
+bool
+ExactEncoder::encode(int ii, int horizon, SatSolver &solver,
+                     std::string *why)
+{
+    if (!supported(why))
+        return false;
+    cams_assert(ii >= 1 && horizon >= 2, "degenerate exact instance");
+    ii_ = ii;
+    horizon_ = horizon;
+    const int n = graph_.numNodes();
+    const int C = numClusters_;
+    const int T = horizon;
+    const std::vector<SatLit> always; // empty condition
+
+    cluster_.assign(n, std::vector<SatVar>(C, -1));
+    order_.assign(n, {});
+    copyActive_.assign(n, -1);
+    copyNeed_.assign(n, std::vector<SatVar>(C, -1));
+    copyOrder_.assign(n, {});
+
+    // Infeasible at any II / at this II: a contradictory instance is
+    // the honest encoding (the UNSAT answer is genuine).
+    if (positiveZeroCycle_) {
+        solver.addClause(std::vector<SatLit>{});
+        return true;
+    }
+    for (const DfgEdge &e : graph_.edges()) {
+        if (e.src == e.dst &&
+            e.latency - static_cast<long>(ii) * e.distance > 0) {
+            solver.addClause(std::vector<SatLit>{});
+            return true;
+        }
+    }
+
+    // --- Cluster assignment: exactly-one over eligible clusters. ---
+    for (NodeId v = 0; v < n; ++v) {
+        std::vector<SatLit> alo;
+        for (const ClusterId c : eligible_[v]) {
+            cluster_[v][c] = solver.newVar();
+            alo.push_back(clusterLit(v, c));
+        }
+        solver.addClause(alo);
+        for (size_t i = 0; i < alo.size(); ++i)
+            for (size_t j = i + 1; j < alo.size(); ++j)
+                solver.addClause(~alo[i], ~alo[j]);
+    }
+
+    // Value-precedence symmetry breaking on interchangeable clusters:
+    // node i may sit on cluster k>0 only if some earlier node sits on
+    // cluster k-1. Any placement relabels into this form, so no
+    // schedule is lost -- but UNSAT proofs shrink by ~C! per loop.
+    bool uniformEligibility = true;
+    for (NodeId v = 0; v < n; ++v)
+        uniformEligibility &=
+            static_cast<int>(eligible_[v].size()) == C;
+    if (identicalClusters_ && uniformEligibility && C > 1) {
+        for (NodeId v = 0; v < n; ++v) {
+            for (int k = 1; k < C; ++k) {
+                std::vector<SatLit> clause{~clusterLit(v, k)};
+                for (NodeId u = 0; u < v; ++u)
+                    clause.push_back(clusterLit(u, k - 1));
+                solver.addClause(clause);
+            }
+        }
+    }
+
+    // --- Time: order variables with ladder chains + ASAP bounds. ---
+    auto makeOrderChain = [&](std::vector<SatVar> &slots, int asap) {
+        slots.assign(T, -1);
+        for (int t = 1; t < T; ++t)
+            slots[t] = solver.newVar();
+        for (int t = 1; t + 1 < T; ++t)
+            solver.addClause(~mkLit(slots[t + 1]), mkLit(slots[t]));
+        if (asap >= 1)
+            solver.addClause(mkLit(slots[std::min(asap, T - 1)]));
+    };
+    for (NodeId v = 0; v < n; ++v)
+        makeOrderChain(order_[v], asap_[v]);
+
+    // --- Copy machinery (annotatePartition semantics, broadcast). ---
+    for (NodeId v = 0; v < n; ++v) {
+        if (!copyCapable_[v])
+            continue;
+        copyActive_[v] = solver.newVar();
+        makeOrderChain(copyOrder_[v],
+                       asap_[v] + std::max(graph_.node(v).latency, 0));
+        std::set<ClusterId> dstUniverse;
+        for (const NodeId succ : graph_.successors(v)) {
+            if (succ == v)
+                continue;
+            for (const ClusterId c : eligible_[succ])
+                dstUniverse.insert(c);
+        }
+        for (const ClusterId d : dstUniverse) {
+            copyNeed_[v][d] = solver.newVar();
+            solver.addClause(~mkLit(copyNeed_[v][d]),
+                             mkLit(copyActive_[v]));
+        }
+        // The copy reads v's result: issue no earlier than v + lat.
+        addPrecedence(solver, order_[v], copyOrder_[v],
+                      graph_.node(v).latency,
+                      {mkLit(copyActive_[v])});
+    }
+
+    // --- Same-cluster indicators per producer/consumer pair. ---
+    std::map<std::pair<NodeId, NodeId>, SatVar> samePair;
+    auto sameVar = [&](NodeId u, NodeId w) {
+        const auto key = std::make_pair(u, w);
+        const auto it = samePair.find(key);
+        if (it != samePair.end())
+            return it->second;
+        const SatVar same = solver.newVar();
+        // same <-> OR_c (u on c AND w on c), via one aux per shared c.
+        std::vector<SatLit> any{~mkLit(same)};
+        for (const ClusterId c : eligible_[u]) {
+            if (cluster_[w][c] < 0)
+                continue;
+            const SatVar both = solver.newVar();
+            solver.addClause(~mkLit(both), clusterLit(u, c));
+            solver.addClause(~mkLit(both), clusterLit(w, c));
+            solver.addClause(~clusterLit(u, c), ~clusterLit(w, c),
+                             mkLit(both));
+            solver.addClause(~mkLit(both), mkLit(same));
+            any.push_back(mkLit(both));
+        }
+        solver.addClause(any);
+        samePair.emplace(key, same);
+        return same;
+    };
+
+    // --- Dependence edges: timing + copy forcing. ---
+    for (const DfgEdge &e : graph_.edges()) {
+        if (e.src == e.dst)
+            continue; // recurrence feasibility handled above
+        const SatLit same = mkLit(sameVar(e.src, e.dst));
+        const long lag = e.latency - static_cast<long>(ii) * e.distance;
+        const long crossLag = 1 - static_cast<long>(ii) * e.distance;
+        const int clampedLag =
+            static_cast<int>(std::clamp<long>(lag, -T, T));
+        const int clampedCross =
+            static_cast<int>(std::clamp<long>(crossLag, -T, T));
+        // Same cluster: the original edge as-is.
+        addPrecedence(solver, order_[e.src], order_[e.dst], clampedLag,
+                      {same});
+        // Cross cluster: producer -> copy -> consumer, copy latency 1
+        // at the original distance (assign/exhaustive.cc semantics).
+        solver.addClause(same, mkLit(copyActive_[e.src]));
+        addPrecedence(solver, copyOrder_[e.src], order_[e.dst],
+                      clampedCross, {~same});
+        for (const ClusterId d : eligible_[e.dst]) {
+            std::vector<SatLit> force{~clusterLit(e.dst, d),
+                                      mkLit(copyNeed_[e.src][d])};
+            if (cluster_[e.src][d] >= 0)
+                force.push_back(clusterLit(e.src, d));
+            solver.addClause(force);
+        }
+    }
+
+    // --- Kernel rows: start = t implies row t mod II. ---
+    auto makeRows = [&](const std::vector<SatVar> &slots) {
+        std::vector<SatVar> rows(ii, -1);
+        for (int r = 0; r < ii && r < T; ++r)
+            rows[r] = solver.newVar();
+        for (int t = 0; t < T; ++t) {
+            std::vector<SatLit> clause;
+            if (t > 0)
+                clause.push_back(~mkLit(slots[t]));
+            if (t + 1 < T)
+                clause.push_back(mkLit(slots[t + 1]));
+            clause.push_back(mkLit(rows[t % ii]));
+            solver.addClause(clause);
+        }
+        return rows;
+    };
+    std::vector<std::vector<SatVar>> row(n), copyRow(n);
+    for (NodeId v = 0; v < n; ++v) {
+        row[v] = makeRows(order_[v]);
+        if (copyCapable_[v])
+            copyRow[v] = makeRows(copyOrder_[v]);
+    }
+
+    // --- Resource usage literals, grouped per (pool, row). ---
+    std::vector<std::vector<std::vector<SatLit>>> poolRow(
+        model_.numPools(),
+        std::vector<std::vector<SatLit>>(ii));
+    auto usage = [&](PoolId pool, int r,
+                     const std::vector<SatLit> &conds) {
+        const SatVar used = solver.newVar();
+        std::vector<SatLit> imply;
+        for (const SatLit l : conds)
+            imply.push_back(~l);
+        imply.push_back(mkLit(used));
+        solver.addClause(imply);
+        poolRow[pool][r].push_back(mkLit(used));
+    };
+
+    for (NodeId v = 0; v < n; ++v) {
+        const FuClass cls = opcodeFuClass(graph_.node(v).op);
+        for (const ClusterId c : eligible_[v]) {
+            const PoolId pool = model_.fuPool(c, cls);
+            for (int r = 0; r < ii && r < T; ++r)
+                usage(pool, r, {clusterLit(v, c), mkLit(row[v][r])});
+        }
+        if (!copyCapable_[v])
+            continue;
+        const SatLit active = mkLit(copyActive_[v]);
+        for (const ClusterId c : eligible_[v]) {
+            const PoolId read = model_.readPool(c);
+            if (read == invalidPool) {
+                // No read ports: this cluster cannot source a copy.
+                solver.addClause(~active, ~clusterLit(v, c));
+                continue;
+            }
+            for (int r = 0; r < ii && r < T; ++r)
+                usage(read, r,
+                      {active, clusterLit(v, c),
+                       mkLit(copyRow[v][r])});
+        }
+        const PoolId bus = model_.busPool();
+        if (bus == invalidPool) {
+            solver.addClause(~active); // busless: no transfers at all
+        } else {
+            for (int r = 0; r < ii && r < T; ++r)
+                usage(bus, r, {active, mkLit(copyRow[v][r])});
+        }
+        for (ClusterId d = 0; d < C; ++d) {
+            if (copyNeed_[v][d] < 0)
+                continue;
+            const PoolId write = model_.writePool(d);
+            if (write == invalidPool) {
+                solver.addClause(~mkLit(copyNeed_[v][d]));
+                continue;
+            }
+            for (int r = 0; r < ii && r < T; ++r)
+                usage(write, r,
+                      {mkLit(copyNeed_[v][d]), mkLit(copyRow[v][r])});
+        }
+    }
+    for (PoolId pool = 0; pool < model_.numPools(); ++pool)
+        for (int r = 0; r < ii; ++r)
+            atMostK(solver, poolRow[pool][r], model_.capacity(pool));
+
+    // --- Anchor: some node starts at cycle 0. Any schedule shifts
+    // uniformly (rows permute, dependences keep their slack) to meet
+    // this, and it prunes the T-fold shift symmetry from the search.
+    std::vector<SatLit> anchor;
+    for (NodeId v = 0; v < n; ++v)
+        anchor.push_back(~mkLit(order_[v][1]));
+    solver.addClause(anchor);
+
+    return true;
+}
+
+int
+ExactEncoder::decodeStart(const SatSolver &solver,
+                          const std::vector<SatVar> &order) const
+{
+    int start = 0;
+    for (int t = 1; t < horizon_; ++t) {
+        if (!solver.value(order[t]))
+            break;
+        start = t;
+    }
+    return start;
+}
+
+void
+ExactEncoder::decode(const SatSolver &solver, AnnotatedLoop &loop,
+                     Schedule &schedule) const
+{
+    const int n = graph_.numNodes();
+    std::vector<ClusterId> clusterOf(n, invalidCluster);
+    for (NodeId v = 0; v < n; ++v) {
+        for (const ClusterId c : eligible_[v]) {
+            if (solver.value(cluster_[v][c])) {
+                clusterOf[v] = c;
+                break;
+            }
+        }
+        cams_assert(clusterOf[v] != invalidCluster,
+                    "model without a cluster choice");
+    }
+
+    // Splice copies exactly as annotatePartition does for broadcast
+    // machines, so AnnotatedLoop::validate and the verifier see the
+    // canonical structure.
+    loop = AnnotatedLoop{};
+    loop.numOriginalNodes = n;
+    loop.graph.setName(graph_.name());
+    for (const DfgNode &node : graph_.nodes()) {
+        loop.graph.addNode(node.op, node.latency, node.name);
+        loop.placement.push_back({clusterOf[node.id], {}});
+    }
+
+    schedule = Schedule{};
+    schedule.ii = ii_;
+    schedule.startCycle.resize(n, 0);
+    for (NodeId v = 0; v < n; ++v)
+        schedule.startCycle[v] = decodeStart(solver, order_[v]);
+
+    std::vector<std::vector<NodeId>> serving(
+        n, std::vector<NodeId>(numClusters_, invalidNode));
+    for (NodeId v = 0; v < n; ++v) {
+        std::set<ClusterId> dstSet;
+        for (const NodeId succ : graph_.successors(v)) {
+            if (succ != v && clusterOf[succ] != clusterOf[v])
+                dstSet.insert(clusterOf[succ]);
+        }
+        if (dstSet.empty())
+            continue;
+        const NodeId copy = loop.graph.addNode(
+            Opcode::Copy, 1, "cp_" + graph_.node(v).name);
+        loop.placement.push_back(
+            {clusterOf[v],
+             std::vector<ClusterId>(dstSet.begin(), dstSet.end())});
+        loop.graph.addEdge(v, copy, graph_.node(v).latency, 0);
+        for (const ClusterId dst : dstSet)
+            serving[v][dst] = copy;
+        schedule.startCycle.push_back(
+            decodeStart(solver, copyOrder_[v]));
+    }
+    for (const DfgEdge &edge : graph_.edges()) {
+        if (clusterOf[edge.src] == clusterOf[edge.dst]) {
+            loop.graph.addEdge(edge.src, edge.dst, edge.latency,
+                               edge.distance);
+        } else {
+            loop.graph.addEdge(serving[edge.src][clusterOf[edge.dst]],
+                               edge.dst, 1, edge.distance);
+        }
+    }
+}
+
+} // namespace cams

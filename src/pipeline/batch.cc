@@ -36,6 +36,12 @@ BatchStats::toJson() const
        << "\"cache_misses\":" << cacheMisses << ","
        << "\"hint_used\":" << hintUsed << ","
        << "\"hint_stale\":" << hintStale << ","
+       << "\"exact_sat\":" << exactSat << ","
+       << "\"exact_unsat\":" << exactUnsat << ","
+       << "\"exact_timeout\":" << exactTimeout << ","
+       << "\"exact_unsupported\":" << exactUnsupported << ","
+       << "\"exact_tightened\":" << exactTightened << ","
+       << "\"exact_certified\":" << exactCertified << ","
        << "\"failure_kinds\":{";
     bool first = true;
     for (int kind = 1; kind < numFailureKinds; ++kind) {
@@ -169,6 +175,26 @@ BatchRunner::run(const std::vector<CompileJob> &jobs, int threads,
             ++outcome.stats.hintUsed;
         if (result.hintStale)
             ++outcome.stats.hintStale;
+        switch (result.exact.outcome) {
+          case ExactOutcome::NotRun:
+            break;
+          case ExactOutcome::Sat:
+            ++outcome.stats.exactSat;
+            break;
+          case ExactOutcome::Unsat:
+            ++outcome.stats.exactUnsat;
+            break;
+          case ExactOutcome::Timeout:
+            ++outcome.stats.exactTimeout;
+            break;
+          case ExactOutcome::Unsupported:
+            ++outcome.stats.exactUnsupported;
+            break;
+        }
+        if (result.exact.tightened)
+            ++outcome.stats.exactTightened;
+        if (result.exact.certified)
+            ++outcome.stats.exactCertified;
     }
     count("jobs_succeeded", outcome.stats.succeeded);
     count("jobs_failed", outcome.stats.failed);
@@ -180,6 +206,12 @@ BatchRunner::run(const std::vector<CompileJob> &jobs, int threads,
     count("cache.misses", outcome.stats.cacheMisses);
     count("hint.used", outcome.stats.hintUsed);
     count("hint.stale", outcome.stats.hintStale);
+    count("exact.sat", outcome.stats.exactSat);
+    count("exact.unsat", outcome.stats.exactUnsat);
+    count("exact.timeout", outcome.stats.exactTimeout);
+    count("exact.unsupported", outcome.stats.exactUnsupported);
+    count("exact.tightened", outcome.stats.exactTightened);
+    count("exact.certified", outcome.stats.exactCertified);
     outcome.stats.metricsJson = internal.toJson();
     return outcome;
 }

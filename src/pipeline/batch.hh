@@ -119,6 +119,14 @@ struct BatchStats
     /** Jobs whose hint probe failed and fell back to the cold path. */
     long hintStale = 0;
 
+    /** Exact-arm outcomes (exact and race backends; see exact.hh). */
+    long exactSat = 0;         ///< exact schedule became the result
+    long exactUnsat = 0;       ///< heuristic II certified optimal
+    long exactTimeout = 0;     ///< exact budget died before an answer
+    long exactUnsupported = 0; ///< loop/machine outside the encoding
+    long exactTightened = 0;   ///< race arm beat the heuristic II
+    long exactCertified = 0;   ///< race arm certified the heuristic II
+
     /**
      * Metrics snapshot of this run (MetricsRegistry::toJson of the
      * run's internal registry: ii_slack and friends). Embedded in

@@ -29,7 +29,7 @@ constexpr uint32_t entryMagic = 0x31454343u;
 constexpr uint32_t entryFormatVersion = 1;
 
 /** Salts the options hash so schema changes invalidate old keys. */
-constexpr uint64_t optionsSchemaSalt = 0xca5cade100000001ULL;
+constexpr uint64_t optionsSchemaSalt = 0xca5cade100000002ULL;
 
 constexpr const char *hintFileName = "hints.log";
 
@@ -206,6 +206,19 @@ makeCacheKey(const Dfg &graph, const MachineDesc &machine,
     oh = hashCombine(
         oh, static_cast<uint64_t>(options.exhaustiveFallbackNodes));
     oh = hashCombine(oh, hashDouble(options.timeBudgetMs));
+    // Backend selection changes what a "result" even is (a race can
+    // tighten the II), and the exact budgets change which answers the
+    // arm can reach -- all of it keys the entry.
+    oh = hashCombine(oh, static_cast<uint64_t>(options.backend));
+    oh = hashCombine(
+        oh, static_cast<uint64_t>(options.exact.conflictBudget));
+    oh = hashCombine(oh, hashDouble(options.exact.timeBudgetMs));
+    oh = hashCombine(oh,
+                     static_cast<uint64_t>(options.exact.nodeLimit));
+    oh = hashCombine(
+        oh, static_cast<uint64_t>(options.exact.horizonLimit));
+    oh = hashCombine(oh,
+                     static_cast<uint64_t>(options.exact.maxProbes));
 
     const AssignOptions &a = options.assign;
     oh = hashCombine(oh, static_cast<uint64_t>(a.policy));

@@ -1,8 +1,10 @@
 #include "pipeline/driver.hh"
 
+#include <limits>
 #include <optional>
 
 #include "assign/exhaustive.hh"
+#include "exact/exact.hh"
 #include "pipeline/cache/compile_cache.hh"
 #include "pipeline/context.hh"
 #include "pipeline/degrade.hh"
@@ -124,6 +126,23 @@ probeCache(CompileCache &cache, const CacheKey &key, const Dfg &graph,
     result.cacheProbed = true;
     traceDecision(options.trace, "cache_probe", {{"outcome", "miss"}});
     return false;
+}
+
+/** Stable lowercase name of a per-II exact verdict (trace args). */
+const char *
+exactVerdictName(ExactVerdict verdict)
+{
+    switch (verdict) {
+      case ExactVerdict::Sat:
+        return "sat";
+      case ExactVerdict::Unsat:
+        return "unsat";
+      case ExactVerdict::Budget:
+        return "budget";
+      case ExactVerdict::Unsupported:
+        return "unsupported";
+    }
+    return "?";
 }
 
 /** Accepts a verified success into the result. */
@@ -377,7 +396,11 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
         }
         if (cache_on) {
             options.cache->store(cache_key, graph, machine, result);
+            // Hints replay a heuristic rotation at the achieved II; a
+            // race-tightened II is not heuristically reachable, and
+            // non-heuristic backends skip the probe anyway.
             if (result.success && !result.hintUsed &&
+                options.backend == CompileBackend::Heuristic &&
                 result.degraded == DegradeLevel::None) {
                 WarmStartHint hint;
                 hint.ii = result.ii;
@@ -483,6 +506,68 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
             return IiEscalator::Outcome::Accept;
     };
 
+    // ---- The exact arm (backends Exact and Race): per-II SAT
+    // decisions with deterministic conflict budgets (exact/exact.hh).
+    auto exactProbe = [&](int ii) {
+        const Stopwatch probe_watch;
+        ExactDecision decision =
+            exactDecideAtIi(graph, model, ii, options.exact);
+        ++result.exact.probes;
+        result.exact.conflicts += decision.conflicts;
+        result.exact.decisions += decision.decisions;
+        result.exact.propagations += decision.propagations;
+        result.exact.solveMs += probe_watch.elapsedMs();
+        traceDecision(options.trace, "exact_probe",
+                      {{"ii", std::to_string(ii)},
+                       {"verdict",
+                        exactVerdictName(decision.verdict)}});
+        return decision;
+    };
+
+    // Ascending decision ladder over [first, last]: the first SAT
+    // answer is accepted (and is optimal within the range, since
+    // every lower II carries an UNSAT certificate). Returns true on
+    // acceptance; otherwise result.exact.outcome says why -- Unsat
+    // when the whole range is certified infeasible, Timeout/
+    // Unsupported when the ladder died early.
+    auto exactSearch = [&](int first, int last) -> bool {
+        int probes_left = options.exact.maxProbes > 0
+                              ? options.exact.maxProbes
+                              : std::numeric_limits<int>::max();
+        for (int ii = first; ii <= last; ++ii) {
+            if (deadline.expired()) {
+                result.exact.outcome = ExactOutcome::Timeout;
+                result.exact.detail = "compile_deadline";
+                return false;
+            }
+            if (probes_left-- <= 0) {
+                result.exact.outcome = ExactOutcome::Timeout;
+                result.exact.detail = "probe_limit";
+                return false;
+            }
+            ExactDecision decision = exactProbe(ii);
+            if (decision.verdict == ExactVerdict::Sat) {
+                result.exact.outcome = ExactOutcome::Sat;
+                result.exact.exactIi = ii;
+                acceptSchedule(result, std::move(decision.loop),
+                               std::move(decision.schedule), ii,
+                               DegradeLevel::None);
+                return true;
+            }
+            if (decision.verdict == ExactVerdict::Unsat)
+                continue; // certified infeasible; try the next II
+            result.exact.outcome =
+                decision.verdict == ExactVerdict::Budget
+                    ? ExactOutcome::Timeout
+                    : ExactOutcome::Unsupported;
+            result.exact.detail = decision.detail;
+            return false;
+        }
+        // Every II in the range carries an UNSAT certificate.
+        result.exact.outcome = ExactOutcome::Unsat;
+        return false;
+    };
+
     // The primary Figure 5 search. Every way an II can die updates
     // the running classification, so a final failure reports the last
     // (deepest) cause rather than a generic "gave up".
@@ -490,13 +575,44 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
     result.failureDetail = detail::concat(
         "empty II search window [", result.mii.mii, ", ", limit, "]");
 
+    if (options.backend == CompileBackend::Exact) {
+        // Pure exact mode: the SAT ladder *is* the II search.
+        if (exactSearch(result.mii.mii, limit)) {
+            finish();
+            return result;
+        }
+        if (result.exact.outcome == ExactOutcome::Timeout) {
+            result.failure = FailureKind::Timeout;
+            result.failureDetail =
+                "exact backend budget exhausted: " +
+                result.exact.detail;
+        } else if (result.exact.outcome == ExactOutcome::Unsat) {
+            result.failure = FailureKind::IiExhausted;
+            result.failureDetail = detail::concat(
+                "exact backend: UNSAT at every II in [",
+                result.mii.mii, ", ", limit, "]");
+        } else {
+            result.failure = FailureKind::IiExhausted;
+            result.failureDetail = "exact backend unsupported: " +
+                                   result.exact.detail;
+        }
+        if (!options.fallback) {
+            finish();
+            return result;
+        }
+        // Fall through to the degradation ladder below.
+    }
+
     // Warm-start hint: a previous compile of this loop on this
     // machine (any options) achieved hint.ii, so probe that II first
     // with the winning rotation replayed. One attempt, verified
     // unconditionally; failure marks the hint stale and falls back to
     // the cold search from MII, so a wrong hint costs one probe.
+    // Non-heuristic backends skip the probe: Exact never runs the
+    // cascade, and a Race hint would bypass the exact arm entirely.
     WarmStartHint hint;
-    if (cache_on && options.cache->hint(cache_key, hint) &&
+    if (options.backend == CompileBackend::Heuristic && cache_on &&
+        options.cache->hint(cache_key, hint) &&
         hint.ii > result.mii.mii && hint.ii <= limit) {
         AssignOptions hinted_options = assign_options;
         hinted_options.preferredRotation = hint.rotation;
@@ -524,19 +640,50 @@ compileClustered(const Dfg &graph, const MachineDesc &machine,
         result.hintStale = true;
     }
 
-    IiEscalator::Policy primary;
-    primary.countAttempts = true;
-    primary.traceIis = true;
-    primary.decisionEscalates = true;
-    primary.catchInvariant = true;
-    primary.summaryTimeout = true;
-    primary.traceTimeout = true;
+    if (options.backend != CompileBackend::Exact) {
+        IiEscalator::Policy primary;
+        primary.countAttempts = true;
+        primary.traceIis = true;
+        primary.decisionEscalates = true;
+        primary.catchInvariant = true;
+        primary.summaryTimeout = true;
+        primary.traceTimeout = true;
 
-    escalator.sweep(result.mii.mii, limit, deadline, primary,
-                    [&](int ii, auto &&escalate) {
-                        return attemptIi(ii, escalate, assigner,
-                                         /*force_verify=*/false);
-                    });
+        escalator.sweep(result.mii.mii, limit, deadline, primary,
+                        [&](int ii, auto &&escalate) {
+                            return attemptIi(ii, escalate, assigner,
+                                             /*force_verify=*/false);
+                        });
+    }
+
+    if (options.backend == CompileBackend::Race) {
+        if (result.success && result.degraded == DegradeLevel::None) {
+            // The heuristic answered; the exact arm now probes every
+            // lower II. SAT tightens the result (the decoded schedule
+            // replaces the heuristic one); an unbroken run of UNSAT
+            // certificates -- including the empty range when the
+            // heuristic already sits at MII -- certifies it optimal.
+            result.exact.heuristicIi = result.ii;
+            if (exactSearch(result.mii.mii,
+                            result.exact.heuristicIi - 1)) {
+                result.exact.tightened = true;
+                traceDecision(
+                    options.trace, "exact_tightened",
+                    {{"heuristic_ii",
+                      std::to_string(result.exact.heuristicIi)},
+                     {"exact_ii",
+                      std::to_string(result.exact.exactIi)}});
+            } else if (result.exact.outcome == ExactOutcome::Unsat) {
+                result.exact.certified = true;
+                traceDecision(options.trace, "exact_certified",
+                              {{"ii", std::to_string(result.ii)}});
+            }
+        } else if (!result.success) {
+            // Portfolio rescue: the cascade found nothing, so let the
+            // exact arm search the full window before the ladder.
+            exactSearch(result.mii.mii, limit);
+        }
+    }
 
     if (result.success || !options.fallback) {
         finish();

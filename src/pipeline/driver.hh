@@ -33,6 +33,7 @@
 #include <string>
 
 #include "assign/assigner.hh"
+#include "exact/exact.hh"
 #include "machine/machine.hh"
 #include "sched/mii.hh"
 #include "sched/schedule.hh"
@@ -67,6 +68,19 @@ struct CompileOptions
 {
     AssignOptions assign;
     SchedulerKind scheduler = SchedulerKind::Swing;
+
+    /**
+     * Engine selection (clustered compiles only). Heuristic is the
+     * paper's cascade; Exact replaces the II search with ascending
+     * SAT decisions (first SAT II is provably optimal); Race runs the
+     * heuristic first and then lets the exact arm tighten the II or
+     * certify it optimal within `exact`'s budgets. See
+     * exact/exact.hh for the protocol and certification semantics.
+     */
+    CompileBackend backend = CompileBackend::Heuristic;
+
+    /** Budgets and limits of the exact arm (Exact and Race modes). */
+    ExactOptions exact;
 
     /**
      * Give up when II exceeds mii * 4 + this slack (a diagnostic
@@ -217,6 +231,13 @@ struct CompileResult
 
     /** Per-phase wall-time breakdown (always recorded). */
     PhaseTimes phaseMs;
+
+    /**
+     * Exact-arm accounting (outcome NotRun on the heuristic backend).
+     * Transient like the cache flags: never serialized into cache
+     * entries, so a cache-served result always reads not_run.
+     */
+    ExactStats exact;
 
     /** LoopContext queries answered from cache (incremental only). */
     long ctxHits = 0;

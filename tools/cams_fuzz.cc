@@ -72,7 +72,10 @@ usage()
            "  --cache-dir DIR  persistent compile cache directory "
            "(fault-injected jobs bypass it)\n"
            "  --cache MODE     off, ro or rw (default rw with "
-           "--cache-dir)\n";
+           "--cache-dir)\n"
+           "  --backend KIND   heuristic (default), exact, or race;\n"
+           "                   race stresses the SAT arm against the "
+           "oracle too\n";
     return 2;
 }
 
@@ -112,6 +115,7 @@ main(int argc, char **argv)
     std::string cache_dir;
     CacheMode cache_mode = CacheMode::ReadWrite;
     TraceLevel trace_level = TraceLevel::Phase;
+    CompileBackend backend = CompileBackend::Heuristic;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -154,6 +158,10 @@ main(int argc, char **argv)
             if (!parseCacheMode(value, cache_mode))
                 return usage();
             ++i;
+        } else if (arg == "--backend" && value) {
+            if (!parseCompileBackend(value, backend))
+                return usage();
+            ++i;
         } else {
             return usage();
         }
@@ -192,6 +200,7 @@ main(int argc, char **argv)
         job.machine = &machines.back();
         job.clustered = true;
         job.options.verify = true;
+        job.options.backend = backend;
         job.options.trace.tag = "fuzz_" + std::to_string(i);
         if (i % 16 == 7) {
             // Guaranteed scheduler denial: the primary search cannot

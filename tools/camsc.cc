@@ -80,6 +80,16 @@ usage()
            "  --machine FILE     machine description (default: 2 "
            "clusters x 4 GP, 2 buses, 1 port)\n"
            "  --scheduler KIND   sms (default) or ims\n"
+           "  --backend KIND     heuristic (default), exact, or race\n"
+           "                     exact: SAT decisions replace the II "
+           "search (optimal)\n"
+           "                     race: heuristic answer, then the "
+           "exact arm tightens\n"
+           "                     the II or certifies it optimal\n"
+           "  --exact-conflicts N  conflict budget per exact II "
+           "decision\n"
+           "                     (default 50000; deterministic, "
+           "unlike wall budgets)\n"
            "  --simple           drop the selection heuristic\n"
            "  --no-iterate       drop the eviction/repair iteration\n"
            "  --no-fallback      disable the degradation ladder\n"
@@ -89,7 +99,13 @@ usage()
            "site (stress testing)\n"
            "  --fault-seed S     seed of the fault injector "
            "(default 1)\n"
-           "  --deadline-ms D    wall-clock budget per compile\n"
+           "  --deadline-ms D    wall-clock budget per compile; with "
+           "--backend race\n"
+           "                     the exact arm also stops at this "
+           "deadline, so the\n"
+           "                     heuristic answer always survives "
+           "(camsd --budget-ms\n"
+           "                     behaves the same way per request)\n"
            "  --cache-dir DIR    persistent compile cache directory\n"
            "  --cache MODE       off, ro or rw (default rw with "
            "--cache-dir)\n"
@@ -266,6 +282,15 @@ main(int argc, char **argv)
             } else {
                 return usage();
             }
+        } else if (arg == "--backend") {
+            const char *value = next();
+            if (!value || !parseCompileBackend(value, options.backend))
+                return usage();
+        } else if (arg == "--exact-conflicts") {
+            const char *value = next();
+            if (!value)
+                return usage();
+            options.exact.conflictBudget = std::atol(value);
         } else if (arg == "--simple") {
             options.assign.fullHeuristic = false;
         } else if (arg == "--no-iterate") {
@@ -514,6 +539,23 @@ main(int argc, char **argv)
     std::cout << "clustered: II=" << result.ii << " (deviation "
               << result.ii - unified.ii << "), copies=" << result.copies
               << ", stages=" << schedule.stageCount() << "\n";
+    if (options.backend != CompileBackend::Heuristic) {
+        std::cout << "exact:     outcome="
+                  << exactOutcomeName(result.exact.outcome);
+        if (result.exact.tightened) {
+            std::cout << " (tightened " << result.exact.heuristicIi
+                      << " -> " << result.exact.exactIi << ")";
+        }
+        if (result.exact.certified)
+            std::cout << " (certified optimal at II=" << result.ii
+                      << ")";
+        std::cout << " probes=" << result.exact.probes
+                  << " conflicts=" << result.exact.conflicts << " "
+                  << formatFixed(result.exact.solveMs, 2) << "ms";
+        if (!result.exact.detail.empty())
+            std::cout << " detail=" << result.exact.detail;
+        std::cout << "\n";
+    }
     std::cout << "phases:    assign=" << formatFixed(
                      result.phaseMs.assignMs, 2)
               << "ms (order=" << formatFixed(result.phaseMs.orderMs, 2)

@@ -62,7 +62,13 @@ usage()
            "  --cache MODE           off, ro or rw (default rw with "
            "--cache-dir)\n"
            "  --compile-budget-ms D  per-compile wall-clock budget "
-           "(default 5000, 0 = none)\n"
+           "(default 5000, 0 = none); requests that select the\n"
+           "                         race backend stop the exact arm "
+           "at the same deadline, so a budget expiry\n"
+           "                         never loses the heuristic "
+           "answer (exact probes stay conflict-bounded\n"
+           "                         for determinism; the wall "
+           "budget is only the backstop)\n"
            "  --metrics FILE         write the serve metrics "
            "registry as JSON on exit\n"
            "  --allow-debug          honor the protocol's "

@@ -40,6 +40,8 @@ COUNTER_KEYS = {
     "kills", "restarts",
     "directories", "entries_scanned", "entries_ok", "quarantined",
     "tmp_removed", "hint_lines_kept", "hint_lines_dropped",
+    "tightened", "certified", "unsupported", "spot_checks",
+    "max_gap", "exact_conflicts",
 }
 
 # Per-kind required top-level keys ("bench" selects the row).
@@ -65,6 +67,9 @@ REQUIRED = {
         "directories", "entries_scanned", "entries_ok",
         "quarantined", "tmp_removed",
     ),
+    "exact_gap": (
+        "loops", "violations", "timeout_fraction", "machines",
+    ),
 }
 
 # Required keys of a BatchStats object and of a cams_load phase.
@@ -78,6 +83,14 @@ PHASE_KEYS = (
 )
 SCRUB_KEYS = (
     "entries_scanned", "entries_ok", "quarantined", "tmp_removed",
+)
+
+# Required keys of one machine's audit in an exact_gap file.
+EXACT_GAP_MACHINE_KEYS = (
+    "machine", "jobs", "succeeded", "tightened", "certified",
+    "timeouts", "unsupported", "spot_checks", "violations",
+    "max_gap", "timeout_fraction", "gap_histogram",
+    "violation_details",
 )
 
 # Required keys of the live-telemetry snapshot cams_load polls from
@@ -246,6 +259,12 @@ def check_file(path):
         if "server_stats" in data:
             check_server_stats("server_stats", data["server_stats"],
                                problems)
+    elif kind == "exact_gap":
+        machines = data.get("machines")
+        if isinstance(machines, list):
+            for i, machine in enumerate(machines):
+                require_keys(f"machines[{i}]", machine,
+                             EXACT_GAP_MACHINE_KEYS, problems)
     elif kind == "cams_chaos":
         if "scrub" in data:
             require_keys("scrub", data["scrub"], SCRUB_KEYS, problems)
